@@ -1,0 +1,116 @@
+// Command commsim simulates communication patterns on the
+// Paragon-like mesh model: a general affine communication, its
+// decomposed phases, or an elementary U_k communication under a
+// chosen data distribution.
+//
+//	commsim -pattern general -t 1,2,3,7
+//	commsim -pattern decomposed -t 1,2,3,7
+//	commsim -pattern uk -k 4 -dist grouped
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/decomp"
+	"repro/internal/distrib"
+	"repro/internal/intmat"
+	"repro/internal/machine"
+)
+
+func main() {
+	pattern := flag.String("pattern", "general", "general | decomposed | uk")
+	tspec := flag.String("t", "1,2,3,7", "2x2 data-flow matrix, row-major")
+	k := flag.Int("k", 2, "k of the elementary U_k communication")
+	dist := flag.String("dist", "cyclic", "block | cyclic | cyclicb | grouped (dimension 0)")
+	p := flag.Int("p", 8, "mesh rows")
+	q := flag.Int("q", 8, "mesh cols")
+	n := flag.Int("n", 64, "virtual grid extent (n x n)")
+	bytes := flag.Int64("bytes", 64, "bytes per virtual processor")
+	flag.Parse()
+
+	mesh := machine.DefaultMesh(*p, *q)
+	d0 := pick(*dist, *k)
+	d := distrib.Dist2D{D0: d0, D1: distrib.Block{}}
+
+	switch *pattern {
+	case "general", "decomposed":
+		t, err := parseT(*tspec)
+		if err != nil {
+			fatal(err)
+		}
+		cyc := distrib.Dist2D{D0: distrib.Cyclic{}, D1: distrib.Cyclic{}}
+		if *pattern == "general" {
+			msgs := machine.GeneralComm2D(mesh, cyc, t, nil, *n, *n, *bytes)
+			report(mesh, "general "+t.String(), msgs)
+			return
+		}
+		if t.Det() != 1 {
+			fatal(fmt.Errorf("decomposition needs det T = 1, got %d", t.Det()))
+		}
+		fs := decomp.Decompose(t)
+		fmt.Printf("T = %v decomposes into %d elementary factors\n", t, len(fs))
+		total := 0.0
+		for i := len(fs) - 1; i >= 0; i-- {
+			msgs := machine.AffineComm2D(mesh, cyc, fs[i], nil, *n, *n, *bytes)
+			tm := mesh.Time(msgs)
+			fmt.Printf("  phase %v: %.0f µs\n", fs[i], tm)
+			total += tm
+		}
+		fmt.Printf("  total decomposed: %.0f µs\n", total)
+	case "uk":
+		msgs := machine.ElementaryRowComm(mesh, d, int64(*k), *n, *n, *bytes)
+		report(mesh, fmt.Sprintf("U_%d under %s", *k, d.Name()), msgs)
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+}
+
+func report(mesh *machine.Mesh2D, name string, msgs []machine.Message) {
+	st := mesh.PatternStats(msgs)
+	fmt.Printf("%s on %dx%d mesh:\n", name, mesh.P, mesh.Q)
+	fmt.Printf("  time          %.0f µs\n", mesh.Time(msgs))
+	fmt.Printf("  messages      %d\n", st.Messages)
+	fmt.Printf("  total bytes   %d\n", st.TotalBytes)
+	fmt.Printf("  max degree    %d\n", st.MaxDegree)
+	fmt.Printf("  max hops      %d\n", st.MaxHops)
+}
+
+func pick(name string, k int) distrib.Dist1D {
+	switch name {
+	case "block":
+		return distrib.Block{}
+	case "cyclic":
+		return distrib.Cyclic{}
+	case "cyclicb":
+		return distrib.BlockCyclic{B: 4}
+	case "grouped":
+		return distrib.Grouped{K: k}
+	}
+	fatal(fmt.Errorf("unknown distribution %q", name))
+	return nil
+}
+
+func parseT(spec string) (*intmat.Mat, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("want 4 comma-separated entries, got %q", spec)
+	}
+	vals := make([]int64, 4)
+	for i, s := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return intmat.New(2, 2, vals...), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "commsim:", err)
+	os.Exit(1)
+}

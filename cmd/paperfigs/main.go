@@ -1,0 +1,62 @@
+// Command paperfigs regenerates every table and figure of the
+// paper's evaluation section on the machine models:
+//
+//	paperfigs            # everything
+//	paperfigs -table1    # CM-5 data-movement ratios
+//	paperfigs -table2    # decomposed vs direct on the mesh
+//	paperfigs -fig8      # grouped partition ratio curves
+//	paperfigs -motivating
+//	paperfigs -example5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "print Table 1 only")
+	t2 := flag.Bool("table2", false, "print Table 2 only")
+	f8 := flag.Bool("fig8", false, "print Figure 8 only")
+	mot := flag.Bool("motivating", false, "print the Section 2-3 walkthrough only")
+	ex5 := flag.Bool("example5", false, "print the Section 7.2 comparison only")
+	procs := flag.Int("procs", 32, "CM-5-like processor count for Table 1")
+	bytes := flag.Int64("bytes", 512, "payload per processor for Table 1 (bytes)")
+	flag.Parse()
+
+	all := !*t1 && !*t2 && !*f8 && !*mot && !*ex5
+	if all || *t1 {
+		fmt.Print(experiments.FormatTable1(experiments.Table1(*procs, *bytes)))
+		fmt.Println()
+	}
+	if all || *t2 {
+		fmt.Print(experiments.FormatTable2(experiments.Table2(8, 8, 64, 64)))
+		fmt.Println()
+	}
+	if all || *f8 {
+		fmt.Print(experiments.FormatFigure8(experiments.Figure8(8, 8, 64, []int{2, 4, 8})))
+		fmt.Println()
+	}
+	if all || *mot {
+		res, err := experiments.MotivatingExample()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "motivating example:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Motivating example (Sections 2-3):")
+		fmt.Print(res.Report())
+		fmt.Println()
+	}
+	if all || *ex5 {
+		const steps = 100
+		r, err := experiments.Example5(*procs, steps, 256)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "example 5:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatExample5(r, steps))
+	}
+}

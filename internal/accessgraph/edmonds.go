@@ -1,0 +1,209 @@
+package accessgraph
+
+// Edmonds' maximum-branching algorithm (Edmonds 1967, in the simple
+// derivation of Karp 1971): given a directed multigraph with integer
+// edge weights, find a branching — a subset of edges in which every
+// vertex has in-degree at most one and which contains no cycle — of
+// maximum total weight. Only edges of positive (adjusted) weight are
+// ever selected.
+
+// BranchEdge is an edge of the abstract branching problem.
+type BranchEdge struct {
+	Src, Dst int
+	Weight   int
+}
+
+// bedge is the internal working edge: id points into the structure of
+// the enclosing recursion level (the caller's edge slice at the top
+// level, the contraction metadata below).
+type bedge struct {
+	src, dst, w int
+	id          int
+}
+
+// MaximumBranching returns the indices into edges of a maximum-weight
+// branching of the n-vertex multigraph. Self-loops are ignored.
+func MaximumBranching(n int, edges []BranchEdge) []int {
+	var work []bedge
+	for i, be := range edges {
+		if be.Src == be.Dst {
+			continue
+		}
+		work = append(work, bedge{src: be.Src, dst: be.Dst, w: be.Weight, id: i})
+	}
+	return solveBranching(n, work)
+}
+
+func solveBranching(n int, es []bedge) []int {
+	// pick the best positive incoming edge of each vertex
+	best := make([]int, n) // index into es, or -1
+	for v := range best {
+		best[v] = -1
+	}
+	for i, ed := range es {
+		if ed.w <= 0 {
+			continue
+		}
+		if best[ed.dst] < 0 || es[best[ed.dst]].w < ed.w {
+			best[ed.dst] = i
+		}
+	}
+	cycle := findCycle(n, es, best)
+	if cycle == nil {
+		var out []int
+		for _, bi := range best {
+			if bi >= 0 {
+				out = append(out, es[bi].id)
+			}
+		}
+		return out
+	}
+	inCycle := make([]bool, n)
+	for _, v := range cycle {
+		inCycle[v] = true
+	}
+	// the minimum-weight selected edge on the cycle: losing it is the
+	// default cost of breaking the cycle
+	minI := best[cycle[0]]
+	for _, v := range cycle[1:] {
+		if es[best[v]].w < es[minI].w {
+			minI = best[v]
+		}
+	}
+	// contract the cycle into a supernode
+	remap := make([]int, n)
+	next := 0
+	for v := 0; v < n; v++ {
+		if !inCycle[v] {
+			remap[v] = next
+			next++
+		}
+	}
+	super := next
+	for v := 0; v < n; v++ {
+		if inCycle[v] {
+			remap[v] = super
+		}
+	}
+	type centry struct {
+		orig      bedge
+		displaced int // es index of the cycle edge dropped if chosen; -1
+	}
+	var ces []bedge
+	var meta []centry
+	for i, ed := range es {
+		su, sv := inCycle[ed.src], inCycle[ed.dst]
+		switch {
+		case su && sv:
+			continue
+		case sv: // entering the cycle: choosing it displaces best[dst]
+			adj := ed.w - es[best[ed.dst]].w + es[minI].w
+			ces = append(ces, bedge{src: remap[ed.src], dst: super, w: adj, id: len(meta)})
+			meta = append(meta, centry{orig: es[i], displaced: best[ed.dst]})
+		case su: // leaving the cycle
+			ces = append(ces, bedge{src: super, dst: remap[ed.dst], w: ed.w, id: len(meta)})
+			meta = append(meta, centry{orig: es[i], displaced: -1})
+		default:
+			ces = append(ces, bedge{src: remap[ed.src], dst: remap[ed.dst], w: ed.w, id: len(meta)})
+			meta = append(meta, centry{orig: es[i], displaced: -1})
+		}
+	}
+	sub := solveBranching(super+1, ces)
+	var out []int
+	displaced := minI
+	for _, mi := range sub {
+		m := meta[mi]
+		out = append(out, m.orig.id)
+		if m.displaced >= 0 {
+			displaced = m.displaced
+		}
+	}
+	for _, v := range cycle {
+		if best[v] != displaced {
+			out = append(out, es[best[v]].id)
+		}
+	}
+	return out
+}
+
+// findCycle returns the vertices of some cycle formed by the selected
+// in-edges (best), or nil.
+func findCycle(n int, es []bedge, best []int) []int {
+	state := make([]int, n) // 0 unvisited, 1 on current path, 2 done
+	for start := 0; start < n; start++ {
+		if state[start] != 0 {
+			continue
+		}
+		var path []int
+		v := start
+		for {
+			if state[v] == 1 {
+				for i, u := range path {
+					if u == v {
+						return path[i:]
+					}
+				}
+			}
+			if state[v] == 2 || best[v] < 0 {
+				break
+			}
+			state[v] = 1
+			path = append(path, v)
+			v = es[best[v]].src
+		}
+		for _, u := range path {
+			state[u] = 2
+		}
+	}
+	return nil
+}
+
+// BranchingWeight sums the weights of the given edge indices.
+func BranchingWeight(edges []BranchEdge, sel []int) int {
+	w := 0
+	for _, i := range sel {
+		w += edges[i].Weight
+	}
+	return w
+}
+
+// IsBranching verifies the branching property of the selection:
+// in-degree at most one and acyclic.
+func IsBranching(n int, edges []BranchEdge, sel []int) bool {
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = -1
+	}
+	for _, i := range sel {
+		e := edges[i]
+		if parent[e.Dst] != -1 {
+			return false
+		}
+		parent[e.Dst] = e.Src
+	}
+	for start := 0; start < n; start++ {
+		v := start
+		for steps := 0; parent[v] != -1; steps++ {
+			if steps > n {
+				return false
+			}
+			v = parent[v]
+		}
+	}
+	return true
+}
+
+// MaximumBranchingOfGraph runs Edmonds on the access graph using the
+// integer volume weights and returns the selected edges.
+func (g *Graph) MaximumBranchingOfGraph() []*Edge {
+	bes := make([]BranchEdge, len(g.Edges))
+	for i, e := range g.Edges {
+		bes[i] = BranchEdge{Src: e.Src, Dst: e.Dst, Weight: e.Volume}
+	}
+	sel := MaximumBranching(len(g.Vertices), bes)
+	out := make([]*Edge, 0, len(sel))
+	for _, i := range sel {
+		out = append(out, g.Edges[i])
+	}
+	return out
+}

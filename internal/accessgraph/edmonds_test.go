@@ -1,0 +1,191 @@
+package accessgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForceBranching enumerates all per-vertex in-edge choices and
+// returns the maximum branching weight. Exponential; tests only.
+func bruteForceBranching(n int, edges []BranchEdge) int {
+	inEdges := make([][]int, n)
+	for i, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		inEdges[e.Dst] = append(inEdges[e.Dst], i)
+	}
+	bestW := 0
+	choice := make([]int, n) // -1 none, else edge idx
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			var sel []int
+			for _, c := range choice {
+				if c >= 0 {
+					sel = append(sel, c)
+				}
+			}
+			if IsBranching(n, edges, sel) {
+				if w := BranchingWeight(edges, sel); w > bestW {
+					bestW = w
+				}
+			}
+			return
+		}
+		choice[v] = -1
+		rec(v + 1)
+		for _, ei := range inEdges[v] {
+			if edges[ei].Weight <= 0 {
+				continue
+			}
+			choice[v] = ei
+			rec(v + 1)
+		}
+		choice[v] = -1
+	}
+	rec(0)
+	return bestW
+}
+
+func TestMaximumBranchingSimpleChain(t *testing.T) {
+	// 0 -> 1 -> 2 with positive weights: all edges selected.
+	edges := []BranchEdge{{0, 1, 2}, {1, 2, 3}}
+	sel := MaximumBranching(3, edges)
+	if !IsBranching(3, edges, sel) {
+		t.Fatal("not a branching")
+	}
+	if w := BranchingWeight(edges, sel); w != 5 {
+		t.Fatalf("weight = %d, want 5", w)
+	}
+}
+
+func TestMaximumBranchingTwoCycle(t *testing.T) {
+	// two-cycle: must drop the lighter edge
+	edges := []BranchEdge{{0, 1, 5}, {1, 0, 3}}
+	sel := MaximumBranching(2, edges)
+	if !IsBranching(2, edges, sel) {
+		t.Fatal("not a branching")
+	}
+	if w := BranchingWeight(edges, sel); w != 5 {
+		t.Fatalf("weight = %d, want 5", w)
+	}
+}
+
+func TestMaximumBranchingCycleWithEntry(t *testing.T) {
+	// cycle 1->2->3->1 all weight 10, entry 0->2 weight 1.
+	// Optimal: enter at 2 (drop 1->2), keep 2->3, 3->1: 1+10+10 = 21,
+	// or skip entry and keep two cycle edges: 20. So 21.
+	edges := []BranchEdge{
+		{1, 2, 10}, {2, 3, 10}, {3, 1, 10}, {0, 2, 1},
+	}
+	sel := MaximumBranching(4, edges)
+	if !IsBranching(4, edges, sel) {
+		t.Fatal("not a branching")
+	}
+	if w := BranchingWeight(edges, sel); w != 21 {
+		t.Fatalf("weight = %d, want 21", w)
+	}
+}
+
+func TestMaximumBranchingPrefersHeavyEntry(t *testing.T) {
+	// cycle 1<->2 (weights 10, 9); entry 0->1 weight 10.
+	// best: 0->1 (10) + 1->2 (10) = 20.
+	edges := []BranchEdge{{1, 2, 10}, {2, 1, 9}, {0, 1, 10}}
+	sel := MaximumBranching(3, edges)
+	if w := BranchingWeight(edges, sel); w != 20 {
+		t.Fatalf("weight = %d, want 20", w)
+	}
+	if !IsBranching(3, edges, sel) {
+		t.Fatal("not a branching")
+	}
+}
+
+func TestMaximumBranchingIgnoresNonPositive(t *testing.T) {
+	edges := []BranchEdge{{0, 1, 0}, {1, 2, -3}}
+	sel := MaximumBranching(3, edges)
+	if len(sel) != 0 {
+		t.Fatalf("selected %v from non-positive edges", sel)
+	}
+}
+
+func TestMaximumBranchingSelfLoopIgnored(t *testing.T) {
+	edges := []BranchEdge{{0, 0, 100}, {0, 1, 1}}
+	sel := MaximumBranching(2, edges)
+	if w := BranchingWeight(edges, sel); w != 1 {
+		t.Fatalf("weight = %d, want 1", w)
+	}
+}
+
+func TestMaximumBranchingNestedCycles(t *testing.T) {
+	// two intertwined cycles sharing vertex 1
+	edges := []BranchEdge{
+		{0, 1, 4}, {1, 0, 4},
+		{1, 2, 4}, {2, 1, 4},
+		{3, 0, 1},
+	}
+	sel := MaximumBranching(4, edges)
+	if !IsBranching(4, edges, sel) {
+		t.Fatal("not a branching")
+	}
+	want := bruteForceBranching(4, edges)
+	if w := BranchingWeight(edges, sel); w != want {
+		t.Fatalf("weight = %d, want %d", w, want)
+	}
+}
+
+func TestMaximumBranchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(5)
+		ne := rng.Intn(10)
+		edges := make([]BranchEdge, ne)
+		for i := range edges {
+			edges[i] = BranchEdge{
+				Src:    rng.Intn(n),
+				Dst:    rng.Intn(n),
+				Weight: rng.Intn(12) - 2,
+			}
+		}
+		sel := MaximumBranching(n, edges)
+		if !IsBranching(n, edges, sel) {
+			t.Fatalf("trial %d: output not a branching: %v %v", trial, edges, sel)
+		}
+		got := BranchingWeight(edges, sel)
+		want := bruteForceBranching(n, edges)
+		if got != want {
+			t.Fatalf("trial %d: weight %d, brute force %d; edges %v sel %v", trial, got, want, edges, sel)
+		}
+	}
+}
+
+func TestMaximumBranchingDAGEqualsGreedy(t *testing.T) {
+	// On a DAG the maximum branching is just each vertex's best
+	// positive in-edge.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		var edges []BranchEdge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, BranchEdge{Src: i, Dst: j, Weight: rng.Intn(10)})
+				}
+			}
+		}
+		want := 0
+		bestIn := make([]int, n)
+		for _, e := range edges {
+			if e.Weight > bestIn[e.Dst] {
+				bestIn[e.Dst] = e.Weight
+			}
+		}
+		for _, w := range bestIn {
+			want += w
+		}
+		sel := MaximumBranching(n, edges)
+		if got := BranchingWeight(edges, sel); got != want {
+			t.Fatalf("trial %d: got %d want %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package accessgraph builds the m-dimensional access graph G(V,E,m)
+// of an affine loop nest (paper Section 2.2.2) and extracts a maximum
+// branching from it with Edmonds' algorithm (Section 2.3).
+//
+// Vertices are statements and arrays. A full-rank access x(F·I + c)
+// of rank ≥ m in statement S contributes:
+//
+//   - an edge x → S with matrix weight F when q_x ≤ d (given M_x of
+//     rank m, M_S = M_x·F has rank m — Lemma 1);
+//   - an edge S → x with matrix weight G, G·F = Id, when d ≤ q_x
+//     (given M_S of rank m, M_x = M_S·G solves M_S = M_x·F — Lemma 3);
+//   - both edges when q_x = d (F square non-singular).
+//
+// Every edge also carries an integer weight rank(F): the dimension of
+// the accessed data set, the paper's consistent estimate of the
+// communication volume, so that the maximum branching zeroes out the
+// largest-traffic communications first.
+package accessgraph
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/ratmat"
+)
+
+// VertexKind discriminates statement and array vertices.
+type VertexKind int
+
+// Vertex kinds.
+const (
+	StmtVertex VertexKind = iota
+	ArrayVertex
+)
+
+// Vertex is one node of the access graph.
+type Vertex struct {
+	Kind VertexKind
+	Name string
+	// Dim is the number of allocation-matrix columns for this vertex:
+	// the statement depth d or the array dimension q_x.
+	Dim int
+}
+
+// Comm identifies one communication of the nest: a single array
+// access inside a statement.
+type Comm struct {
+	ID        int
+	Stmt      *affine.Statement
+	AccessIdx int
+	Access    affine.Access
+	Rank      int // rank of the access matrix F
+	InGraph   bool
+}
+
+// Edge is a directed access-graph edge. The matrix weight W encodes
+// the allocation constraint M_dst = M_src · W that makes the
+// underlying communication local.
+type Edge struct {
+	Src, Dst int // vertex indices
+	W        *ratmat.Mat
+	Volume   int // integer weight: rank of the access matrix
+	CommID   int
+	// IntegerW reports whether W is integral (it always is except for
+	// S → x edges whose access matrix has no integer one-sided
+	// inverse).
+	IntegerW bool
+}
+
+// Graph is the access graph of a program for a target dimension m.
+type Graph struct {
+	M        int
+	Program  *affine.Program
+	Vertices []Vertex
+	Edges    []*Edge
+	Comms    []Comm
+	index    map[string]int
+}
+
+// VertexIndex returns the index of the named vertex, or -1.
+func (g *Graph) VertexIndex(name string) int {
+	if i, ok := g.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// EdgesOfComm returns the one or two edges representing communication
+// id (two for square accesses: "a single edge with two arrows").
+func (g *Graph) EdgesOfComm(id int) []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges {
+		if e.CommID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Build constructs the access graph of p for an m-dimensional target
+// virtual architecture.
+func Build(p *affine.Program, m int) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("accessgraph: target dimension m = %d", m)
+	}
+	g := &Graph{M: m, Program: p, index: map[string]int{}}
+	for _, a := range p.Arrays {
+		g.index[a.Name] = len(g.Vertices)
+		g.Vertices = append(g.Vertices, Vertex{Kind: ArrayVertex, Name: a.Name, Dim: a.Dim})
+	}
+	for _, s := range p.Statements {
+		g.index[s.Name] = len(g.Vertices)
+		g.Vertices = append(g.Vertices, Vertex{Kind: StmtVertex, Name: s.Name, Dim: s.Depth})
+	}
+	for _, s := range p.Statements {
+		for ai, acc := range s.Accesses {
+			comm := Comm{
+				ID:        len(g.Comms),
+				Stmt:      s,
+				AccessIdx: ai,
+				Access:    acc,
+				Rank:      acc.F.Rank(),
+			}
+			d := s.Depth
+			q := acc.F.Rows()
+			full := comm.Rank == min(q, d)
+			// The graph represents only communications whose access
+			// matrix is of full rank ≥ m (Section 2.2.2); also the
+			// heuristic distributes only statements/arrays with
+			// dimension ≥ m.
+			if full && comm.Rank >= m && d >= m && q >= m {
+				comm.InGraph = true
+				sIdx := g.index[s.Name]
+				xIdx := g.index[acc.Array]
+				if q <= d {
+					// flat (or square): x → S with weight F
+					g.Edges = append(g.Edges, &Edge{
+						Src: xIdx, Dst: sIdx,
+						W:        ratmat.FromInt(acc.F),
+						Volume:   comm.Rank,
+						CommID:   comm.ID,
+						IntegerW: true,
+					})
+				}
+				if d <= q {
+					// narrow (or square): S → x with weight G, G·F = Id
+					var w *ratmat.Mat
+					integer := true
+					if q == d {
+						inv, ok := ratmat.FromInt(acc.F).Inverse()
+						if !ok {
+							return nil, fmt.Errorf("accessgraph: singular square full-rank matrix %v", acc.F)
+						}
+						w = inv
+						integer = w.IsInteger()
+					} else {
+						w, integer = ratmat.LeftGeneralizedInverse(acc.F)
+					}
+					g.Edges = append(g.Edges, &Edge{
+						Src: sIdx, Dst: xIdx,
+						W:        w,
+						Volume:   comm.Rank,
+						CommID:   comm.ID,
+						IntegerW: integer,
+					})
+				}
+			}
+			g.Comms = append(g.Comms, comm)
+		}
+	}
+	return g, nil
+}
+
+// GraphComms returns the number of distinct communications that
+// appear in the graph (square accesses count once).
+func (g *Graph) GraphComms() int {
+	n := 0
+	for _, c := range g.Comms {
+		if c.InGraph {
+			n++
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String renders the graph edges for debugging.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("access graph m=%d: %d vertices, %d edges\n", g.M, len(g.Vertices), len(g.Edges))
+	for _, e := range g.Edges {
+		s += fmt.Sprintf("  %s -> %s  vol=%d W=%v\n",
+			g.Vertices[e.Src].Name, g.Vertices[e.Dst].Name, e.Volume, e.W)
+	}
+	return s
+}

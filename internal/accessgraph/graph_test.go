@@ -1,0 +1,197 @@
+package accessgraph
+
+import (
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/ratmat"
+)
+
+func TestBuildPaperExample1(t *testing.T) {
+	p := affine.PaperExample1()
+	g, err := Build(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Vertices) != 6 {
+		t.Fatalf("vertices = %d, want 6", len(g.Vertices))
+	}
+	if len(g.Comms) != 9 {
+		t.Fatalf("comms = %d, want 9", len(g.Comms))
+	}
+	// 8 of 9 communications appear (F9 is rank-deficient), and the
+	// three square accesses (F2, F5, F8) plus F3 each contribute two
+	// arrows: 4 flat/narrow edges + 4*2 = 12 edges.
+	if got := g.GraphComms(); got != 8 {
+		t.Fatalf("graph comms = %d, want 8", got)
+	}
+	// check orientation rules
+	aIdx := g.VertexIndex("a")
+	s1Idx := g.VertexIndex("S1")
+	bIdx := g.VertexIndex("b")
+	if aIdx < 0 || s1Idx < 0 || bIdx < 0 {
+		t.Fatal("vertex lookup failed")
+	}
+	// F1 is narrow (3x2): only S1 -> b
+	var f1Edges []*Edge
+	for _, e := range g.Edges {
+		if (e.Src == s1Idx && e.Dst == bIdx) || (e.Src == bIdx && e.Dst == s1Idx) {
+			f1Edges = append(f1Edges, e)
+		}
+	}
+	if len(f1Edges) != 1 || f1Edges[0].Src != s1Idx {
+		t.Fatalf("F1 edges wrong: %v", f1Edges)
+	}
+	// weight of the S1->b edge must satisfy W·F1 = Id
+	f1 := p.Statement("S1").Accesses[0].F
+	if !ratmat.Mul(f1Edges[0].W, ratmat.FromInt(f1)).IsIdentity() {
+		t.Fatalf("G·F1 != Id: %v", ratmat.Mul(f1Edges[0].W, ratmat.FromInt(f1)))
+	}
+	// F2 square: both directions between a and S1; F3 square too.
+	n := 0
+	for _, e := range g.Edges {
+		if (e.Src == aIdx && e.Dst == s1Idx) || (e.Src == s1Idx && e.Dst == aIdx) {
+			n++
+		}
+	}
+	if n != 4 { // F2 both ways + F3 both ways
+		t.Fatalf("a<->S1 edges = %d, want 4", n)
+	}
+}
+
+func TestBuildVolumesAreRanks(t *testing.T) {
+	g, err := Build(affine.PaperExample1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the two weight-3 edges of the paper: F5 and F8 (3-D identity
+	// accesses); everything else has volume 2.
+	vol3 := 0
+	for _, e := range g.Edges {
+		switch e.Volume {
+		case 3:
+			vol3++
+		case 2:
+		default:
+			t.Fatalf("unexpected volume %d", e.Volume)
+		}
+	}
+	// F5 and F8 are square: two arrows each, so four volume-3 edges.
+	if vol3 != 4 {
+		t.Fatalf("volume-3 edges = %d, want 4", vol3)
+	}
+}
+
+func TestBuildSkipsLowRankAndLowDim(t *testing.T) {
+	// MatMul at m=2: c, a, b are 2-D, statement depth 3, all accesses
+	// flat rank 2 => edges array -> stmt only.
+	g, err := Build(affine.MatMul(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 3 {
+		t.Fatalf("edges = %d, want 3", len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if g.Vertices[e.Src].Kind != ArrayVertex || g.Vertices[e.Dst].Kind != StmtVertex {
+			t.Fatal("flat access must orient array -> statement")
+		}
+	}
+	// At m=3 the arrays are too small (q=2 < 3): no edges at all.
+	g3, err := Build(affine.MatMul(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g3.Edges) != 0 {
+		t.Fatalf("m=3 edges = %d, want 0", len(g3.Edges))
+	}
+}
+
+func TestBuildGaussExcludesRankDeficient(t *testing.T) {
+	g, err := Build(affine.Gauss(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a(k,k) access has rank 1 < 2: excluded. The other four accesses
+	// (write a(i,j), read a(i,j), a(i,k), a(k,j)) are flat rank 2.
+	if got := g.GraphComms(); got != 4 {
+		t.Fatalf("graph comms = %d, want 4", got)
+	}
+	if len(g.Edges) != 4 {
+		t.Fatalf("edges = %d, want 4", len(g.Edges))
+	}
+}
+
+func TestBuildRejectsBadM(t *testing.T) {
+	if _, err := Build(affine.MatMul(), 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestEdgesOfComm(t *testing.T) {
+	g, err := Build(affine.PaperExample1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range g.Comms {
+		es := g.EdgesOfComm(c.ID)
+		if !c.InGraph {
+			if len(es) != 0 {
+				t.Fatalf("comm %d not in graph but has %d edges", c.ID, len(es))
+			}
+			continue
+		}
+		q, d := c.Access.F.Rows(), c.Stmt.Depth
+		want := 1
+		if q == d {
+			want = 2
+		}
+		if len(es) != want {
+			t.Fatalf("comm %d (q=%d d=%d): %d edges, want %d", c.ID, q, d, len(es), want)
+		}
+	}
+}
+
+func TestMaximumBranchingOfGraphExample1(t *testing.T) {
+	g, err := Build(affine.PaperExample1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := g.MaximumBranchingOfGraph()
+	// Expected optimum (see affine.PaperExample1 doc): 5 edges of
+	// total weight 12, including one weight-3 edge for the b/S2 pair
+	// and the weight-3 edge for c/S3.
+	if len(sel) != 5 {
+		t.Fatalf("branching edges = %d, want 5: %v", len(sel), sel)
+	}
+	w := 0
+	distinct := map[int]bool{}
+	for _, e := range sel {
+		w += e.Volume
+		distinct[e.CommID] = true
+	}
+	if w != 12 {
+		t.Fatalf("branching weight = %d, want 12", w)
+	}
+	if len(distinct) != 5 {
+		t.Fatal("branching uses both arrows of a square access")
+	}
+	// both weight-3 communications (F5 and F8) must be zeroed out
+	n3 := 0
+	for _, e := range sel {
+		if e.Volume == 3 {
+			n3++
+		}
+	}
+	if n3 != 2 {
+		t.Fatalf("weight-3 edges in branching = %d, want 2", n3)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g, _ := Build(affine.MatMul(), 2)
+	s := g.String()
+	if len(s) == 0 {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,164 @@
+// Package baselines implements the two comparison strategies the
+// paper discusses (Section 6):
+//
+//   - FeautrierGreedy: the greedy volume-ordered zeroing heuristic of
+//     Feautrier — process communications by decreasing data volume
+//     and make each local if consistent with the constraints already
+//     accepted (no branching optimality, no residual optimization);
+//   - Platonoff: the macro-first strategy — detect broadcasts in the
+//     initial code, constrain the mapping to *preserve* them
+//     (axis-parallel), and only then zero out the remaining
+//     communications greedily.
+//
+// The paper's Section 7.2 contrasts Platonoff with the local-first
+// strategy on Example 5: preserving the broadcast costs n partial
+// broadcasts where the local-first mapping is communication-free.
+package baselines
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/accessgraph"
+	"repro/internal/affine"
+	"repro/internal/intmat"
+	"repro/internal/ratmat"
+)
+
+// Outcome summarizes a baseline mapping.
+type Outcome struct {
+	M int
+	// LocalComms maps communication id → made local.
+	LocalComms map[int]bool
+	// Preserved lists the communication ids whose broadcast the
+	// strategy deliberately kept (Platonoff only).
+	Preserved []int
+	Graph     *accessgraph.Graph
+}
+
+// LocalCount returns the number of local communications.
+func (o *Outcome) LocalCount() int {
+	n := 0
+	for _, ok := range o.LocalComms {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidualCount returns the number of non-local communications
+// (including those not representable in the access graph).
+func (o *Outcome) ResidualCount() int {
+	return len(o.Graph.Comms) - o.LocalCount()
+}
+
+// greedyState tracks the union of accepted locality equations via
+// component representatives and rational transfer matrices, exactly
+// like the alignment solver but driven by an arbitrary edge order.
+type greedyState struct {
+	root     []int
+	transfer []*ratmat.Mat
+}
+
+func newGreedyState(g *accessgraph.Graph) *greedyState {
+	st := &greedyState{
+		root:     make([]int, len(g.Vertices)),
+		transfer: make([]*ratmat.Mat, len(g.Vertices)),
+	}
+	for v := range g.Vertices {
+		st.root[v] = v
+		st.transfer[v] = ratmat.Identity(g.Vertices[v].Dim)
+	}
+	return st
+}
+
+// tryAdd attempts to accept the locality equation of edge e,
+// reporting whether the system stays consistent.
+func (st *greedyState) tryAdd(g *accessgraph.Graph, e *accessgraph.Edge) bool {
+	pu, pv := st.transfer[e.Src], st.transfer[e.Dst]
+	lhs := ratmat.Mul(pu, e.W)
+	if st.root[e.Src] == st.root[e.Dst] {
+		return lhs.Equal(pv)
+	}
+	// merge: express root(dst) in terms of root(src): X·P_v = P_u·W;
+	// with P_v = N/λ the equation becomes X·N = λ·(P_u·W) (Lemma 2).
+	n, lam := pv.ScaledInt()
+	x0, _, ok := ratmat.SolveXF(ratmat.Scale(big.NewRat(lam, 1), lhs), n)
+	if !ok {
+		return false
+	}
+	oldRoot, newRoot := st.root[e.Dst], st.root[e.Src]
+	for v := range st.root {
+		if st.root[v] == oldRoot {
+			st.root[v] = newRoot
+			st.transfer[v] = ratmat.Mul(x0, st.transfer[v])
+		}
+	}
+	return true
+}
+
+// FeautrierGreedy processes graph edges by decreasing volume weight
+// and accepts every one consistent with those already accepted.
+func FeautrierGreedy(p *affine.Program, m int) (*Outcome, error) {
+	g, err := accessgraph.Build(p, m)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{M: m, Graph: g, LocalComms: map[int]bool{}}
+	st := newGreedyState(g)
+	edges := append([]*accessgraph.Edge(nil), g.Edges...)
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Volume > edges[j].Volume })
+	for _, e := range edges {
+		if out.LocalComms[e.CommID] {
+			continue
+		}
+		if st.tryAdd(g, e) {
+			out.LocalComms[e.CommID] = true
+		}
+	}
+	return out, nil
+}
+
+// Platonoff implements the macro-first strategy of Section 6.1:
+//
+//  1. locate broadcasts in the initial code: read accesses whose
+//     kernel ker θ ∩ ker F_a is non-trivial;
+//  2. constrain the mapping to preserve them: the access carrying the
+//     broadcast must NOT be made local (locality would give
+//     M_S·v = M_a·F_a·v = 0 and hide the broadcast);
+//  3. zero out the remaining communications greedily.
+func Platonoff(p *affine.Program, m int) (*Outcome, error) {
+	g, err := accessgraph.Build(p, m)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{M: m, Graph: g, LocalComms: map[int]bool{}}
+
+	// step 1-2: broadcast candidates to preserve
+	preserve := map[int]bool{}
+	for _, c := range g.Comms {
+		if c.Access.Write {
+			continue
+		}
+		k := intmat.KernelIntersection(c.Stmt.ScheduleOrEmpty(), c.Access.F)
+		if k.Cols() > 0 {
+			preserve[c.ID] = true
+			out.Preserved = append(out.Preserved, c.ID)
+		}
+	}
+
+	// step 3: greedy zeroing of everything else
+	st := newGreedyState(g)
+	edges := append([]*accessgraph.Edge(nil), g.Edges...)
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Volume > edges[j].Volume })
+	for _, e := range edges {
+		if preserve[e.CommID] || out.LocalComms[e.CommID] {
+			continue
+		}
+		if st.tryAdd(g, e) {
+			out.LocalComms[e.CommID] = true
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/intmat"
+	"repro/internal/macro"
+)
+
+func mustOptimize(t *testing.T, p *affine.Program, m int, opts Options) *Result {
+	t.Helper()
+	res, err := Optimize(p, m, opts)
+	if err != nil {
+		t.Fatalf("Optimize(%s): %v", p.Name, err)
+	}
+	return res
+}
+
+// checkConsistency verifies every plan against the final allocations.
+func checkConsistency(t *testing.T, res *Result) {
+	t.Helper()
+	for _, pl := range res.Plans {
+		ms := res.Align.Alloc[pl.Comm.Stmt.Name]
+		mx := res.Align.Alloc[pl.Comm.Access.Array]
+		local := intmat.Mul(mx, pl.Comm.Access.F).Equal(ms)
+		if (pl.Class == Local) != local {
+			t.Errorf("comm %d classified %s but local=%v", pl.Comm.ID, pl.Class, local)
+		}
+		if pl.Class == Decomposed && pl.Dataflow != nil && len(pl.Factors) > 0 {
+			if !intmat.MulAll(pl.Factors...).Equal(pl.Dataflow) {
+				t.Errorf("comm %d: factors do not multiply to T", pl.Comm.ID)
+			}
+		}
+	}
+}
+
+func TestMotivatingExampleFullPipeline(t *testing.T) {
+	// Section 3's complete outcome: 6 local communications, one
+	// residual becomes an axis-parallel partial broadcast, one
+	// residual decomposes into exactly 2 elementary communications,
+	// and F9 (rank-deficient) remains.
+	res := mustOptimize(t, affine.PaperExample1(), 2, Options{})
+	checkConsistency(t, res)
+	c := res.Counts()
+	if c[Local] != 6 {
+		t.Fatalf("local = %d, want 6", c[Local])
+	}
+	if c[MacroComm] < 1 {
+		t.Fatalf("macro = %d, want >= 1", c[MacroComm])
+	}
+	if c[Decomposed] < 1 {
+		t.Fatalf("decomposed = %d, want >= 1", c[Decomposed])
+	}
+	if c[General] != 0 {
+		t.Fatalf("general = %d, want 0", c[General])
+	}
+
+	// the F7 broadcast: partial, axis-parallel after rotation
+	var bcast, dec *Plan
+	for i := range res.Plans {
+		pl := &res.Plans[i]
+		if pl.Class == MacroComm && pl.Comm.Stmt.Name == "S2" {
+			bcast = pl
+		}
+		if pl.Class == Decomposed && pl.Comm.Stmt.Name == "S1" {
+			dec = pl
+		}
+	}
+	if bcast == nil || bcast.Macro.Kind != macro.Broadcast || !bcast.Macro.Partial() {
+		t.Fatalf("F7 plan wrong: %+v", bcast)
+	}
+	if !bcast.Macro.AxisParallel() {
+		t.Fatal("broadcast not axis-parallel after step 2a")
+	}
+	if bcast.Rotation == nil || bcast.Rotation.IsIdentity() {
+		t.Fatal("expected a non-trivial rotation (the canonical mapping is skewed)")
+	}
+	// the F3 decomposition: exactly two elementary factors
+	if dec == nil {
+		t.Fatal("no decomposition plan for S1")
+	}
+	if len(dec.Factors) != 2 {
+		t.Fatalf("F3 decomposes into %d factors, want 2: %v", len(dec.Factors), dec.Factors)
+	}
+	if dec.Dataflow.Det() != 1 {
+		t.Fatalf("dataflow det = %d", dec.Dataflow.Det())
+	}
+}
+
+func TestExample5CommunicationFree(t *testing.T) {
+	res := mustOptimize(t, affine.Example5(), 2, Options{})
+	checkConsistency(t, res)
+	c := res.Counts()
+	if c[Local] != 2 || c[MacroComm]+c[Decomposed]+c[General] != 0 {
+		t.Fatalf("counts = %v, want all 2 comms local", c)
+	}
+}
+
+func TestMatMulGetsMacros(t *testing.T) {
+	// the two non-local accesses of matmul should be classified as
+	// macro-communications (broadcast/reduction), never general.
+	res := mustOptimize(t, affine.MatMul(), 2, Options{})
+	checkConsistency(t, res)
+	c := res.Counts()
+	if c[General] != 0 {
+		t.Fatalf("matmul has %d general comms:\n%s", c[General], res.Report())
+	}
+	if c[Local] != 1 {
+		t.Fatalf("local = %d, want 1", c[Local])
+	}
+}
+
+func TestSkewedCopyDecomposes(t *testing.T) {
+	// SkewedCopy's only non-local communication has the Table-2
+	// data-flow matrix [[1,2],[3,7]] = L(3)·U(2).
+	res := mustOptimize(t, affine.SkewedCopy(), 2, Options{})
+	checkConsistency(t, res)
+	var found *Plan
+	for i := range res.Plans {
+		if res.Plans[i].Class == Decomposed {
+			found = &res.Plans[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no decomposition:\n%s", res.Report())
+	}
+	if len(found.Factors) > 2 {
+		t.Fatalf("factors = %v, want <= 2", found.Factors)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, opts := range []Options{
+		{NoMacro: true},
+		{NoDecomposition: true},
+		{NoMacro: true, NoDecomposition: true},
+		{MaxFactors: 2},
+		{SimilarityBound: 0},
+	} {
+		res := mustOptimize(t, affine.PaperExample1(), 2, opts)
+		checkConsistency(t, res)
+	}
+	// disabling both steps leaves residuals general
+	res := mustOptimize(t, affine.PaperExample1(), 2, Options{NoMacro: true, NoDecomposition: true})
+	if res.Counts()[General] == 0 {
+		t.Fatal("expected general residuals with both optimizations off")
+	}
+}
+
+func TestAllExamplesOptimize(t *testing.T) {
+	for _, p := range affine.AllExamples() {
+		res, err := Optimize(p, 2, Options{})
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		checkConsistency(t, res)
+	}
+}
+
+func TestReport(t *testing.T) {
+	res := mustOptimize(t, affine.PaperExample1(), 2, Options{})
+	rep := res.Report()
+	for _, want := range []string{"example1", "M_a", "M_S1", "summary:", "local"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Local.String() != "local" || MacroComm.String() != "macro" ||
+		Decomposed.String() != "decomposed" || General.String() != "general" {
+		t.Fatal("class strings wrong")
+	}
+}

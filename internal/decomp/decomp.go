@@ -1,0 +1,334 @@
+// Package decomp decomposes general affine communications into
+// elementary ones (paper Section 5). A data-flow matrix T (the map
+// from sending processor to receiving processor, up to a translation)
+// is rewritten as a short product of elementary matrices
+//
+//	L(l) = [[1,0],[l,1]]   (horizontal communication)
+//	U(k) = [[1,k],[0,1]]   (vertical communication)
+//
+// each of which moves data along a single axis of the virtual
+// processor grid and therefore runs with far fewer link conflicts on
+// a mesh machine than the original T.
+//
+// For 2×2 matrices of determinant 1 the package implements the
+// paper's exact divisibility characterizations of decomposability
+// into at most 2, 3 and 4 factors (Section 5.2.1), the similarity
+// variant M·T·M⁻¹ (Section 5.2.2), a Euclid-style fallback that
+// factors any SL2(Z) matrix, and the unirow/unicolumn factorization
+// for arbitrary determinants and sizes (Section 5.3).
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/intmat"
+)
+
+// L returns the elementary lower matrix [[1,0],[l,1]].
+func L(l int64) *intmat.Mat { return intmat.New(2, 2, 1, 0, l, 1) }
+
+// U returns the elementary upper matrix [[1,k],[0,1]].
+func U(k int64) *intmat.Mat { return intmat.New(2, 2, 1, k, 0, 1) }
+
+// IsElementary reports whether m is an n×n elementary matrix: the
+// identity except for a single non-zero off-diagonal entry (the
+// paper's L_i / U_i shape).
+func IsElementary(m *intmat.Mat) bool {
+	if !m.IsSquare() {
+		return false
+	}
+	off := 0
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			switch {
+			case i == j:
+				if m.At(i, j) != 1 {
+					return false
+				}
+			case m.At(i, j) != 0:
+				off++
+			}
+		}
+	}
+	return off == 1
+}
+
+// abs2x2 destructures a 2×2 matrix.
+func parts(t *intmat.Mat) (a, b, c, d int64) {
+	return t.At(0, 0), t.At(0, 1), t.At(1, 0), t.At(1, 1)
+}
+
+// divides reports x | y, with the convention 0 | y ⇔ y = 0.
+func divides(x, y int64) bool {
+	if x == 0 {
+		return y == 0
+	}
+	return y%x == 0
+}
+
+// verify multiplies the factors and panics unless they equal t; the
+// decomposition conditions are exact, so a mismatch is a bug.
+func verify(t *intmat.Mat, fs []*intmat.Mat) []*intmat.Mat {
+	if len(fs) == 0 {
+		if !t.IsIdentity() {
+			panic("decomp: empty factorization of non-identity")
+		}
+		return fs
+	}
+	if !intmat.MulAll(fs...).Equal(t) {
+		panic(fmt.Sprintf("decomp: factorization of %v does not multiply back: %v", t, fs))
+	}
+	return fs
+}
+
+// DecomposeAtMost returns a factorization of t (2×2, det 1) into at
+// most maxLen elementary matrices if one exists, trying shorter
+// lengths first. ok is false if no factorization of length ≤ maxLen
+// exists. maxLen is capped at 4 (the paper's practical bound: every
+// small-coefficient SL2(Z) matrix needs at most 4).
+func DecomposeAtMost(t *intmat.Mat, maxLen int) ([]*intmat.Mat, bool) {
+	if t.Rows() != 2 || t.Cols() != 2 || t.Det() != 1 {
+		panic("decomp: DecomposeAtMost needs a 2x2 determinant-1 matrix")
+	}
+	if maxLen > 4 {
+		maxLen = 4
+	}
+	for n := 0; n <= maxLen; n++ {
+		if fs, ok := decomposeExact(t, n); ok {
+			return verify(t, fs), true
+		}
+	}
+	return nil, false
+}
+
+// MinimalLength returns the minimal number of elementary factors for
+// t (2×2, det 1), or -1 when more than 4 are needed.
+func MinimalLength(t *intmat.Mat) int {
+	for n := 0; n <= 4; n++ {
+		if _, ok := decomposeExact(t, n); ok {
+			return n
+		}
+	}
+	return -1
+}
+
+// decomposeExact builds a factorization of exactly ≤ the given length
+// (length n means "n but not fewer" is NOT guaranteed here; callers
+// iterate n upward so the first hit is minimal).
+func decomposeExact(t *intmat.Mat, n int) ([]*intmat.Mat, bool) {
+	a, b, c, d := parts(t)
+	switch n {
+	case 0:
+		return nil, t.IsIdentity()
+	case 1:
+		if a == 1 && d == 1 && c == 0 {
+			return []*intmat.Mat{U(b)}, true
+		}
+		if a == 1 && d == 1 && b == 0 {
+			return []*intmat.Mat{L(c)}, true
+		}
+		return nil, false
+	case 2:
+		// LU ⇔ a = 1;  UL ⇔ d = 1  (Section 5.2.1)
+		if a == 1 {
+			return []*intmat.Mat{L(c), U(b)}, true
+		}
+		if d == 1 {
+			return []*intmat.Mat{U(b), L(c)}, true
+		}
+		return nil, false
+	case 3:
+		// U·L·U ⇔ c | a−1;  L·U·L ⇔ b | d−1
+		if c != 0 && divides(c, a-1) {
+			k1 := (a - 1) / c
+			k2 := (d - 1) / c // c | d−1 follows from det = 1
+			return []*intmat.Mat{U(k1), L(c), U(k2)}, true
+		}
+		if b != 0 && divides(b, d-1) {
+			l1 := (d - 1) / b
+			l2 := (a - 1) / b
+			return []*intmat.Mat{L(l1), U(b), L(l2)}, true
+		}
+		return nil, false
+	case 4:
+		if fs, ok := decompose4UStart(a, b, c, d); ok {
+			return fs, true
+		}
+		// L-start via transposition: Tᵗ = U-start with factors
+		// transposed in reverse order.
+		if fs, ok := decompose4UStart(a, c, b, d); ok {
+			rev := make([]*intmat.Mat, len(fs))
+			for i, f := range fs {
+				rev[len(fs)-1-i] = f.Transpose()
+			}
+			return rev, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// decompose4UStart solves T = U(k1)·L(l1)·U(k2)·L(l2) for
+// T = [[a,b],[c,d]], det 1. Expanding the product gives
+//
+//	d = l1·k2 + 1,  b = k2 + k1·d,  c = l1 + l2·d,
+//
+// so k2 ranges over the divisors of d−1 and k1, l2 follow by
+// divisibility by d (the paper's ∃β: (b+βd) | (d−1) condition read
+// constructively).
+func decompose4UStart(a, b, c, d int64) ([]*intmat.Mat, bool) {
+	try := func(k1, l1, k2, l2 int64) ([]*intmat.Mat, bool) {
+		fs := []*intmat.Mat{U(k1), L(l1), U(k2), L(l2)}
+		if intmat.MulAll(fs...).Equal(intmat.New(2, 2, a, b, c, d)) {
+			return fs, true
+		}
+		return nil, false
+	}
+	switch d {
+	case 1:
+		// handled at shorter lengths, but keep completeness: pad UL
+		return try(b, c, 0, 0)
+	case 0:
+		// det ⇒ b·c = −1: k2 = b, l1 = c, then a−1 = b·l2 + k1(c+l2).
+		if b*c != -1 {
+			return nil, false
+		}
+		// choose k1 = 0, l2 = (a−1)/b (b = ±1 divides everything)
+		return try(0, c, b, (a-1)/b)
+	}
+	for _, k2 := range divisorsOf(d - 1) {
+		l1 := (d - 1) / k2
+		if !divides(d, b-k2) || !divides(d, c-l1) {
+			continue
+		}
+		k1 := (b - k2) / d
+		l2 := (c - l1) / d
+		if fs, ok := try(k1, l1, k2, l2); ok {
+			return fs, true
+		}
+	}
+	// d−1 == 0 is d == 1, already handled; d−1 may also be 0 divisors
+	// only; as a final attempt let k2 = b mod small shifts (β search).
+	return nil, false
+}
+
+// divisorsOf returns all integer divisors (positive and negative) of
+// n ≠ 0; for n == 0 it returns a small symmetric probe set, since
+// every integer divides 0.
+func divisorsOf(n int64) []int64 {
+	if n == 0 {
+		out := []int64{}
+		for k := int64(1); k <= 8; k++ {
+			out = append(out, k, -k)
+		}
+		return out
+	}
+	if n < 0 {
+		n = -n
+	}
+	var out []int64
+	for k := int64(1); k*k <= n; k++ {
+		if n%k == 0 {
+			out = append(out, k, -k)
+			if q := n / k; q != k {
+				out = append(out, q, -q)
+			}
+		}
+	}
+	return out
+}
+
+// DecomposeEuclid factors any 2×2 determinant-1 matrix into
+// elementary matrices using the Euclidean algorithm on the first
+// column; the result can be longer than 4 factors but always exists.
+// Adjacent factors of the same kind are merged.
+func DecomposeEuclid(t *intmat.Mat) []*intmat.Mat {
+	if t.Rows() != 2 || t.Cols() != 2 || t.Det() != 1 {
+		panic("decomp: DecomposeEuclid needs a 2x2 determinant-1 matrix")
+	}
+	w := t.Clone()
+	var left []*intmat.Mat // inverses of the applied row operations
+	// Euclid on the first column (a, c): drive c to 0. Each pass
+	// strictly reduces max(|a|, |c|) (after at most one preparatory
+	// step when a = 0), so the loop terminates.
+	for w.At(1, 0) != 0 {
+		a, c := w.At(0, 0), w.At(1, 0)
+		switch {
+		case a == 0:
+			// row1 += row2 so the next pass can reduce c against a
+			w = intmat.Mul(U(1), w)
+			left = append(left, U(-1))
+		case c%a == 0:
+			q := c / a
+			w = intmat.Mul(L(-q), w) // row2 -= q·row1: c → 0
+			left = append(left, L(q))
+		case abs64(c) >= abs64(a):
+			q := c / a
+			w = intmat.Mul(L(-q), w) // c → c mod a, strictly smaller
+			left = append(left, L(q))
+		default:
+			q := a / c
+			w = intmat.Mul(U(-q), w) // a → a mod c, strictly smaller
+			left = append(left, U(q))
+		}
+	}
+	// now w = [[e, x],[0, f]] with e·f = 1
+	if w.At(0, 0) == -1 {
+		// [[-1,x],[0,-1]] = S·S·U(-x) with S = U(1)L(-1)U(1)
+		for _, f := range []*intmat.Mat{U(1), L(-1), U(1), U(1), L(-1), U(1)} {
+			left = append(left, f)
+		}
+		w = intmat.Mul(intmat.New(2, 2, -1, 0, 0, -1), w)
+	}
+	if x := w.At(0, 1); x != 0 {
+		left = append(left, U(x))
+	}
+	out := compress(left)
+	return verify(t, out)
+}
+
+// compress merges adjacent factors of the same elementary kind and
+// drops identities.
+func compress(fs []*intmat.Mat) []*intmat.Mat {
+	var out []*intmat.Mat
+	for _, f := range fs {
+		if f.IsIdentity() {
+			continue
+		}
+		if n := len(out); n > 0 {
+			p := out[n-1]
+			if p.At(1, 0) == 0 && f.At(1, 0) == 0 { // both U
+				out[n-1] = U(p.At(0, 1) + f.At(0, 1))
+				if out[n-1].IsIdentity() {
+					out = out[:n-1]
+				}
+				continue
+			}
+			if p.At(0, 1) == 0 && f.At(0, 1) == 0 { // both L
+				out[n-1] = L(p.At(1, 0) + f.At(1, 0))
+				if out[n-1].IsIdentity() {
+					out = out[:n-1]
+				}
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Decompose returns the shortest factorization the package can find:
+// the exact ≤4 search first, then the Euclid fallback.
+func Decompose(t *intmat.Mat) []*intmat.Mat {
+	if fs, ok := DecomposeAtMost(t, 4); ok {
+		return fs
+	}
+	return DecomposeEuclid(t)
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

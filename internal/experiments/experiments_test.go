@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(32, 512)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// ordering: reduction <= broadcast < translation << general
+	if !(rows[0].Time <= rows[1].Time && rows[1].Time < rows[2].Time && rows[2].Time < rows[3].Time) {
+		t.Fatalf("ordering violated: %+v", rows)
+	}
+	if rows[3].Ratio < 10 {
+		t.Fatalf("general ratio = %v, want >= 10", rows[3].Ratio)
+	}
+	if rows[0].Ratio != 1 {
+		t.Fatal("reduction must normalize to 1")
+	}
+	if !strings.Contains(FormatTable1(rows), "Reduction") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2(8, 8, 64, 64)
+	if r.LU >= r.Direct {
+		t.Fatalf("decomposition does not win: LU=%v direct=%v", r.LU, r.Direct)
+	}
+	if r.Direct/r.LU < 5 {
+		t.Fatalf("win factor %v too small", r.Direct/r.LU)
+	}
+	if r.L <= 0 || r.U <= 0 {
+		t.Fatal("phases cost nothing")
+	}
+	out := FormatTable2(r)
+	if !strings.Contains(out, "not decomposed") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	pts := Figure8(8, 8, 64, []int{2, 4, 8})
+	if len(pts) != 24 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.AllLocal {
+			// grouped fully local: the other schemes must pay
+			if pt.Block == 0 || pt.BlockCyc == 0 {
+				t.Fatalf("k=%d size=%d: all-local point inconsistent: %+v", pt.K, pt.Bytes, pt)
+			}
+			continue
+		}
+		if pt.RatioB < 1 || pt.RatioCB < 1 {
+			t.Fatalf("k=%d size=%d: grouped loses to a standard scheme: %+v", pt.K, pt.Bytes, pt)
+		}
+		if pt.RatioC < 0.99 {
+			t.Fatalf("k=%d size=%d: grouped loses to CYCLIC: %+v", pt.K, pt.Bytes, pt)
+		}
+	}
+	if !strings.Contains(FormatFigure8(pts), "panel k=2") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestMotivatingExampleExperiment(t *testing.T) {
+	res, err := MotivatingExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counts()
+	if c[core.Local] != 6 || c[core.General] != 0 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestExample5Experiment(t *testing.T) {
+	r, err := Example5(32, 100, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OursResiduals != 0 || r.OursTime != 0 {
+		t.Fatalf("ours should be communication-free: %+v", r)
+	}
+	if r.PlatonoffResiduals != 1 || r.PlatonoffTime <= 0 {
+		t.Fatalf("platonoff should pay broadcasts: %+v", r)
+	}
+	if !strings.Contains(FormatExample5(r, 100), "Platonoff") {
+		t.Fatal("format broken")
+	}
+}

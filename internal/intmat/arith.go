@@ -1,0 +1,232 @@
+package intmat
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// checked int64 arithmetic: the alignment matrices handled by this
+// library are tiny, so overflow indicates a logic error upstream and
+// is reported by panicking rather than silently wrapping.
+
+func addChk(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		panic(fmt.Sprintf("intmat: int64 overflow in %d + %d", a, b))
+	}
+	return s
+}
+
+func mulChk(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		panic(fmt.Sprintf("intmat: int64 overflow in %d * %d", a, b))
+	}
+	return p
+}
+
+// Add returns m + n.
+func Add(m, n *Mat) *Mat {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic("intmat: Add shape mismatch")
+	}
+	r := Zero(m.rows, m.cols)
+	for i := range m.a {
+		r.a[i] = addChk(m.a[i], n.a[i])
+	}
+	return r
+}
+
+// Sub returns m - n.
+func Sub(m, n *Mat) *Mat {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic("intmat: Sub shape mismatch")
+	}
+	r := Zero(m.rows, m.cols)
+	for i := range m.a {
+		r.a[i] = addChk(m.a[i], -n.a[i])
+	}
+	return r
+}
+
+// Neg returns -m.
+func Neg(m *Mat) *Mat {
+	r := Zero(m.rows, m.cols)
+	for i := range m.a {
+		r.a[i] = -m.a[i]
+	}
+	return r
+}
+
+// Scale returns k·m.
+func Scale(k int64, m *Mat) *Mat {
+	r := Zero(m.rows, m.cols)
+	for i := range m.a {
+		r.a[i] = mulChk(k, m.a[i])
+	}
+	return r
+}
+
+// Mul returns the matrix product m·n.
+func Mul(m, n *Mat) *Mat {
+	if m.cols != n.rows {
+		panic(fmt.Sprintf("intmat: Mul shape mismatch %dx%d · %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	r := Zero(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < n.cols; j++ {
+			var acc int64
+			for k := 0; k < m.cols; k++ {
+				acc = addChk(acc, mulChk(m.At(i, k), n.At(k, j)))
+			}
+			r.Set(i, j, acc)
+		}
+	}
+	return r
+}
+
+// MulAll returns the product of one or more matrices, left to right.
+func MulAll(ms ...*Mat) *Mat {
+	if len(ms) == 0 {
+		panic("intmat: MulAll of nothing")
+	}
+	r := ms[0]
+	for _, m := range ms[1:] {
+		r = Mul(r, m)
+	}
+	return r
+}
+
+// MulVec returns m·v for a column vector v given as a slice.
+func MulVec(m *Mat, v []int64) []int64 {
+	if m.cols != len(v) {
+		panic("intmat: MulVec shape mismatch")
+	}
+	out := make([]int64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var acc int64
+		for k := 0; k < m.cols; k++ {
+			acc = addChk(acc, mulChk(m.At(i, k), v[k]))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Rank returns the rank of m, computed exactly by fraction-free
+// Gaussian elimination (Bareiss) over math/big.
+func (m *Mat) Rank() int {
+	if m.rows == 0 || m.cols == 0 {
+		return 0
+	}
+	b := m.toBig()
+	rows, cols := m.rows, m.cols
+	rank := 0
+	prev := big.NewInt(1)
+	for col := 0; col < cols && rank < rows; col++ {
+		// find pivot
+		piv := -1
+		for r := rank; r < rows; r++ {
+			if b[r][col].Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			continue
+		}
+		b[rank], b[piv] = b[piv], b[rank]
+		p := b[rank][col]
+		for r := rank + 1; r < rows; r++ {
+			for c := col + 1; c < cols; c++ {
+				// b[r][c] = (p*b[r][c] - b[r][col]*b[rank][c]) / prev
+				t1 := new(big.Int).Mul(p, b[r][c])
+				t2 := new(big.Int).Mul(b[r][col], b[rank][c])
+				t1.Sub(t1, t2)
+				t1.Quo(t1, prev)
+				b[r][c] = t1
+			}
+			b[r][col] = big.NewInt(0)
+		}
+		prev = p
+		rank++
+	}
+	return rank
+}
+
+// FullRank reports whether rank(m) == min(rows, cols).
+func (m *Mat) FullRank() bool {
+	want := m.rows
+	if m.cols < want {
+		want = m.cols
+	}
+	return m.Rank() == want
+}
+
+// DetBig returns the determinant of a square matrix as a big.Int.
+func (m *Mat) DetBig() *big.Int {
+	if !m.IsSquare() {
+		panic("intmat: DetBig of non-square matrix")
+	}
+	n := m.rows
+	if n == 0 {
+		return big.NewInt(1)
+	}
+	b := m.toBig()
+	sign := 1
+	prev := big.NewInt(1)
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if b[r][col].Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return big.NewInt(0)
+		}
+		if piv != col {
+			b[col], b[piv] = b[piv], b[col]
+			sign = -sign
+		}
+		p := b[col][col]
+		for r := col + 1; r < n; r++ {
+			for c := col + 1; c < n; c++ {
+				t1 := new(big.Int).Mul(p, b[r][c])
+				t2 := new(big.Int).Mul(b[r][col], b[col][c])
+				t1.Sub(t1, t2)
+				t1.Quo(t1, prev)
+				b[r][c] = t1
+			}
+			b[r][col] = big.NewInt(0)
+		}
+		prev = p
+	}
+	d := new(big.Int).Set(b[n-1][n-1])
+	if sign < 0 {
+		d.Neg(d)
+	}
+	return d
+}
+
+// Det returns the determinant as int64, panicking on overflow.
+func (m *Mat) Det() int64 {
+	d := m.DetBig()
+	if !d.IsInt64() {
+		panic("intmat: determinant overflows int64")
+	}
+	return d.Int64()
+}
+
+// IsUnimodular reports whether m is square with determinant ±1.
+func (m *Mat) IsUnimodular() bool {
+	if !m.IsSquare() || m.rows == 0 {
+		return m.IsSquare() // 0x0 is vacuously unimodular
+	}
+	d := m.DetBig()
+	return d.CmpAbs(big.NewInt(1)) == 0
+}

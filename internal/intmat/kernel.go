@@ -1,0 +1,131 @@
+package intmat
+
+import "math/big"
+
+// KernelBasis returns a matrix whose columns form a basis of the
+// integer kernel lattice {v ∈ Zⁿ : m·v = 0}. The result has n rows
+// and (n − rank m) columns; it has zero columns count when the kernel
+// is trivial (then Cols() == 0).
+//
+// The basis is obtained from the column Hermite reduction m·V = [B 0]:
+// the trailing columns of the unimodular V span the kernel.
+func KernelBasis(m *Mat) *Mat {
+	rows, cols := m.rows, m.cols
+	W := m.toBig()
+	V := bigIdentity(cols)
+
+	swapCol := func(i, j int) {
+		if i == j {
+			return
+		}
+		for r := 0; r < rows; r++ {
+			W[r][i], W[r][j] = W[r][j], W[r][i]
+		}
+		for r := 0; r < cols; r++ {
+			V[r][i], V[r][j] = V[r][j], V[r][i]
+		}
+	}
+	// col j += k * col i
+	addCol := func(j, i int, k *big.Int) {
+		if k.Sign() == 0 {
+			return
+		}
+		t := new(big.Int)
+		for r := 0; r < rows; r++ {
+			W[r][j] = new(big.Int).Add(W[r][j], t.Mul(k, W[r][i]))
+			t = new(big.Int)
+		}
+		for r := 0; r < cols; r++ {
+			V[r][j] = new(big.Int).Add(V[r][j], t.Mul(k, V[r][i]))
+			t = new(big.Int)
+		}
+	}
+
+	lead := 0
+	for row := 0; row < rows && lead < cols; row++ {
+		for {
+			best := -1
+			for c := lead; c < cols; c++ {
+				if W[row][c].Sign() == 0 {
+					continue
+				}
+				if best < 0 || W[row][c].CmpAbs(W[row][best]) < 0 {
+					best = c
+				}
+			}
+			if best < 0 {
+				break
+			}
+			swapCol(lead, best)
+			done := true
+			q := new(big.Int)
+			rm := new(big.Int)
+			for c := lead + 1; c < cols; c++ {
+				if W[row][c].Sign() == 0 {
+					continue
+				}
+				q.QuoRem(W[row][c], W[row][lead], rm)
+				addCol(c, lead, new(big.Int).Neg(q))
+				if W[row][c].Sign() != 0 {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+		}
+		if lead < cols && W[row][lead].Sign() != 0 {
+			lead++
+		}
+	}
+	// columns lead..cols-1 of V span the kernel
+	ker := Zero(cols, cols-lead)
+	for j := lead; j < cols; j++ {
+		for i := 0; i < cols; i++ {
+			v := V[i][j]
+			if !v.IsInt64() {
+				panic("intmat: kernel basis entry overflows int64")
+			}
+			ker.Set(i, j-lead, v.Int64())
+		}
+	}
+	return ker
+}
+
+// LeftKernelBasis returns a matrix whose rows form a basis of
+// {y : y·m = 0}.
+func LeftKernelBasis(m *Mat) *Mat {
+	return KernelBasis(m.Transpose()).Transpose()
+}
+
+// KernelIntersection returns a basis (as columns) of the intersection
+// of the kernels of the given matrices, i.e. the kernel of their
+// vertical stack. All matrices must have the same column count.
+// Matrices with zero rows are treated as "no constraint".
+func KernelIntersection(ms ...*Mat) *Mat {
+	var stacked *Mat
+	for _, m := range ms {
+		if m == nil || m.rows == 0 {
+			continue
+		}
+		if stacked == nil {
+			stacked = m
+		} else {
+			stacked = Stack(stacked, m)
+		}
+	}
+	if stacked == nil {
+		panic("intmat: KernelIntersection needs at least one non-empty matrix")
+	}
+	return KernelBasis(stacked)
+}
+
+// InKernel reports whether m·v = 0.
+func InKernel(m *Mat, v []int64) bool {
+	for _, x := range MulVec(m, v) {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

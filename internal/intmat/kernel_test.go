@@ -1,0 +1,87 @@
+package intmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKernelBasisSimple(t *testing.T) {
+	// F7 from the paper's Example 1: a(F7·I + c7) read in S2, where
+	// ker F7 is spanned by (0, 1, -1).
+	f7 := New(3, 3, 1, 0, 0, 0, 1, 1, 1, 1, 1)
+	k := KernelBasis(f7)
+	if k.Cols() != 1 {
+		t.Fatalf("kernel dim = %d, want 1: %v", k.Cols(), k)
+	}
+	v := k.Col(0)
+	if v[0] != 0 || v[1]+v[2] != 0 || v[1] == 0 {
+		t.Fatalf("kernel vector = %v, want multiple of (0,1,-1)", v)
+	}
+	if !InKernel(f7, v) {
+		t.Fatalf("basis vector not in kernel")
+	}
+}
+
+func TestKernelBasisFullRankSquare(t *testing.T) {
+	k := KernelBasis(Identity(3))
+	if k.Cols() != 0 {
+		t.Fatalf("identity kernel dim = %d", k.Cols())
+	}
+}
+
+func TestKernelBasisZeroMatrix(t *testing.T) {
+	k := KernelBasis(Zero(2, 3))
+	if k.Cols() != 3 || k.Rank() != 3 {
+		t.Fatalf("zero matrix kernel should be whole space, got %v", k)
+	}
+}
+
+func TestKernelDimensionTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 80; trial++ {
+		rows := 1 + rng.Intn(4)
+		cols := 1 + rng.Intn(4)
+		m := RandMat(rng, rows, cols, 5)
+		k := KernelBasis(m)
+		if k.Cols() != cols-m.Rank() {
+			t.Fatalf("rank-nullity violated for %v: ker dim %d, rank %d", m, k.Cols(), m.Rank())
+		}
+		if k.Cols() > 0 {
+			if !Mul(m, k).IsZero() {
+				t.Fatalf("m·K != 0 for %v, K=%v", m, k)
+			}
+			if k.Rank() != k.Cols() {
+				t.Fatalf("kernel basis not independent: %v", k)
+			}
+		}
+	}
+}
+
+func TestLeftKernelBasis(t *testing.T) {
+	m := New(3, 2, 1, 0, 0, 1, 1, 1)
+	lk := LeftKernelBasis(m)
+	if lk.Rows() != 1 {
+		t.Fatalf("left kernel dim = %d, want 1", lk.Rows())
+	}
+	if !Mul(lk, m).IsZero() {
+		t.Fatalf("y·m != 0: %v", Mul(lk, m))
+	}
+}
+
+func TestKernelIntersection(t *testing.T) {
+	a := New(1, 3, 1, 0, 0)  // ker = span{e2, e3}
+	b := New(1, 3, 0, 1, -1) // ker = span{e1, (0,1,1)}
+	k := KernelIntersection(a, b)
+	if k.Cols() != 1 {
+		t.Fatalf("intersection dim = %d, want 1", k.Cols())
+	}
+	v := k.Col(0)
+	if v[0] != 0 || v[1] != v[2] || v[1] == 0 {
+		t.Fatalf("intersection vector = %v, want multiple of (0,1,1)", v)
+	}
+	// nil / zero-row matrices are no-constraint placeholders
+	k2 := KernelIntersection(nil, Zero(0, 3), a)
+	if k2.Cols() != 2 {
+		t.Fatalf("no-constraint handling broken: dim %d", k2.Cols())
+	}
+}

@@ -1,0 +1,245 @@
+package intmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3, 1, 2, 3, 4, 5, 6)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	if m.At(0, 0) != 1 || m.At(1, 2) != 6 {
+		t.Fatalf("bad entries: %v", m)
+	}
+	m.Set(1, 0, -7)
+	if m.At(1, 0) != -7 {
+		t.Fatalf("Set failed: %v", m)
+	}
+}
+
+func TestNewPanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2, 1, 2, 3)
+}
+
+func TestIdentityAndZero(t *testing.T) {
+	id := Identity(3)
+	if !id.IsIdentity() {
+		t.Fatalf("Identity(3) = %v", id)
+	}
+	z := Zero(2, 4)
+	if !z.IsZero() {
+		t.Fatalf("Zero(2,4) = %v", z)
+	}
+	if id.IsZero() || z.IsIdentity() {
+		t.Fatal("misclassified")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	m := New(2, 2, 1, 2, 3, 4)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(0, 0, 9)
+	if m.Equal(c) || m.At(0, 0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if m.Equal(New(2, 3, 1, 2, 0, 3, 4, 0)) {
+		t.Fatal("shape mismatch reported equal")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := New(2, 3, 1, 2, 3, 4, 5, 6)
+	mt := m.Transpose()
+	want := New(3, 2, 1, 4, 2, 5, 3, 6)
+	if !mt.Equal(want) {
+		t.Fatalf("transpose = %v, want %v", mt, want)
+	}
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Fatal("double transpose differs")
+	}
+}
+
+func TestAddSubNegScale(t *testing.T) {
+	a := New(2, 2, 1, 2, 3, 4)
+	b := New(2, 2, 5, 6, 7, 8)
+	if !Add(a, b).Equal(New(2, 2, 6, 8, 10, 12)) {
+		t.Fatal("Add wrong")
+	}
+	if !Sub(b, a).Equal(New(2, 2, 4, 4, 4, 4)) {
+		t.Fatal("Sub wrong")
+	}
+	if !Neg(a).Equal(New(2, 2, -1, -2, -3, -4)) {
+		t.Fatal("Neg wrong")
+	}
+	if !Scale(3, a).Equal(New(2, 2, 3, 6, 9, 12)) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := New(2, 3, 1, 2, 3, 4, 5, 6)
+	b := New(3, 2, 7, 8, 9, 10, 11, 12)
+	got := Mul(a, b)
+	want := New(2, 2, 58, 64, 139, 154)
+	if !got.Equal(want) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+	if !Mul(Identity(2), got).Equal(got) {
+		t.Fatal("left identity fails")
+	}
+	if !Mul(got, Identity(2)).Equal(got) {
+		t.Fatal("right identity fails")
+	}
+}
+
+func TestMulAllAndMulVec(t *testing.T) {
+	a := New(2, 2, 1, 1, 0, 1)
+	b := New(2, 2, 1, 0, 1, 1)
+	p := MulAll(a, b, a)
+	want := Mul(Mul(a, b), a)
+	if !p.Equal(want) {
+		t.Fatalf("MulAll = %v, want %v", p, want)
+	}
+	v := MulVec(a, []int64{2, 3})
+	if v[0] != 5 || v[1] != 3 {
+		t.Fatalf("MulVec = %v", v)
+	}
+}
+
+func TestStackAugmentSub(t *testing.T) {
+	a := New(1, 2, 1, 2)
+	b := New(2, 2, 3, 4, 5, 6)
+	s := Stack(a, b)
+	if !s.Equal(New(3, 2, 1, 2, 3, 4, 5, 6)) {
+		t.Fatalf("Stack = %v", s)
+	}
+	g := Augment(b, Identity(2))
+	if !g.Equal(New(2, 4, 3, 4, 1, 0, 5, 6, 0, 1)) {
+		t.Fatalf("Augment = %v", g)
+	}
+	if !s.SubRows(0, 2).Equal(New(2, 2, 1, 2, 5, 6)) {
+		t.Fatalf("SubRows = %v", s.SubRows(0, 2))
+	}
+	if !g.SubCols(2, 3).Equal(Identity(2)) {
+		t.Fatalf("SubCols = %v", g.SubCols(2, 3))
+	}
+}
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		m    *Mat
+		want int
+	}{
+		{Identity(3), 3},
+		{Zero(2, 5), 0},
+		{New(2, 2, 1, 2, 2, 4), 1},
+		{New(3, 2, 1, 0, 0, 1, 1, 1), 2},
+		{New(2, 3, 1, 0, 1, 0, 1, 1), 2},
+		// paper: F7 = [[0,1,-1],[1,0,0]] mapping (i,j,k); here its 3x2-ish analogues
+		{New(2, 3, 0, 1, 1, 1, 0, 0), 2},
+		{New(3, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9), 2},
+	}
+	for i, c := range cases {
+		if got := c.m.Rank(); got != c.want {
+			t.Errorf("case %d: rank(%v) = %d, want %d", i, c.m, got, c.want)
+		}
+	}
+}
+
+func TestDet(t *testing.T) {
+	cases := []struct {
+		m    *Mat
+		want int64
+	}{
+		{Identity(4), 1},
+		{New(2, 2, 1, 2, 3, 7), 1},
+		{New(2, 2, 2, 0, 0, 3), 6},
+		{New(2, 2, 1, 2, 2, 4), 0},
+		{New(3, 3, 0, 1, 0, 1, 0, 0, 0, 0, 1), -1},
+		{New(3, 3, 2, -1, 0, -1, 2, -1, 0, -1, 2), 4},
+	}
+	for i, c := range cases {
+		if got := c.m.Det(); got != c.want {
+			t.Errorf("case %d: det(%v) = %d, want %d", i, c.m, got, c.want)
+		}
+	}
+}
+
+func TestIsUnimodular(t *testing.T) {
+	if !New(2, 2, 1, 2, 3, 7).IsUnimodular() {
+		t.Fatal("det 1 matrix not unimodular")
+	}
+	if !New(2, 2, 0, 1, 1, 0).IsUnimodular() {
+		t.Fatal("det -1 matrix not unimodular")
+	}
+	if New(2, 2, 2, 0, 0, 1).IsUnimodular() {
+		t.Fatal("det 2 matrix claimed unimodular")
+	}
+	if New(2, 3, 1, 0, 0, 0, 1, 0).IsUnimodular() {
+		t.Fatal("rectangular matrix claimed unimodular")
+	}
+}
+
+func TestRankInvariantUnderUnimodular(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(4)
+		cols := 1 + rng.Intn(4)
+		m := RandMat(rng, rows, cols, 5)
+		u := RandUnimodular(rng, rows, 6)
+		v := RandUnimodular(rng, cols, 6)
+		r := m.Rank()
+		if got := Mul(u, m).Rank(); got != r {
+			t.Fatalf("rank changed by left unimodular: %d vs %d", got, r)
+		}
+		if got := Mul(m, v).Rank(); got != r {
+			t.Fatalf("rank changed by right unimodular: %d vs %d", got, r)
+		}
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	big := int64(1) << 62
+	a := New(1, 1, big)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	_ = Mul(a, a)
+}
+
+func TestString(t *testing.T) {
+	m := New(2, 2, 1, -2, 0, 3)
+	if got := m.String(); got != "[1 -2; 0 3]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRowColVec(t *testing.T) {
+	r := RowVec(1, 2, 3)
+	if r.Rows() != 1 || r.Cols() != 3 || r.At(0, 2) != 3 {
+		t.Fatalf("RowVec = %v", r)
+	}
+	c := ColVec(4, 5)
+	if c.Rows() != 2 || c.Cols() != 1 || c.At(1, 0) != 5 {
+		t.Fatalf("ColVec = %v", c)
+	}
+	m := New(2, 2, 1, 2, 3, 4)
+	if got := m.Row(1); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Row = %v", got)
+	}
+	if got := m.Col(0); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Col = %v", got)
+	}
+}

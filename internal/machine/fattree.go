@@ -1,0 +1,98 @@
+package machine
+
+import "math"
+
+// FatTree models a CM-5-like machine: P processing nodes attached to
+// a fat-tree data network plus a combining control network. The
+// control network executes reductions and broadcasts in hardware in
+// logarithmic time; point-to-point traffic pays a software send
+// overhead, and irregular ("general") patterns additionally suffer
+// data-network congestion that grows with the spread of the pattern.
+//
+// The constants are calibrated so that the four data movements of the
+// paper's Table 1 reproduce the measured ordering on a 32-processor
+// CM-5: reduction ≤ broadcast < translation ≪ general communication,
+// with the general case roughly two orders of magnitude above the
+// hardware-assisted operations.
+type FatTree struct {
+	P int
+
+	// CtlLatency is the per-level latency of the control network (µs).
+	CtlLatency float64
+	// BcastFactor scales broadcast vs reduction on the control network
+	// (a broadcast moves payload down every level; a reduction
+	// combines single words upward).
+	BcastFactor float64
+	// SWStartup is the software per-message overhead of the data
+	// network (µs) — the dominant cost of general communications.
+	SWStartup float64
+	// PerByte is the per-byte injection cost (µs).
+	PerByte float64
+	// CongestionRoot scales the root-contention penalty of irregular
+	// patterns: a pattern whose messages cross the tree root from s
+	// distinct sources serializes there.
+	CongestionRoot float64
+}
+
+// DefaultFatTree returns the Table-1 calibration for p processors.
+func DefaultFatTree(p int) *FatTree {
+	return &FatTree{
+		P:              p,
+		CtlLatency:     4,
+		BcastFactor:    1.5,
+		SWStartup:      90,
+		PerByte:        0.05,
+		CongestionRoot: 0.9,
+	}
+}
+
+func (f *FatTree) levels() float64 {
+	if f.P <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(f.P)))
+}
+
+// Reduction returns the time to combine one value per processor into
+// a single result on the control network.
+func (f *FatTree) Reduction(elemBytes int64) float64 {
+	return f.CtlLatency*f.levels() + float64(elemBytes)*f.PerByte
+}
+
+// Broadcast returns the time to send bytes from one processor to all
+// others using the control/data network broadcast facility.
+func (f *FatTree) Broadcast(bytes int64) float64 {
+	return f.BcastFactor*f.CtlLatency*f.levels() + float64(bytes)*f.PerByte
+}
+
+// Translation returns the time of a uniform shift: every processor
+// sends bytes to a fixed-offset partner. On a fat tree a permutation
+// with a single destination per sender pays one software message and
+// no endpoint contention.
+func (f *FatTree) Translation(bytes int64) float64 {
+	return f.SWStartup + float64(bytes)*f.PerByte + f.CtlLatency
+}
+
+// General returns the time of a general affine communication in
+// which every processor sends `perSender` messages of `bytes` bytes
+// to scattered destinations. Each message pays the software overhead,
+// and the irregular pattern additionally serializes at the upper tree
+// levels in proportion to the processor count.
+func (f *FatTree) General(perSender int, bytes int64) float64 {
+	if perSender < 1 {
+		perSender = 1
+	}
+	sw := float64(perSender) * (f.SWStartup + float64(bytes)*f.PerByte)
+	congestion := f.CongestionRoot * float64(f.P) * float64(bytes) * f.PerByte
+	return sw + congestion + f.CtlLatency*f.levels()
+}
+
+// Table1 returns the four Table-1 data-movement times with `bytes`
+// of payload per processor: reduction, broadcast, translation,
+// general (in that order).
+func (f *FatTree) Table1(bytes int64) (reduction, broadcast, translation, general float64) {
+	return f.Reduction(bytes),
+		f.Broadcast(bytes),
+		f.Translation(bytes),
+		f.General(1, bytes)
+}

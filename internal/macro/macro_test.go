@@ -1,0 +1,306 @@
+package macro
+
+import (
+	"testing"
+
+	"repro/internal/accessgraph"
+	"repro/internal/affine"
+	"repro/internal/alignment"
+	"repro/internal/intmat"
+)
+
+func mustAlign(t *testing.T, p *affine.Program, m int) *alignment.Result {
+	t.Helper()
+	res, err := alignment.Align(p, m, alignment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func findResidual(t *testing.T, res *alignment.Result, stmt string, accessIdx int) accessgraph.Comm {
+	t.Helper()
+	for _, c := range res.ResidualComms() {
+		if c.Stmt.Name == stmt && c.AccessIdx == accessIdx {
+			return c
+		}
+	}
+	t.Fatalf("no residual access %d in %s", accessIdx, stmt)
+	return accessgraph.Comm{}
+}
+
+func TestBroadcastDetectionExample1(t *testing.T) {
+	// Section 3.1: the residual read of a through F7 in S2 is a
+	// partial broadcast along ker F7, NOT axis-parallel under the
+	// canonical mapping; after the unimodular rotation it is.
+	res := mustAlign(t, affine.PaperExample1(), 2)
+	c := findResidual(t, res, "S2", 2) // F7 read
+	ms := Detect(res, c)
+	var bc *Macro
+	for _, m := range ms {
+		if m.Kind == Broadcast {
+			bc = m
+		}
+	}
+	if bc == nil {
+		t.Fatalf("no broadcast detected for F7; got %v", ms)
+	}
+	if !bc.Partial() || bc.P != 1 {
+		t.Fatalf("broadcast p = %d, want partial with p=1", bc.P)
+	}
+	if bc.AxisParallel() {
+		t.Fatalf("broadcast along %v should not be axis-parallel before rotation", bc.Directions)
+	}
+	v, err := AlignBroadcast(res, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IsIdentity() {
+		t.Fatal("rotation should be non-trivial")
+	}
+	if !bc.AxisParallel() {
+		t.Fatalf("broadcast still not axis-parallel: %v", bc.Directions)
+	}
+	// rotation must not create or destroy locality
+	for _, cc := range res.Graph.Comms {
+		msA := res.Alloc[cc.Stmt.Name]
+		mxA := res.Alloc[cc.Access.Array]
+		if res.LocalComms[cc.ID] != intmat.Mul(mxA, cc.Access.F).Equal(msA) {
+			t.Fatal("rotation changed locality")
+		}
+	}
+}
+
+func TestExample2TotalVsPartialBroadcast(t *testing.T) {
+	// Example 2: a(i,j) read by every k. After alignment the residual
+	// may be hidden or partial depending on the mapping; force the
+	// situation of Figure 5 by using explicit allocations.
+	p := affine.Example2Broadcast()
+	res := mustAlign(t, p, 2)
+	// craft allocations: M_S projects (i,j,k) -> (i,k): broadcast dim
+	// k is visible.
+	res.Alloc["S"] = intmat.New(2, 3, 1, 0, 0, 0, 0, 1)
+	res.Alloc["a"] = intmat.Identity(2)
+	c := accessgraph.Comm{}
+	for _, cc := range res.Graph.Comms {
+		if !cc.Access.Write {
+			c = cc
+		}
+	}
+	ms := Detect(res, c)
+	var bc *Macro
+	for _, m := range ms {
+		if m.Kind == Broadcast {
+			bc = m
+		}
+	}
+	if bc == nil {
+		t.Fatal("no broadcast")
+	}
+	if !bc.Partial() || bc.P != 1 {
+		t.Fatalf("p = %d, want 1", bc.P)
+	}
+	if !bc.AxisParallel() {
+		t.Fatalf("directions %v should be axis-parallel (M_S e3 = e2)", bc.Directions)
+	}
+
+	// Hidden case: M_S kills the broadcast direction e3.
+	res.Alloc["S"] = intmat.New(2, 3, 1, 0, 0, 0, 1, 0)
+	ms = Detect(res, c)
+	for _, m := range ms {
+		if m.Kind == Broadcast {
+			t.Fatalf("broadcast should be hidden, got %v", m)
+		}
+	}
+}
+
+func TestGaussBroadcasts(t *testing.T) {
+	// pivot row and pivot column reads of Gaussian elimination are
+	// the textbook broadcasts; with the owner-computes mapping
+	// M_S = [[0,1,0],[0,0,1]] both are partial and axis-parallel.
+	res := mustAlign(t, affine.Gauss(), 2)
+	res.Alloc["S"] = intmat.New(2, 3, 0, 1, 0, 0, 0, 1)
+	res.Alloc["a"] = intmat.Identity(2)
+	found := 0
+	for _, c := range res.Graph.Comms {
+		if c.Access.Write {
+			continue
+		}
+		for _, m := range Detect(res, c) {
+			if m.Kind == Broadcast && m.Partial() {
+				if !m.AxisParallel() {
+					t.Fatalf("gauss broadcast not axis parallel: %v", m.Directions)
+				}
+				found++
+			}
+		}
+	}
+	if found < 2 {
+		t.Fatalf("found %d partial broadcasts, want >= 2 (pivot row + column)", found)
+	}
+}
+
+func TestMatMulReduction(t *testing.T) {
+	// matmul with M_S spreading k across processors: the c(i,j)
+	// accumulation is a cross-processor reduction.
+	res := mustAlign(t, affine.MatMul(), 2)
+	res.Alloc["S"] = intmat.New(2, 3, 1, 0, 0, 0, 0, 1) // (i,k) mapping
+	res.Alloc["c"] = intmat.Identity(2)
+	var red *Macro
+	for _, c := range res.Graph.Comms {
+		if !c.Access.Reduction {
+			continue
+		}
+		for _, m := range Detect(res, c) {
+			if m.Kind == Reduction {
+				red = m
+			}
+		}
+	}
+	if red == nil {
+		t.Fatal("no reduction detected")
+	}
+	if red.Hidden() {
+		t.Fatal("reduction should be visible with k mapped")
+	}
+	// owner-computes mapping hides the reduction (accumulation local)
+	res.Alloc["S"] = intmat.New(2, 3, 1, 0, 0, 0, 1, 0)
+	for _, c := range res.Graph.Comms {
+		if !c.Access.Reduction {
+			continue
+		}
+		for _, m := range Detect(res, c) {
+			if m.Kind == Reduction && !m.Hidden() {
+				t.Fatalf("reduction should be hidden: %v", m)
+			}
+		}
+	}
+}
+
+func TestGatherExample3(t *testing.T) {
+	// Example 3: write a(i,j) from depth-3 statement: several sources
+	// write toward the same owner when M_a·F_a has a kernel crossing
+	// M_S non-trivially.
+	p := affine.Example3Gather()
+	res := mustAlign(t, p, 2)
+	// owner of a(i,j,k) is processor (i,j); computation of iteration
+	// (i,j,k) runs on processor (i,k): for fixed (i,j), the owners of
+	// a(i,j,·) receive distinct elements from processors (i,·).
+	res.Alloc["S"] = intmat.New(2, 3, 1, 0, 0, 0, 0, 1)
+	res.Alloc["a"] = intmat.New(2, 3, 1, 0, 0, 0, 1, 0)
+	res.Alloc["r"] = intmat.New(2, 3, 1, 0, 0, 0, 0, 1)
+	found := false
+	for _, c := range res.Graph.Comms {
+		if !c.Access.Write {
+			continue
+		}
+		for _, m := range Detect(res, c) {
+			if m.Kind == Gather && m.P >= 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no gather detected")
+	}
+}
+
+func TestScatterDetection(t *testing.T) {
+	// scatter: one source processor owns data read by many.
+	// r(i,j,k) = a(i,j) with M_a rank 1 in the j direction… craft:
+	// M_a = [[1,0],[0,0]] is rank deficient; instead use
+	// M_a·F_a with kernel: M_a = Id, F_a = [[1,0,0],[0,0,0]]-like is
+	// rank deficient too. Simplest: a 1-D-ish access a(i) in a 2-D
+	// array via F = [[1,0,0],[1,0,0]]… use Example2 with allocations
+	// collapsing j: M_a = [[1,0],[1,0]] is rank 1 — not allowed.
+	// Use F_a = [[1,0,0],[0,1,0]], M_a = [[0,1],[1,0]]: then
+	// ker(M_a F_a) = span{e3}: same source for all k; M_S e3 ≠ 0 and
+	// F_a e3 = 0 ⇒ no scatter (same datum: that is the broadcast).
+	// A true scatter needs different data from one processor:
+	// F_a = [[1,0,0],[0,1,0]] with M_a = [[1,0],[0,0]]… rank again.
+	// Take a 3-D array a, F_a = Id3, M_a = [[1,0,0],[0,1,0]]:
+	// ker(M_a·F_a) = span{e3}, F_a·e3 ≠ 0: processor (i,j) holds
+	// a(i,j,k) for all k and sends them to distinct processors.
+	p := &affine.Program{Name: "scatter"}
+	p.AddArray("a", 3)
+	p.AddArray("r", 3)
+	p.NewStatement("S", "i", "j", "k").
+		Write("r", intmat.Identity(3)).
+		Read("a", intmat.Identity(3))
+	res := mustAlign(t, p, 2)
+	res.Alloc["a"] = intmat.New(2, 3, 1, 0, 0, 0, 1, 0)
+	res.Alloc["S"] = intmat.New(2, 3, 1, 0, 0, 0, 0, 1)
+	res.Alloc["r"] = intmat.New(2, 3, 1, 0, 0, 0, 0, 1)
+	found := false
+	for _, c := range res.Graph.Comms {
+		if c.Access.Write || c.Access.Array != "a" {
+			continue
+		}
+		for _, m := range Detect(res, c) {
+			if m.Kind == Scatter && m.P >= 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no scatter detected")
+	}
+}
+
+func TestVectorizable(t *testing.T) {
+	// Example 5 with Platonoff-style mapping: data read does not
+	// depend on the sequential t dimension iff ker M_S ⊆ ker(M_b F_b).
+	p := affine.Example5()
+	res := mustAlign(t, p, 2)
+	// M_S maps (i,j): ker M_S = span{e_t, e_k}. With M_b keeping the
+	// t subscript (M_b = [[1,0,0],[0,1,0]]), M_b·F_b depends on t, so
+	// e_t ∉ ker(M_b·F_b) ⇒ NOT vectorizable.
+	res.Alloc["S"] = intmat.New(2, 4, 0, 1, 0, 0, 0, 0, 1, 0)
+	res.Alloc["a"] = intmat.New(2, 4, 0, 1, 0, 0, 0, 0, 1, 0)
+	res.Alloc["b"] = intmat.New(2, 3, 1, 0, 0, 0, 1, 0)
+	var read accessgraph.Comm
+	for _, c := range res.Graph.Comms {
+		if !c.Access.Write {
+			read = c
+		}
+	}
+	if Vectorizable(res, read) {
+		t.Fatal("t-dependent read claimed vectorizable")
+	}
+	// M_b that ignores t (M_b = [[0,1,0],[0,0,1]]): the owner of the
+	// datum read does not depend on the time step ⇒ vectorizable, the
+	// whole t-range of messages can be hoisted out of the loop.
+	res.Alloc["b"] = intmat.New(2, 3, 0, 1, 0, 0, 0, 1)
+	if !Vectorizable(res, read) {
+		t.Fatal("t-independent read not vectorizable")
+	}
+}
+
+func TestAxisParallelHelper(t *testing.T) {
+	if !AxisParallel(intmat.New(2, 1, 1, 0)) {
+		t.Fatal("e1 not axis parallel")
+	}
+	if AxisParallel(intmat.New(2, 1, 1, -1)) {
+		t.Fatal("(1,-1) claimed axis parallel")
+	}
+	if !AxisParallel(intmat.New(3, 2, 1, 1, 2, 0, 0, 0)) {
+		t.Fatal("rank-2 span{e1,e2} not detected")
+	}
+	d := intmat.New(2, 1, 1, -1)
+	v := AxisAlignRotation(d)
+	if !v.IsUnimodular() {
+		t.Fatal("rotation not unimodular")
+	}
+	if !AxisParallel(intmat.Mul(v, d)) {
+		t.Fatalf("V·D = %v not axis parallel", intmat.Mul(v, d))
+	}
+}
+
+func TestMacroString(t *testing.T) {
+	res := mustAlign(t, affine.PaperExample1(), 2)
+	for _, m := range DetectAll(res) {
+		if len(m.String()) == 0 {
+			t.Fatal("empty String")
+		}
+	}
+}

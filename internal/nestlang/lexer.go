@@ -1,0 +1,170 @@
+// Package nestlang implements a small textual front end for affine
+// loop nests. It plays the role of the HPF-style compiler front end
+// the paper assumes: a nest description is parsed into the affine IR
+// (package affine), from which the alignment machinery proceeds.
+//
+// Grammar (comments start with '#', newlines are insignificant):
+//
+//	program   = "nest" IDENT "{" decl* "}"
+//	decl      = "array" IDENT "[" INT "]"
+//	          | "loop" "(" idents ")" [ "seq" "(" idents ")" ] "{" stmt* "}"
+//	stmt      = IDENT ":" access ("=" | "+=") rhs [";"]
+//	rhs       = access | IDENT "(" access ("," access)* ")"
+//	access    = IDENT "[" expr ("," expr)* "]"
+//	expr      = ["+"|"-"] term (("+"|"-") term)*
+//	term      = INT [ "*" IDENT ] | IDENT
+//
+// "+=" marks a reduction (the paper's Example 4). "seq" lists the
+// loop indices executed sequentially, outermost first; all others are
+// parallel (DOALL).
+package nestlang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokPunct // single-rune punctuation, and "+="
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("number %d", t.val)
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("nestlang: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) nextRune() rune {
+	r := l.peekRune()
+	if r == 0 {
+		return 0
+	}
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r := l.peekRune()
+		if r == '#' {
+			for r != 0 && r != '\n' {
+				l.nextRune()
+				r = l.peekRune()
+			}
+			continue
+		}
+		if r == 0 || !unicode.IsSpace(r) {
+			return
+		}
+		l.nextRune()
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	r := l.peekRune()
+	switch {
+	case r == 0:
+		return token{kind: tokEOF, line: line, col: col}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var s []rune
+		for {
+			r := l.peekRune()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			s = append(s, l.nextRune())
+		}
+		return token{kind: tokIdent, text: string(s), line: line, col: col}, nil
+	case unicode.IsDigit(r):
+		var s []rune
+		for unicode.IsDigit(l.peekRune()) {
+			s = append(s, l.nextRune())
+		}
+		v, err := strconv.ParseInt(string(s), 10, 64)
+		if err != nil {
+			return token{}, l.errorf(line, col, "bad integer %q", string(s))
+		}
+		return token{kind: tokInt, text: string(s), val: v, line: line, col: col}, nil
+	case r == '+':
+		l.nextRune()
+		if l.peekRune() == '=' {
+			l.nextRune()
+			return token{kind: tokPunct, text: "+=", line: line, col: col}, nil
+		}
+		return token{kind: tokPunct, text: "+", line: line, col: col}, nil
+	default:
+		switch r {
+		case '{', '}', '(', ')', '[', ']', ',', ':', ';', '=', '*', '-':
+			l.nextRune()
+			return token{kind: tokPunct, text: string(r), line: line, col: col}, nil
+		}
+		return token{}, l.errorf(line, col, "unexpected character %q", r)
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package nestlang
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/intmat"
+)
+
+// Parse parses a nest description and returns the validated program.
+func Parse(src string) (*affine.Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(src string) *affine.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(s string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokIdent) && t.text == s
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("nestlang: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(s string) error {
+	if !p.at(s) {
+		return p.errorf("expected %q, found %s", s, p.cur())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %s", t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) expectInt() (int64, error) {
+	t := p.cur()
+	if t.kind != tokInt {
+		return 0, p.errorf("expected integer, found %s", t)
+	}
+	p.advance()
+	return t.val, nil
+}
+
+func (p *parser) parseProgram() (*affine.Program, error) {
+	if err := p.expect("nest"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	prog := &affine.Program{Name: name}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.at("}") {
+		switch {
+		case p.at("array"):
+			if err := p.parseArray(prog); err != nil {
+				return nil, err
+			}
+		case p.at("loop"):
+			if err := p.parseLoop(prog); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("expected \"array\", \"loop\" or \"}\", found %s", p.cur())
+		}
+	}
+	p.advance() // }
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("trailing input after program: %s", p.cur())
+	}
+	return prog, nil
+}
+
+func (p *parser) parseArray(prog *affine.Program) error {
+	p.advance() // array
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	dim, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("]"); err != nil {
+		return err
+	}
+	if prog.Array(name) != nil {
+		return p.errorf("array %q redeclared", name)
+	}
+	prog.AddArray(name, int(dim))
+	return nil
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var ids []string
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+		if p.at(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+func (p *parser) parseLoop(prog *affine.Program) error {
+	p.advance() // loop
+	indices, err := p.parseIdentList()
+	if err != nil {
+		return err
+	}
+	idx := map[string]int{}
+	for i, id := range indices {
+		if _, dup := idx[id]; dup {
+			return p.errorf("duplicate loop index %q", id)
+		}
+		idx[id] = i
+	}
+	var seqDims []int
+	if p.at("seq") {
+		p.advance()
+		seqIDs, err := p.parseIdentList()
+		if err != nil {
+			return err
+		}
+		for _, id := range seqIDs {
+			d, ok := idx[id]
+			if !ok {
+				return p.errorf("seq index %q is not a loop index", id)
+			}
+			seqDims = append(seqDims, d)
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.at("}") {
+		if err := p.parseStmt(prog, indices, idx, seqDims); err != nil {
+			return err
+		}
+	}
+	p.advance() // }
+	return nil
+}
+
+func (p *parser) parseStmt(prog *affine.Program, indices []string, idx map[string]int, seqDims []int) error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	st := prog.NewStatement(name, indices...)
+	if len(seqDims) > 0 {
+		st.Seq(seqDims...)
+	}
+
+	lhs, err := p.parseAccess(prog, idx)
+	if err != nil {
+		return err
+	}
+	reduction := false
+	switch {
+	case p.at("="):
+		p.advance()
+	case p.at("+="):
+		p.advance()
+		reduction = true
+	default:
+		return p.errorf("expected \"=\" or \"+=\", found %s", p.cur())
+	}
+	lhs.Write = true
+	lhs.Reduction = reduction
+	st.Accesses = append(st.Accesses, lhs)
+
+	// rhs: either a single access, or f(access, access, ...)
+	fn, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.at("[") {
+		// plain access: fn is the array name
+		p.pos-- // unread array name
+		acc, err := p.parseAccess(prog, idx)
+		if err != nil {
+			return err
+		}
+		st.Accesses = append(st.Accesses, acc)
+	} else {
+		_ = fn // arbitrary function name g1, g2, … (paper Example 1)
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		for {
+			acc, err := p.parseAccess(prog, idx)
+			if err != nil {
+				return err
+			}
+			st.Accesses = append(st.Accesses, acc)
+			if p.at(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+	}
+	if p.at(";") {
+		p.advance()
+	}
+	return nil
+}
+
+func (p *parser) parseAccess(prog *affine.Program, idx map[string]int) (affine.Access, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return affine.Access{}, err
+	}
+	arr := prog.Array(name)
+	if arr == nil {
+		return affine.Access{}, p.errorf("access to undeclared array %q", name)
+	}
+	if err := p.expect("["); err != nil {
+		return affine.Access{}, err
+	}
+	d := len(idx)
+	f := intmat.Zero(arr.Dim, d)
+	c := make([]int64, arr.Dim)
+	row := 0
+	for {
+		if row >= arr.Dim {
+			return affine.Access{}, p.errorf("too many subscripts for %q (dimension %d)", name, arr.Dim)
+		}
+		coefs, off, err := p.parseAffineExpr(idx)
+		if err != nil {
+			return affine.Access{}, err
+		}
+		for j, v := range coefs {
+			f.Set(row, j, v)
+		}
+		c[row] = off
+		row++
+		if p.at(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if row != arr.Dim {
+		return affine.Access{}, p.errorf("array %q has dimension %d, got %d subscripts", name, arr.Dim, row)
+	}
+	if err := p.expect("]"); err != nil {
+		return affine.Access{}, err
+	}
+	return affine.Access{Array: name, F: f, C: c}, nil
+}
+
+// parseAffineExpr parses a single affine subscript expression over
+// the loop indices and returns its coefficient vector and constant.
+func (p *parser) parseAffineExpr(idx map[string]int) ([]int64, int64, error) {
+	coefs := make([]int64, len(idx))
+	var off int64
+	sign := int64(1)
+	first := true
+	for {
+		if p.at("+") {
+			p.advance()
+			sign = 1
+		} else if p.at("-") {
+			p.advance()
+			sign = -1
+		} else if !first {
+			return coefs, off, nil
+		}
+		t := p.cur()
+		switch t.kind {
+		case tokInt:
+			p.advance()
+			k := sign * t.val
+			if p.at("*") {
+				p.advance()
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, 0, err
+				}
+				j, ok := idx[id]
+				if !ok {
+					return nil, 0, p.errorf("unknown loop index %q", id)
+				}
+				coefs[j] += k
+			} else {
+				off += k
+			}
+		case tokIdent:
+			p.advance()
+			j, ok := idx[t.text]
+			if !ok {
+				return nil, 0, p.errorf("unknown loop index %q", t.text)
+			}
+			coefs[j] += sign
+		default:
+			return nil, 0, p.errorf("expected term, found %s", t)
+		}
+		first = false
+		sign = 1
+		if !p.at("+") && !p.at("-") {
+			return coefs, off, nil
+		}
+	}
+}

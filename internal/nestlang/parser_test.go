@@ -1,0 +1,172 @@
+package nestlang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/intmat"
+)
+
+const matmulSrc = `
+# classic matrix product
+nest matmul {
+  array a[2]
+  array b[2]
+  array c[2]
+  loop (i, j, k) {
+    S: c[i, j] += a[i, k]
+  }
+}
+`
+
+func TestParseMatMulLike(t *testing.T) {
+	p := MustParse(matmulSrc)
+	if p.Name != "matmul" || len(p.Arrays) != 3 || len(p.Statements) != 1 {
+		t.Fatalf("shape wrong: %v", p)
+	}
+	s := p.Statements[0]
+	if s.Depth != 3 {
+		t.Fatalf("depth = %d", s.Depth)
+	}
+	w := s.Accesses[0]
+	if !w.Write || !w.Reduction || w.Array != "c" {
+		t.Fatalf("lhs = %v", w)
+	}
+	wantFc := intmat.New(2, 3, 1, 0, 0, 0, 1, 0)
+	if !w.F.Equal(wantFc) {
+		t.Fatalf("Fc = %v, want %v", w.F, wantFc)
+	}
+	r := s.Accesses[1]
+	wantFa := intmat.New(2, 3, 1, 0, 0, 0, 0, 1)
+	if r.Write || !r.F.Equal(wantFa) {
+		t.Fatalf("Fa = %v, want %v", r.F, wantFa)
+	}
+}
+
+func TestParseAffineCoefficients(t *testing.T) {
+	p := MustParse(`
+nest t {
+  array a[2]
+  array r[1]
+  loop (i, j) {
+    S: r[i] = a[5*i - 2*j + 3, -7*i + 3*j - 1]
+  }
+}
+`)
+	acc := p.Statements[0].Accesses[1]
+	wantF := intmat.New(2, 2, 5, -2, -7, 3)
+	if !acc.F.Equal(wantF) {
+		t.Fatalf("F = %v, want %v", acc.F, wantF)
+	}
+	if acc.C[0] != 3 || acc.C[1] != -1 {
+		t.Fatalf("c = %v", acc.C)
+	}
+}
+
+func TestParseRepeatedIndexAccumulates(t *testing.T) {
+	p := MustParse(`
+nest t {
+  array a[1]
+  array r[1]
+  loop (i) {
+    S: r[i] = a[i + 2*i - i]
+  }
+}
+`)
+	if got := p.Statements[0].Accesses[1].F.At(0, 0); got != 2 {
+		t.Fatalf("coefficient = %d, want 2", got)
+	}
+}
+
+func TestParseSeqAndFunctionRHS(t *testing.T) {
+	p := MustParse(`
+nest gauss {
+  array a[2]
+  loop (k, i, j) seq(k) {
+    S: a[i, j] = g(a[i, j], a[i, k], a[k, j])
+  }
+}
+`)
+	s := p.Statements[0]
+	if len(s.Accesses) != 4 {
+		t.Fatalf("accesses = %d, want 4", len(s.Accesses))
+	}
+	th := s.ScheduleOrEmpty()
+	if !th.Equal(intmat.New(1, 3, 1, 0, 0)) {
+		t.Fatalf("schedule = %v", th)
+	}
+}
+
+func TestParseMultipleLoops(t *testing.T) {
+	p := MustParse(`
+nest multi {
+  array a[2]
+  array b[2]
+  loop (i, j) {
+    S1: b[i, j] = a[j, i];
+  }
+  loop (i, j, k) {
+    S2: a[i, k] = b[i, j]
+    S3: b[j, k] = a[i, j]
+  }
+}
+`)
+	if len(p.Statements) != 3 {
+		t.Fatalf("statements = %d", len(p.Statements))
+	}
+	if p.Statements[0].Depth != 2 || p.Statements[2].Depth != 3 {
+		t.Fatal("depths wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`nest {`, "expected identifier"},
+		{`x t {}`, `expected "nest"`},
+		{`nest t { array a[2] }x`, "trailing input"},
+		{`nest t { blah }`, `expected "array"`},
+		{`nest t { array a[2] array a[3] }`, "redeclared"},
+		{`nest t { array a[2] loop (i, i) { } }`, "duplicate loop index"},
+		{`nest t { array a[2] loop (i) seq(z) { } }`, "not a loop index"},
+		{`nest t { array a[1] loop (i) { S: a[i] = b[i] } }`, "undeclared array"},
+		{`nest t { array a[1] loop (i) { S: a[i, i] = a[i] } }`, "too many subscripts"},
+		{`nest t { array a[2] loop (i) { S: a[i] = a[i, i] } }`, "got 1 subscripts"},
+		{`nest t { array a[1] loop (i) { S: a[i] a[i] } }`, `expected "="`},
+		{`nest t { array a[1] loop (i) { S: a[j] = a[i] } }`, "unknown loop index"},
+		{`nest t { array a[1] loop (i) { S: a[*] = a[i] } }`, "expected term"},
+		{`nest t { array a[1] loop (i) { S: a[i] = a[i] S: a[i] = a[i] } }`, "duplicate statement"},
+		{`nest t @`, "unexpected character"},
+		{`nest t { array a[99999999999999999999] }`, "bad integer"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParsedProgramsValidate(t *testing.T) {
+	for _, src := range []string{matmulSrc} {
+		p := MustParse(src)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("nest t {\n  array a[2]\n  oops\n}")
+	if err == nil || !strings.Contains(err.Error(), "3:3") {
+		t.Fatalf("error = %v, want line 3 col 3", err)
+	}
+}
+
+var _ = affine.Program{} // keep the import explicit for documentation

@@ -1,0 +1,83 @@
+package ratmat
+
+import "repro/internal/intmat"
+
+// PseudoInverse returns the one-sided pseudo-inverse X⁻ of a full-rank
+// rectangular integer matrix X, as defined in the paper's appendix
+// (§9.2):
+//
+//   - u = v (square, non-singular): the ordinary inverse;
+//   - u < v (flat): the right inverse X⁻ = Xᵗ·(X·Xᵗ)⁻¹, X·X⁻ = Id_u;
+//   - u > v (narrow): the left inverse X⁻ = (Xᵗ·X)⁻¹·Xᵗ, X⁻·X = Id_v.
+//
+// The second result is false when X is not of full rank.
+func PseudoInverse(x *intmat.Mat) (*Mat, bool) {
+	if !x.FullRank() {
+		return nil, false
+	}
+	X := FromInt(x)
+	switch {
+	case x.Rows() == x.Cols():
+		return X.Inverse()
+	case x.Rows() < x.Cols(): // flat: right inverse
+		xt := X.Transpose()
+		gram := Mul(X, xt)
+		gi, ok := gram.Inverse()
+		if !ok {
+			return nil, false
+		}
+		return Mul(xt, gi), true
+	default: // narrow: left inverse
+		xt := X.Transpose()
+		gram := Mul(xt, X)
+		gi, ok := gram.Inverse()
+		if !ok {
+			return nil, false
+		}
+		return Mul(gi, xt), true
+	}
+}
+
+// SolveXF solves the matrix equation X·F = S for X (Lemma 2 of the
+// paper's appendix): F is a×d of full rank d, S is m×d. A solution
+// exists iff the compatibility condition S·F⁻·F = S holds; then
+// X₀ = S·F⁻ is a particular solution and the full solution set is
+// X₀ + Y·(Id_a − F·F⁻) for arbitrary Y.
+//
+// SolveXF returns the particular solution X₀ and the projector
+// P = Id_a − F·F⁻ onto the solution-space degrees of freedom. ok is
+// false when the equation has no solution or F is rank-deficient.
+func SolveXF(s *Mat, f *intmat.Mat) (x0, proj *Mat, ok bool) {
+	if f.Rank() != f.Cols() {
+		return nil, nil, false
+	}
+	if s.Cols() != f.Cols() {
+		panic("ratmat: SolveXF shape mismatch")
+	}
+	fi, okInv := PseudoInverse(f)
+	if !okInv {
+		return nil, nil, false
+	}
+	F := FromInt(f)
+	x0 = Mul(s, fi)
+	if !Mul(x0, F).Equal(s) {
+		return nil, nil, false
+	}
+	proj = Sub(Identity(f.Rows()), Mul(F, fi))
+	return x0, proj, true
+}
+
+// LeftGeneralizedInverse returns an integer matrix G with G·F = Id
+// when one exists over Z (preferred, as in the paper's Remark in
+// §2.2.2), falling back to the rational left pseudo-inverse otherwise.
+// The boolean reports whether the result is integral.
+func LeftGeneralizedInverse(f *intmat.Mat) (*Mat, bool) {
+	if g, ok := intmat.LeftInverseInt(f); ok {
+		return FromInt(g), true
+	}
+	g, ok := PseudoInverse(f)
+	if !ok {
+		panic("ratmat: LeftGeneralizedInverse of rank-deficient matrix")
+	}
+	return g, false
+}

@@ -1,0 +1,385 @@
+// Package ratmat implements exact dense rational matrices on top of
+// math/big.Rat. It complements intmat with the operations the paper
+// needs over Q: inverses, one-sided pseudo-inverses (appendix §9.2)
+// and the general solution of the matrix equation X·F = S (Lemma 2).
+package ratmat
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"repro/internal/intmat"
+)
+
+// Mat is a dense rows×cols rational matrix.
+type Mat struct {
+	rows, cols int
+	a          []*big.Rat // row-major
+}
+
+// Zero returns the rows×cols zero matrix.
+func Zero(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("ratmat: negative dimension")
+	}
+	m := &Mat{rows: rows, cols: cols, a: make([]*big.Rat, rows*cols)}
+	for i := range m.a {
+		m.a[i] = new(big.Rat)
+	}
+	return m
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Mat {
+	m := Zero(n, n)
+	for i := 0; i < n; i++ {
+		m.a[i*n+i].SetInt64(1)
+	}
+	return m
+}
+
+// FromInt converts an integer matrix to a rational one.
+func FromInt(im *intmat.Mat) *Mat {
+	m := Zero(im.Rows(), im.Cols())
+	for i := 0; i < im.Rows(); i++ {
+		for j := 0; j < im.Cols(); j++ {
+			m.Set(i, j, new(big.Rat).SetInt64(im.At(i, j)))
+		}
+	}
+	return m
+}
+
+// New builds a matrix from int64 numerators (denominator 1), row-major.
+func New(rows, cols int, vals ...int64) *Mat {
+	return FromInt(intmat.New(rows, cols, vals...))
+}
+
+// Rows returns the row count.
+func (m *Mat) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Mat) Cols() int { return m.cols }
+
+// At returns the entry at (i, j). The returned value is shared; use
+// Set to modify entries.
+func (m *Mat) At(i, j int) *big.Rat {
+	m.check(i, j)
+	return m.a[i*m.cols+j]
+}
+
+// Set stores a copy of v at (i, j).
+func (m *Mat) Set(i, j int, v *big.Rat) {
+	m.check(i, j)
+	m.a[i*m.cols+j] = new(big.Rat).Set(v)
+}
+
+func (m *Mat) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("ratmat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := Zero(m.rows, m.cols)
+	for i := range m.a {
+		c.a[i].Set(m.a[i])
+	}
+	return c
+}
+
+// Equal reports shape and entry equality.
+func (m *Mat) Equal(n *Mat) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := range m.a {
+		if m.a[i].Cmp(n.a[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether all entries are zero.
+func (m *Mat) IsZero() bool {
+	for _, v := range m.a {
+		if v.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether m is the identity.
+func (m *Mat) IsIdentity() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	one := big.NewRat(1, 1)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			v := m.At(i, j)
+			if i == j {
+				if v.Cmp(one) != 0 {
+					return false
+				}
+			} else if v.Sign() != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsInteger reports whether every entry has denominator 1.
+func (m *Mat) IsInteger() bool {
+	for _, v := range m.a {
+		if !v.IsInt() {
+			return false
+		}
+	}
+	return true
+}
+
+// ToInt converts to an integer matrix; the second result is false if
+// some entry is not an integer or overflows int64.
+func (m *Mat) ToInt() (*intmat.Mat, bool) {
+	out := intmat.Zero(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			v := m.At(i, j)
+			if !v.IsInt() || !v.Num().IsInt64() {
+				return nil, false
+			}
+			out.Set(i, j, v.Num().Int64())
+		}
+	}
+	return out, true
+}
+
+// ScaledInt clears denominators: it returns an integer matrix N and a
+// positive scalar λ such that m = N / λ, with λ the lcm of all entry
+// denominators.
+func (m *Mat) ScaledInt() (*intmat.Mat, int64) {
+	l := big.NewInt(1)
+	g := new(big.Int)
+	for _, v := range m.a {
+		d := v.Denom()
+		g.GCD(nil, nil, l, d)
+		l.Div(l, g)
+		l.Mul(l, d)
+	}
+	out := intmat.Zero(m.rows, m.cols)
+	t := new(big.Int)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			v := m.At(i, j)
+			t.Div(l, v.Denom())
+			t.Mul(t, v.Num())
+			if !t.IsInt64() {
+				panic("ratmat: ScaledInt overflows int64")
+			}
+			out.Set(i, j, t.Int64())
+		}
+	}
+	if !l.IsInt64() {
+		panic("ratmat: ScaledInt denominator lcm overflows int64")
+	}
+	return out, l.Int64()
+}
+
+// Transpose returns the transpose.
+func (m *Mat) Transpose() *Mat {
+	t := Zero(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// String renders the matrix like "[1 2/3; 0 1]".
+func (m *Mat) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(m.At(i, j).RatString())
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Add returns m + n.
+func Add(m, n *Mat) *Mat {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic("ratmat: Add shape mismatch")
+	}
+	r := Zero(m.rows, m.cols)
+	for i := range r.a {
+		r.a[i].Add(m.a[i], n.a[i])
+	}
+	return r
+}
+
+// Sub returns m − n.
+func Sub(m, n *Mat) *Mat {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic("ratmat: Sub shape mismatch")
+	}
+	r := Zero(m.rows, m.cols)
+	for i := range r.a {
+		r.a[i].Sub(m.a[i], n.a[i])
+	}
+	return r
+}
+
+// Mul returns m·n.
+func Mul(m, n *Mat) *Mat {
+	if m.cols != n.rows {
+		panic(fmt.Sprintf("ratmat: Mul shape mismatch %dx%d · %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	r := Zero(m.rows, n.cols)
+	t := new(big.Rat)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < n.cols; j++ {
+			acc := r.a[i*r.cols+j]
+			for k := 0; k < m.cols; k++ {
+				t.Mul(m.At(i, k), n.At(k, j))
+				acc.Add(acc, t)
+			}
+		}
+	}
+	return r
+}
+
+// MulAll multiplies one or more matrices left to right.
+func MulAll(ms ...*Mat) *Mat {
+	if len(ms) == 0 {
+		panic("ratmat: MulAll of nothing")
+	}
+	r := ms[0]
+	for _, m := range ms[1:] {
+		r = Mul(r, m)
+	}
+	return r
+}
+
+// Scale returns k·m.
+func Scale(k *big.Rat, m *Mat) *Mat {
+	r := Zero(m.rows, m.cols)
+	for i := range r.a {
+		r.a[i].Mul(k, m.a[i])
+	}
+	return r
+}
+
+// Rank returns the rank of m (exact Gaussian elimination over Q).
+func (m *Mat) Rank() int {
+	w := m.Clone()
+	rank := 0
+	for col := 0; col < w.cols && rank < w.rows; col++ {
+		piv := -1
+		for r := rank; r < w.rows; r++ {
+			if w.At(r, col).Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			continue
+		}
+		// swap rows rank, piv
+		for c := 0; c < w.cols; c++ {
+			a, b := w.At(rank, c), w.At(piv, c)
+			w.a[rank*w.cols+c] = b
+			w.a[piv*w.cols+c] = a
+		}
+		p := w.At(rank, col)
+		t := new(big.Rat)
+		for r := rank + 1; r < w.rows; r++ {
+			f := new(big.Rat).Quo(w.At(r, col), p)
+			if f.Sign() == 0 {
+				continue
+			}
+			for c := col; c < w.cols; c++ {
+				t.Mul(f, w.At(rank, c))
+				w.a[r*w.cols+c].Sub(w.At(r, c), t)
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// FullRank reports rank(m) == min(rows, cols).
+func (m *Mat) FullRank() bool {
+	want := m.rows
+	if m.cols < want {
+		want = m.cols
+	}
+	return m.Rank() == want
+}
+
+// Inverse returns m⁻¹ for square non-singular m; the second result is
+// false when m is singular.
+func (m *Mat) Inverse() (*Mat, bool) {
+	if m.rows != m.cols {
+		panic("ratmat: Inverse of non-square matrix")
+	}
+	n := m.rows
+	w := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if w.At(r, col).Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		for c := 0; c < n; c++ {
+			a, b := w.At(col, c), w.At(piv, c)
+			w.a[col*n+c] = b
+			w.a[piv*n+c] = a
+			a, b = inv.At(col, c), inv.At(piv, c)
+			inv.a[col*n+c] = b
+			inv.a[piv*n+c] = a
+		}
+		p := new(big.Rat).Set(w.At(col, col))
+		for c := 0; c < n; c++ {
+			w.a[col*n+c].Quo(w.At(col, c), p)
+			inv.a[col*n+c].Quo(inv.At(col, c), p)
+		}
+		t := new(big.Rat)
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := new(big.Rat).Set(w.At(r, col))
+			if f.Sign() == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				t.Mul(f, w.At(col, c))
+				w.a[r*n+c].Sub(w.At(r, c), t)
+				t.Mul(f, inv.At(col, c))
+				inv.a[r*n+c].Sub(inv.At(r, c), t)
+			}
+		}
+	}
+	return inv, true
+}

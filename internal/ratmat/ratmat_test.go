@@ -1,0 +1,205 @@
+package ratmat
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/intmat"
+)
+
+func TestBasicOps(t *testing.T) {
+	a := New(2, 2, 1, 2, 3, 4)
+	b := New(2, 2, 5, 6, 7, 8)
+	if !Add(a, b).Equal(New(2, 2, 6, 8, 10, 12)) {
+		t.Fatal("Add wrong")
+	}
+	if !Sub(b, a).Equal(New(2, 2, 4, 4, 4, 4)) {
+		t.Fatal("Sub wrong")
+	}
+	if !Mul(a, b).Equal(New(2, 2, 19, 22, 43, 50)) {
+		t.Fatal("Mul wrong")
+	}
+	if !Mul(a, Identity(2)).Equal(a) {
+		t.Fatal("identity fails")
+	}
+	half := big.NewRat(1, 2)
+	s := Scale(half, a)
+	if s.At(0, 0).Cmp(big.NewRat(1, 2)) != 0 || s.At(1, 1).Cmp(big.NewRat(2, 1)) != 0 {
+		t.Fatalf("Scale wrong: %v", s)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	m := New(2, 2, 1, 2, 3, 7)
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("claimed singular")
+	}
+	if !Mul(m, inv).IsIdentity() || !Mul(inv, m).IsIdentity() {
+		t.Fatalf("bad inverse %v", inv)
+	}
+	if _, ok := New(2, 2, 1, 2, 2, 4).Inverse(); ok {
+		t.Fatal("inverted singular matrix")
+	}
+}
+
+func TestInverseRational(t *testing.T) {
+	m := New(2, 2, 2, 0, 0, 4)
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("singular?")
+	}
+	if inv.At(0, 0).Cmp(big.NewRat(1, 2)) != 0 || inv.At(1, 1).Cmp(big.NewRat(1, 4)) != 0 {
+		t.Fatalf("inverse = %v", inv)
+	}
+	if inv.IsInteger() {
+		t.Fatal("IsInteger wrong")
+	}
+	if _, ok := inv.ToInt(); ok {
+		t.Fatal("ToInt should fail")
+	}
+	n, lam := inv.ScaledInt()
+	if lam != 4 || !n.Equal(intmat.New(2, 2, 2, 0, 0, 1)) {
+		t.Fatalf("ScaledInt = %v / %d", n, lam)
+	}
+}
+
+func TestRank(t *testing.T) {
+	if r := New(2, 2, 1, 2, 2, 4).Rank(); r != 1 {
+		t.Fatalf("rank = %d, want 1", r)
+	}
+	if !Identity(3).FullRank() {
+		t.Fatal("identity not full rank")
+	}
+	if Zero(2, 2).Rank() != 0 {
+		t.Fatal("zero rank wrong")
+	}
+}
+
+func TestPseudoInverseSquare(t *testing.T) {
+	f := intmat.New(2, 2, 1, 2, 3, 7)
+	fi, ok := PseudoInverse(f)
+	if !ok {
+		t.Fatal("failed")
+	}
+	if !Mul(fi, FromInt(f)).IsIdentity() {
+		t.Fatal("square pseudo-inverse is not inverse")
+	}
+}
+
+func TestPseudoInverseFlat(t *testing.T) {
+	// flat u<v: F·F⁻ = Id_u
+	f := intmat.New(2, 3, 1, 0, 1, 0, 1, 1)
+	fi, ok := PseudoInverse(f)
+	if !ok {
+		t.Fatal("failed")
+	}
+	if !Mul(FromInt(f), fi).IsIdentity() {
+		t.Fatalf("F·F⁻ = %v", Mul(FromInt(f), fi))
+	}
+}
+
+func TestPseudoInverseNarrow(t *testing.T) {
+	// narrow u>v: F⁻·F = Id_v
+	f := intmat.New(3, 2, 1, 0, 0, 1, 1, 1)
+	fi, ok := PseudoInverse(f)
+	if !ok {
+		t.Fatal("failed")
+	}
+	if !Mul(fi, FromInt(f)).IsIdentity() {
+		t.Fatalf("F⁻·F = %v", Mul(fi, FromInt(f)))
+	}
+}
+
+func TestPseudoInverseRankDeficient(t *testing.T) {
+	if _, ok := PseudoInverse(intmat.New(2, 3, 1, 1, 1, 2, 2, 2)); ok {
+		t.Fatal("pseudo-inverse of rank-deficient matrix")
+	}
+}
+
+func TestPseudoInverseProperty(t *testing.T) {
+	// F·F⁻·F = F for all full-rank F (both orientations).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		rows := 1 + rng.Intn(3)
+		cols := 1 + rng.Intn(3)
+		f := intmat.RandFullRank(rng, rows, cols, 4)
+		fi, ok := PseudoInverse(f)
+		if !ok {
+			t.Fatalf("full-rank pseudo-inverse failed for %v", f)
+		}
+		F := FromInt(f)
+		if !Mul(Mul(F, fi), F).Equal(F) {
+			t.Fatalf("F·F⁻·F != F for %v", f)
+		}
+	}
+}
+
+func TestSolveXF(t *testing.T) {
+	// Solvable instance: S = X·F by construction.
+	f := intmat.New(3, 2, 1, 0, 0, 1, 1, 1) // 3x2 full column rank
+	x := New(2, 3, 1, 2, 0, 0, 1, 3)
+	s := Mul(x, FromInt(f))
+	x0, proj, ok := SolveXF(s, f)
+	if !ok {
+		t.Fatal("solvable system reported unsolvable")
+	}
+	if !Mul(x0, FromInt(f)).Equal(s) {
+		t.Fatalf("X0·F = %v != %v", Mul(x0, FromInt(f)), s)
+	}
+	// any Y·proj added stays a solution
+	y := New(2, 3, 7, -1, 2, 0, 4, 4)
+	x2 := Add(x0, Mul(y, proj))
+	if !Mul(x2, FromInt(f)).Equal(s) {
+		t.Fatal("projector does not preserve solutions")
+	}
+}
+
+func TestSolveXFIncompatible(t *testing.T) {
+	// S whose rows are not in the row space of F has no solution.
+	// F = [1 0; 0 0; 0 0]ᵗ... use f 3x2 with rank 2 but S incompatible:
+	f := intmat.New(3, 2, 1, 0, 2, 0, 0, 1) // full column rank 2
+	// rows of any X·F live in span of F's rows as combinations with the
+	// 3 columns of X; compatibility may still fail for specific S:
+	s := New(1, 2, 1, 1)
+	x0, _, ok := SolveXF(s, f)
+	if ok {
+		// verify honestly: if claimed solvable, it must actually solve.
+		if !Mul(x0, FromInt(f)).Equal(s) {
+			t.Fatal("claimed solvable but solution wrong")
+		}
+	}
+}
+
+func TestLeftGeneralizedInverse(t *testing.T) {
+	f := intmat.New(3, 2, 1, 0, 0, 1, 1, 1)
+	g, isInt := LeftGeneralizedInverse(f)
+	if !isInt {
+		t.Fatalf("expected integer generalized inverse for %v", f)
+	}
+	if !Mul(g, FromInt(f)).IsIdentity() {
+		t.Fatal("G·F != Id")
+	}
+	// A column of content 2 forces the rational fallback.
+	f2 := intmat.New(2, 1, 2, 0)
+	g2, isInt2 := LeftGeneralizedInverse(f2)
+	if isInt2 {
+		t.Fatal("claimed integer inverse of [2;0]")
+	}
+	if !Mul(g2, FromInt(f2)).IsIdentity() {
+		t.Fatal("rational fallback wrong")
+	}
+}
+
+func TestStringAndClone(t *testing.T) {
+	m := New(1, 2, 1, -3)
+	if m.String() != "[1 -3]" {
+		t.Fatalf("String = %q", m.String())
+	}
+	c := m.Clone()
+	c.Set(0, 0, big.NewRat(9, 1))
+	if m.At(0, 0).Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatal("clone aliases")
+	}
+}

@@ -1,0 +1,128 @@
+// Package validate checks an alignment result against a concrete
+// execution: it enumerates a finite iteration domain, places every
+// statement instance and array element on its virtual processor
+// using the computed allocation matrices, and counts the actual
+// point-to-point transfers each access generates.
+//
+// This closes the loop between the algebra and the machine: a
+// communication classified local by the heuristic must generate
+// *zero* messages with a non-zero distance, and the message count of
+// a partial broadcast must match its direction-space dimension. The
+// package is used by integration tests and by cmd/resopt -verify.
+package validate
+
+import (
+	"fmt"
+
+	"repro/internal/accessgraph"
+	"repro/internal/alignment"
+	"repro/internal/intmat"
+)
+
+// CommTraffic summarizes the concrete traffic of one communication
+// over the enumerated domain.
+type CommTraffic struct {
+	Comm accessgraph.Comm
+	// Transfers counts (computing processor, owning processor) pairs
+	// with distinct endpoints — the non-local transfers.
+	Transfers int
+	// Instances is the number of enumerated statement instances.
+	Instances int
+	// DistinctVectors is the number of distinct non-zero processor-
+	// space distance vectors observed; a translation has exactly 1.
+	DistinctVectors int
+}
+
+// Local reports whether the access generated no non-local transfer.
+func (ct CommTraffic) Local() bool { return ct.Transfers == 0 }
+
+// Translation reports whether every transfer has the same non-zero
+// distance vector (the cheap regular case of Section 2.1's "local
+// term").
+func (ct CommTraffic) Translation() bool {
+	return ct.Transfers > 0 && ct.DistinctVectors == 1
+}
+
+// Run enumerates the iteration domain [0, n)^depth of every statement
+// and returns per-communication traffic summaries.
+func Run(res *alignment.Result, n int) ([]CommTraffic, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("validate: domain extent %d", n)
+	}
+	var out []CommTraffic
+	for _, c := range res.Graph.Comms {
+		ms := res.Alloc[c.Stmt.Name]
+		mx := res.Alloc[c.Access.Array]
+		if ms == nil || mx == nil {
+			return nil, fmt.Errorf("validate: missing allocation for comm %d", c.ID)
+		}
+		ct := CommTraffic{Comm: c}
+		vecs := map[string]bool{}
+		iter := make([]int64, c.Stmt.Depth)
+		for {
+			// owner of the accessed element: M_x·(F·I + c)
+			fi := intmat.MulVec(c.Access.F, iter)
+			for i := range fi {
+				fi[i] += c.Access.C[i]
+			}
+			owner := intmat.MulVec(mx, fi)
+			// computing processor: M_S·I
+			comp := intmat.MulVec(ms, iter)
+			dist := make([]int64, len(owner))
+			zero := true
+			for i := range dist {
+				dist[i] = comp[i] - owner[i]
+				if dist[i] != 0 {
+					zero = false
+				}
+			}
+			ct.Instances++
+			if !zero {
+				ct.Transfers++
+				vecs[fmt.Sprint(dist)] = true
+			}
+			if !next(iter, int64(n)) {
+				break
+			}
+		}
+		ct.DistinctVectors = len(vecs)
+		out = append(out, ct)
+	}
+	return out, nil
+}
+
+// next advances a mixed-radix counter; false when wrapped.
+func next(iter []int64, n int64) bool {
+	for i := len(iter) - 1; i >= 0; i-- {
+		iter[i]++
+		if iter[i] < n {
+			return true
+		}
+		iter[i] = 0
+	}
+	return false
+}
+
+// Check verifies the fundamental soundness property: every
+// communication the alignment classified as local generates zero
+// non-local transfers on the enumerated domain (the converse need not
+// hold — a communication can be local on a small domain by accident).
+func Check(res *alignment.Result, n int) error {
+	traffic, err := Run(res, n)
+	if err != nil {
+		return err
+	}
+	for _, ct := range traffic {
+		if res.LocalComms[ct.Comm.ID] && !ct.Local() {
+			// The classification ignores the constant term: a local
+			// communication may still be a fixed translation (the
+			// "local term" of Section 2.1). Anything beyond that is a
+			// soundness bug.
+			if !ct.Translation() {
+				return fmt.Errorf("validate: comm %d (%s in %s) classified local but has %d transfers with %d distance vectors",
+					ct.Comm.ID, ct.Comm.Access.Array, ct.Comm.Stmt.Name, ct.Transfers, ct.DistinctVectors)
+			}
+		}
+	}
+	return nil
+}
