@@ -20,9 +20,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/distrib"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/intmat"
 	"repro/internal/machine"
+	"repro/internal/scenarios"
 )
 
 // --- Table 1: data movements on the CM-5-like machine ---
@@ -237,6 +239,42 @@ func BenchmarkAblationDecompositionCap(b *testing.B) {
 	}
 	b.ReportMetric(float64(within2), "decomposable-len2")
 	b.ReportMetric(float64(within4), "decomposable-len4")
+}
+
+// --- batch engine: sequential vs parallel throughput ---
+
+// benchEngine runs the default ≥100-scenario suite through the batch
+// engine. Comparing BenchmarkEngineSequential with
+// BenchmarkEngineParallel measures the worker-pool speedup on a
+// multi-core runner (identical plans either way — the engine is
+// deterministic in the worker count); the NoCache variant isolates
+// the contribution of the memo cache.
+func benchEngine(b *testing.B, workers int, disableCache bool) {
+	suite := scenarios.Generate(scenarios.Config{Seed: 7})
+	if len(suite) < 100 {
+		b.Fatalf("suite has %d scenarios, want ≥ 100", len(suite))
+	}
+	b.ResetTimer()
+	var res *engine.BatchResult
+	for i := 0; i < b.N; i++ {
+		res = engine.Run(suite, engine.Options{Workers: workers, DisableCache: disableCache})
+	}
+	if res.Errors == len(res.Results) {
+		b.Fatal("every scenario failed")
+	}
+	b.ReportMetric(float64(len(suite)), "scenarios")
+	b.ReportMetric(res.TotalModelTime, "model-µs")
+}
+
+func BenchmarkEngineSequential(b *testing.B) { benchEngine(b, 1, false) }
+func BenchmarkEngineParallel(b *testing.B)   { benchEngine(b, 0, false) }
+func BenchmarkEngineNoCache(b *testing.B)    { benchEngine(b, 0, true) }
+
+// BenchmarkEngineScenarioGen isolates suite generation itself.
+func BenchmarkEngineScenarioGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = scenarios.Generate(scenarios.Config{Seed: 7})
+	}
 }
 
 // --- component micro-benchmarks ---

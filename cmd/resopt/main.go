@@ -7,6 +7,16 @@
 //	resopt -nest mynest.txt           # a nest in the DSL of nestlang
 //	resopt -m 2                       # target grid dimension
 //	resopt -list                      # list built-in examples
+//
+// Batch mode runs the concurrent optimization engine over a
+// generated scenario suite (built-in examples plus random nests,
+// crossed with machine models and distributions) and prints the
+// aggregated report:
+//
+//	resopt -batch                     # default 100-scenario suite
+//	resopt -batch -random 40 -seed 3  # bigger suite, different nests
+//	resopt -batch -workers 1          # sequential baseline
+//	resopt -batch -no-cache           # memo-cache ablation
 package main
 
 import (
@@ -16,7 +26,9 @@ import (
 
 	"repro/internal/affine"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/nestlang"
+	"repro/internal/scenarios"
 )
 
 func main() {
@@ -26,7 +38,24 @@ func main() {
 	list := flag.Bool("list", false, "list built-in examples")
 	noMacro := flag.Bool("no-macro", false, "disable macro-communication detection")
 	noDecomp := flag.Bool("no-decomp", false, "disable communication decomposition")
+	batch := flag.Bool("batch", false, "run the batch engine over a generated scenario suite")
+	random := flag.Int("random", 0, "batch: number of random nests (0: default)")
+	seed := flag.Int64("seed", 0, "batch: scenario generation seed (0: default)")
+	workers := flag.Int("workers", 0, "batch: worker pool size (0: GOMAXPROCS)")
+	noCache := flag.Bool("no-cache", false, "batch: disable the memo cache")
 	flag.Parse()
+
+	if *batch {
+		suite := scenarios.Generate(scenarios.Config{
+			Seed:   *seed,
+			Random: *random,
+			M:      *m,
+			Opts:   core.Options{NoMacro: *noMacro, NoDecomposition: *noDecomp},
+		})
+		res := engine.Run(suite, engine.Options{Workers: *workers, DisableCache: *noCache})
+		fmt.Print(res.Report())
+		return
+	}
 
 	if *list {
 		for _, p := range affine.AllExamples() {

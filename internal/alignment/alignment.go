@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"sort"
 
 	"repro/internal/accessgraph"
 	"repro/internal/affine"
@@ -230,7 +231,17 @@ func Align(p *affine.Program, m int, opts Options) (*Result, error) {
 	for v := 0; v < n; v++ {
 		byRoot[st[v].root] = append(byRoot[st[v].root], v)
 	}
-	for r, vs := range byRoot {
+	// Iterate roots in sorted order: the instantiation retries share
+	// one rng stream, so map-order iteration would make the chosen
+	// allocation matrices vary from call to call on multi-component
+	// programs.
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		vs := byRoot[r]
 		mr, err := instantiateRoot(g, st, r, vs, m, chosen[r], rng)
 		if err != nil {
 			return nil, err

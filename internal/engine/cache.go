@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a concurrency-safe memo store shared by every worker of a
+// batch run. It memoizes at two tiers:
+//
+//   - kernel tier: Hermite normal forms, unimodular inverses and
+//     integer kernel bases, installed into package intmat via
+//     intmat.SetKernelCache (Get/Put below implement that interface);
+//   - plan tier: the complete two-step heuristic result per distinct
+//     optimization problem (canonical program + target dimension +
+//     options), which subsumes the access-graph construction and its
+//     maximum branching.
+//
+// Every memoized computation is a pure function of its canonical
+// key, so a hit always returns exactly what recomputation would.
+type Cache struct {
+	shards [cacheShards]cacheShard
+
+	kernelHits, kernelMisses atomic.Uint64
+	planHits, planMisses     atomic.Uint64
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]any)
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+func (c *Cache) lookup(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *Cache) store(key string, v any) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// Get implements intmat.KernelCache (kernel tier).
+func (c *Cache) Get(key string) (any, bool) {
+	v, ok := c.lookup(key)
+	if ok {
+		c.kernelHits.Add(1)
+	} else {
+		c.kernelMisses.Add(1)
+	}
+	return v, ok
+}
+
+// Put implements intmat.KernelCache (kernel tier).
+func (c *Cache) Put(key string, v any) { c.store(key, v) }
+
+// planSlot is a single-flight cell for one plan-tier key: the first
+// worker to claim the slot computes, every other worker blocks on the
+// Once and then reads the settled value.
+type planSlot struct {
+	once sync.Once
+	val  planEntry
+}
+
+// planDo returns the plan entry for key, computing it exactly once
+// across all workers. The hit/miss counters are exact: misses equal
+// the number of distinct keys, whatever the worker count.
+func (c *Cache) planDo(key string, compute func() planEntry) planEntry {
+	k := "plan:" + key
+	s := c.shard(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		v = &planSlot{}
+		s.m[k] = v
+	}
+	s.mu.Unlock()
+	if ok {
+		c.planHits.Add(1)
+	} else {
+		c.planMisses.Add(1)
+	}
+	slot := v.(*planSlot)
+	slot.once.Do(func() { slot.val = compute() })
+	return slot.val
+}
+
+// Len returns the number of cached entries across all tiers.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// CacheStats is a snapshot of cache effectiveness after a run.
+type CacheStats struct {
+	KernelHits, KernelMisses uint64
+	PlanHits, PlanMisses     uint64
+	Entries                  int
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		KernelHits:   c.kernelHits.Load(),
+		KernelMisses: c.kernelMisses.Load(),
+		PlanHits:     c.planHits.Load(),
+		PlanMisses:   c.planMisses.Load(),
+		Entries:      c.Len(),
+	}
+}

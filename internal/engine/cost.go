@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/intmat"
+	"repro/internal/machine"
+	"repro/internal/macro"
+	"repro/internal/scenarios"
+)
+
+// planTime costs one communication plan on the scenario's machine
+// model, in model-µs.
+//
+// Fat tree (CM-5-like): the four Table-1 primitives. The scenario's
+// per-processor payload is N elements of ElemBytes; a vectorizable
+// plan (Section 4.5) moves it in one operation, a non-vectorizable
+// one pays N element-wise operations.
+//
+// Mesh (Paragon-like): plans with a concrete 2×2 data-flow matrix are
+// simulated message-by-message on the N×N virtual grid under the
+// scenario's distribution (AffineComm2D for decomposed factors,
+// GeneralComm2D for direct general execution — the Table-2
+// methodology). Macro-communications, which the mesh has no hardware
+// collective for, are costed as an explicit root-to-all (or
+// all-to-root, for reductions) message pattern. A general plan whose
+// data-flow matrix is unknown is costed with the transpose
+// permutation [[0,1],[1,0]] as a deterministic stand-in pattern.
+func planTime(sc *scenarios.Scenario, pl core.Plan) float64 {
+	if pl.Class == core.Local {
+		return 0
+	}
+	if sc.Machine.Kind == scenarios.Mesh {
+		return meshPlanTime(sc, pl)
+	}
+	return fatTreePlanTime(sc, pl)
+}
+
+func fatTreePlanTime(sc *scenarios.Scenario, pl core.Plan) float64 {
+	ft := machine.DefaultFatTree(sc.Machine.P)
+	one := func(bytes int64) float64 {
+		switch pl.Class {
+		case core.MacroComm:
+			if pl.Macro != nil && pl.Macro.Kind == macro.Reduction {
+				return ft.Reduction(bytes)
+			}
+			return ft.Broadcast(bytes)
+		case core.Decomposed:
+			k := len(pl.Factors)
+			if k == 0 {
+				k = 1 // pure translation
+			}
+			return float64(k) * ft.Translation(bytes)
+		default:
+			return ft.General(1, bytes)
+		}
+	}
+	if pl.Vectorizable {
+		return one(sc.ElemBytes * int64(sc.N))
+	}
+	return float64(sc.N) * one(sc.ElemBytes)
+}
+
+// standInGeneral is the deterministic pattern used when a general
+// plan has no usable 2×2 data-flow matrix.
+var standInGeneral = intmat.New(2, 2, 0, 1, 1, 0)
+
+func meshPlanTime(sc *scenarios.Scenario, pl core.Plan) float64 {
+	m := machine.DefaultMesh(sc.Machine.P, sc.Machine.Q)
+	n, eb := sc.N, sc.ElemBytes
+	switch pl.Class {
+	case core.MacroComm:
+		return meshCollectiveTime(m, eb*int64(n), pl.Macro != nil && pl.Macro.Kind == macro.Reduction)
+	case core.Decomposed:
+		if len(pl.Factors) > 0 && is2x2(pl.Factors[0]) {
+			return machine.DecomposedTime(m, sc.Dist, pl.Factors, n, n, eb)
+		}
+		// pure translation (T = Id), or factors outside the 2-D
+		// simulator: unit-shift phases
+		k := len(pl.Factors)
+		if k == 0 {
+			k = 1
+		}
+		shift := m.Time(machine.AffineComm2D(m, sc.Dist, intmat.Identity(2), []int64{1, 1}, n, n, eb))
+		return float64(k) * shift
+	default: // General
+		t := pl.Dataflow
+		if t == nil || !is2x2(t) {
+			t = standInGeneral
+		}
+		return m.Time(machine.GeneralComm2D(m, sc.Dist, t, nil, n, n, eb))
+	}
+}
+
+func is2x2(m *intmat.Mat) bool { return m != nil && m.Rows() == 2 && m.Cols() == 2 }
+
+// meshCollectiveTime costs a software broadcast (root to all) or
+// reduction (all to root) on the mesh: one point-to-point message per
+// non-root processor, scheduled by the mesh's link-contention model.
+func meshCollectiveTime(m *machine.Mesh2D, bytes int64, reduction bool) float64 {
+	var msgs []machine.Message
+	for r := 1; r < m.Procs(); r++ {
+		msg := machine.Message{Src: 0, Dst: r, Bytes: bytes}
+		if reduction {
+			msg.Src, msg.Dst = msg.Dst, msg.Src
+		}
+		msgs = append(msgs, msg)
+	}
+	return m.Time(msgs)
+}

@@ -1,0 +1,206 @@
+// Package engine runs the paper's two-step heuristic over large
+// batches of scenarios concurrently. A fixed worker pool fans
+// core.Optimize out across the batch; a shared two-tier memo cache
+// (see Cache) computes each distinct optimization problem and each
+// distinct integer-matrix kernel once, so suites that reuse nests
+// across machine/distribution/size variants pay the expensive exact
+// linear algebra only once. Results are aggregated into per-class
+// communication counts, model-time totals and cache statistics.
+//
+// Running a batch is deterministic: results are reported in input
+// order and are byte-identical whatever the worker count and whether
+// the cache is enabled, because every memoized computation is a pure
+// function of its canonical key and the plan tier is single-flight.
+// The only timing-dependent quantity is the kernel-tier hit/miss
+// split in CacheStats (two workers can race to first-compute the
+// same kernel); plan-tier stats are exact.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/intmat"
+	"repro/internal/scenarios"
+)
+
+// Options tune a batch run.
+type Options struct {
+	// Workers is the size of the worker pool (≤0: GOMAXPROCS).
+	Workers int
+	// DisableCache turns the memo cache off; every scenario then
+	// recomputes its heuristic from scratch (ablation / testing).
+	DisableCache bool
+}
+
+// Result is the outcome for one scenario, in input order.
+type Result struct {
+	Name string
+	// Classes counts the scenario's communications per core.Class
+	// (indexed by the class constants Local..General).
+	Classes [4]int
+	// ModelTime is the modeled execution time (µs) of one sweep of
+	// all residual communications on the scenario's machine.
+	ModelTime float64
+	// Vectorizable counts plans satisfying the Section 4.5 condition.
+	Vectorizable int
+	// Err is the optimization error, if any ("" on success).
+	Err string
+}
+
+// BatchResult aggregates a run.
+type BatchResult struct {
+	Results []Result
+	Workers int
+	// ClassTotals sums Classes over all successful scenarios.
+	ClassTotals [4]int
+	// TotalModelTime sums ModelTime (µs).
+	TotalModelTime float64
+	// Errors counts failed scenarios.
+	Errors int
+	// Cache is the cache-effectiveness snapshot (zero when disabled).
+	Cache CacheStats
+}
+
+// installMu serializes Runs: the intmat kernel-cache hook is
+// process-global, so two overlapping runs (one cached, one not)
+// would otherwise leak one run's cache into the other's "uncached"
+// ablation and misattribute stats. Memoized kernels are pure, so
+// sharing would still be *correct* — the lock keeps runs honest.
+var installMu sync.Mutex
+
+// Run optimizes and costs every scenario of the batch.
+func Run(batch []scenarios.Scenario, opts Options) *BatchResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	installMu.Lock()
+	defer installMu.Unlock()
+	var cache *Cache
+	if !opts.DisableCache {
+		cache = NewCache()
+		intmat.SetKernelCache(cache)
+		defer intmat.SetKernelCache(nil)
+	} else {
+		intmat.SetKernelCache(nil)
+	}
+
+	b := &BatchResult{Results: make([]Result, len(batch)), Workers: workers}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				b.Results[i] = runOne(&batch[i], cache)
+			}
+		}()
+	}
+	for i := range batch {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i := range b.Results {
+		r := &b.Results[i]
+		if r.Err != "" {
+			b.Errors++
+			continue
+		}
+		for c, n := range r.Classes {
+			b.ClassTotals[c] += n
+		}
+		b.TotalModelTime += r.ModelTime
+	}
+	b.Cache = cache.Stats()
+	return b
+}
+
+// planEntry is the plan-tier cache value: the optimization result (or
+// its error) for one distinct optimization problem. The cached
+// *core.Result is shared read-only across scenarios and workers.
+type planEntry struct {
+	res *core.Result
+	err string
+}
+
+func runOne(sc *scenarios.Scenario, cache *Cache) Result {
+	out := Result{Name: sc.Name}
+	var ent planEntry
+	if cache != nil {
+		ent = cache.planDo(sc.PlanKey(), func() planEntry { return optimize(sc) })
+	} else {
+		ent = optimize(sc)
+	}
+	if ent.err != "" {
+		out.Err = ent.err
+		return out
+	}
+	for _, pl := range ent.res.Plans {
+		out.Classes[pl.Class]++
+		if pl.Vectorizable {
+			out.Vectorizable++
+		}
+		out.ModelTime += planTime(sc, pl)
+	}
+	return out
+}
+
+func optimize(sc *scenarios.Scenario) planEntry {
+	res, err := core.Optimize(sc.Program, sc.M, sc.Opts)
+	if err != nil {
+		return planEntry{err: err.Error()}
+	}
+	return planEntry{res: res}
+}
+
+// Report renders a human-readable batch summary: aggregate class
+// counts, model time, error count, cache effectiveness, and the most
+// expensive scenarios.
+func (b *BatchResult) Report() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "batch: %d scenarios on %d workers\n", len(b.Results), b.Workers)
+	fmt.Fprintf(&s, "communications: %d local, %d macro, %d decomposed, %d general\n",
+		b.ClassTotals[core.Local], b.ClassTotals[core.MacroComm],
+		b.ClassTotals[core.Decomposed], b.ClassTotals[core.General])
+	fmt.Fprintf(&s, "total model time: %.0f µs", b.TotalModelTime)
+	if b.Errors > 0 {
+		fmt.Fprintf(&s, "   (%d scenarios failed)", b.Errors)
+	}
+	s.WriteByte('\n')
+	if b.Cache != (CacheStats{}) {
+		c := b.Cache
+		fmt.Fprintf(&s, "cache: plan %d/%d hits, kernel %d/%d hits, %d entries\n",
+			c.PlanHits, c.PlanHits+c.PlanMisses,
+			c.KernelHits, c.KernelHits+c.KernelMisses, c.Entries)
+	}
+	top := make([]int, 0, len(b.Results))
+	for i, r := range b.Results {
+		if r.Err == "" {
+			top = append(top, i)
+		}
+	}
+	sort.Slice(top, func(x, y int) bool {
+		return b.Results[top[x]].ModelTime > b.Results[top[y]].ModelTime
+	})
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	if len(top) > 0 {
+		s.WriteString("most expensive scenarios:\n")
+		for _, i := range top {
+			r := b.Results[i]
+			fmt.Fprintf(&s, "  %-40s %10.0f µs  (%dL %dM %dD %dG)\n", r.Name, r.ModelTime,
+				r.Classes[core.Local], r.Classes[core.MacroComm],
+				r.Classes[core.Decomposed], r.Classes[core.General])
+		}
+	}
+	return s.String()
+}

@@ -14,8 +14,10 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/distrib"
+	"repro/internal/engine"
 	"repro/internal/intmat"
 	"repro/internal/machine"
+	"repro/internal/scenarios"
 )
 
 // Table1Row is one data-movement measurement of Table 1.
@@ -169,6 +171,24 @@ func FormatFigure8(pts []Fig8Point) string {
 			pt.Bytes, pt.RatioB, pt.RatioCB, pt.RatioC)
 	}
 	return b.String()
+}
+
+// BatchSweep runs the concurrent batch engine over the default
+// scenario suite (every built-in example nest plus `random` random
+// nests, crossed with the fat-tree and mesh machine models): the
+// "as many scenarios as you can imagine" experiment scaled down to a
+// deterministic sweep. workers ≤ 0 uses GOMAXPROCS.
+func BatchSweep(seed int64, random, workers int) *engine.BatchResult {
+	suite := scenarios.Generate(scenarios.Config{Seed: seed, Random: random})
+	return engine.Run(suite, engine.Options{Workers: workers})
+}
+
+// FormatBatchSweep renders the sweep like the other experiments.
+func FormatBatchSweep(b *engine.BatchResult) string {
+	var s strings.Builder
+	s.WriteString("Batch sweep: two-step heuristic over the generated scenario suite\n")
+	s.WriteString(b.Report())
+	return s.String()
 }
 
 // MotivatingExample runs the full pipeline on the paper's Example 1

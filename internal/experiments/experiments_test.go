@@ -95,3 +95,16 @@ func TestExample5Experiment(t *testing.T) {
 		t.Fatal("format broken")
 	}
 }
+
+func TestBatchSweepExperiment(t *testing.T) {
+	b := BatchSweep(7, 5, 4)
+	if len(b.Results) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if b.TotalModelTime <= 0 {
+		t.Fatalf("non-positive model time: %+v", b)
+	}
+	if !strings.Contains(FormatBatchSweep(b), "Batch sweep") {
+		t.Fatal("format broken")
+	}
+}

@@ -1,0 +1,71 @@
+package intmat
+
+import "sync/atomic"
+
+// KernelCache is a memo store for the expensive kernels of this
+// package (Hermite normal forms and integer kernel bases).
+// Implementations must be safe for concurrent use; package engine
+// provides one. Keys are canonical (operation-prefixed Mat.Key), so
+// a hit is always the exact result of the same computation. The
+// values stored under the keys are private to this package.
+type KernelCache interface {
+	Get(key string) (any, bool)
+	Put(key string, v any)
+}
+
+// kernelCache holds the installed cache. An atomic.Value of a boxed
+// interface allows lock-free reads on the hot path and tolerates
+// concurrent SetKernelCache calls.
+var kernelCache atomic.Value // of kernelCacheBox
+
+type kernelCacheBox struct{ c KernelCache }
+
+// SetKernelCache installs c as the memo store consulted by
+// HermiteLeft, HermiteRight, InverseUnimodular and KernelBasis; nil
+// disables memoization (the default). Results handed to callers are
+// deep copies of the cached matrices, so a hit is observationally
+// identical to recomputation and callers may freely mutate what they
+// receive.
+func SetKernelCache(c KernelCache) { kernelCache.Store(kernelCacheBox{c}) }
+
+func getKernelCache() KernelCache {
+	if b, ok := kernelCache.Load().(kernelCacheBox); ok {
+		return b.c
+	}
+	return nil
+}
+
+// matPair is the cached value of a two-matrix kernel result.
+type matPair struct{ a, b *Mat }
+
+// memoPair memoizes a kernel returning two matrices under
+// op+":"+m.Key(), cloning on both store and load.
+func memoPair(op string, m *Mat, compute func(*Mat) (*Mat, *Mat)) (*Mat, *Mat) {
+	c := getKernelCache()
+	if c == nil {
+		return compute(m)
+	}
+	key := op + ":" + m.Key()
+	if v, ok := c.Get(key); ok {
+		p := v.(matPair)
+		return p.a.Clone(), p.b.Clone()
+	}
+	a, b := compute(m)
+	c.Put(key, matPair{a.Clone(), b.Clone()})
+	return a, b
+}
+
+// memoOne memoizes a single-matrix kernel.
+func memoOne(op string, m *Mat, compute func(*Mat) *Mat) *Mat {
+	c := getKernelCache()
+	if c == nil {
+		return compute(m)
+	}
+	key := op + ":" + m.Key()
+	if v, ok := c.Get(key); ok {
+		return v.(*Mat).Clone()
+	}
+	r := compute(m)
+	c.Put(key, r.Clone())
+	return r
+}

@@ -10,6 +10,10 @@ import "math/big"
 // The basis is obtained from the column Hermite reduction m·V = [B 0]:
 // the trailing columns of the unimodular V span the kernel.
 func KernelBasis(m *Mat) *Mat {
+	return memoOne("ker", m, kernelBasis)
+}
+
+func kernelBasis(m *Mat) *Mat {
 	rows, cols := m.rows, m.cols
 	W := m.toBig()
 	V := bigIdentity(cols)

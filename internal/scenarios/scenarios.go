@@ -1,0 +1,250 @@
+// Package scenarios generates diverse optimization workloads for the
+// batch engine: every built-in example nest of package affine
+// (matmul, Gauss, Jacobi/ADI-style sweeps, the paper examples) plus
+// parameterized random affine nests, each crossed with machine models
+// (CM-5-like fat trees, Paragon-like meshes), data distributions and
+// problem sizes. Generation is fully deterministic in Config.Seed, so
+// a suite can be regenerated bit-identically for cache-consistency
+// and concurrency-determinism tests.
+package scenarios
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/affine"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/intmat"
+)
+
+// MachineKind selects one of the two machine models of the paper's
+// evaluation.
+type MachineKind int
+
+const (
+	// FatTree is the CM-5-like model (machine.FatTree).
+	FatTree MachineKind = iota
+	// Mesh is the Paragon-like 2-D mesh model (machine.Mesh2D).
+	Mesh
+)
+
+// MachineSpec names a concrete machine configuration: P processors
+// for a fat tree, a P×Q grid for a mesh.
+type MachineSpec struct {
+	Kind MachineKind
+	P, Q int
+}
+
+func (s MachineSpec) String() string {
+	if s.Kind == Mesh {
+		return fmt.Sprintf("mesh%dx%d", s.P, s.Q)
+	}
+	return fmt.Sprintf("fattree%d", s.P)
+}
+
+// Procs returns the processor count of the machine.
+func (s MachineSpec) Procs() int {
+	if s.Kind == Mesh {
+		return s.P * s.Q
+	}
+	return s.P
+}
+
+// Scenario is one unit of batch work: optimize Program for an
+// M-dimensional virtual grid under Opts, then cost the resulting
+// plans on Machine with the given distribution, virtual grid extent N
+// (per dimension) and per-element payload.
+type Scenario struct {
+	Name      string
+	Program   *affine.Program
+	M         int
+	Opts      core.Options
+	Machine   MachineSpec
+	Dist      distrib.Dist2D
+	N         int
+	ElemBytes int64
+}
+
+// PlanKey is the canonical identity of the scenario's *optimization*
+// input (program structure, target dimension, heuristic options).
+// Scenarios that differ only in machine, distribution or size share a
+// PlanKey, which is exactly what lets the engine compute the
+// expensive heuristic once per distinct nest. Program.String renders
+// every array, depth, schedule and access matrix, so equal keys imply
+// equal optimization problems.
+func (sc *Scenario) PlanKey() string {
+	return fmt.Sprintf("m=%d|opts=%+v|%s", sc.M, sc.Opts, sc.Program)
+}
+
+// Config parameterizes suite generation. The zero value of every
+// field selects a sensible default.
+type Config struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Random is the number of random affine nests to generate in
+	// addition to the built-in examples (default 15).
+	Random int
+	// NoExamples drops the built-in example nests from the suite.
+	NoExamples bool
+	// Machines lists the machine configurations to cross programs
+	// with (default: fat trees of 32 and 64 nodes, 4×4 and 8×8
+	// meshes).
+	Machines []MachineSpec
+	// Sizes lists virtual grid extents (default 16, 32).
+	Sizes []int
+	// ElemBytes is the payload per virtual grid point (default 64).
+	ElemBytes int64
+	// M is the target grid dimension (default 2).
+	M int
+	// Opts are the heuristic options applied to every scenario (zero
+	// value: the paper's configuration).
+	Opts core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Random == 0 {
+		c.Random = 15
+	}
+	if len(c.Machines) == 0 {
+		c.Machines = []MachineSpec{
+			{Kind: FatTree, P: 32},
+			{Kind: FatTree, P: 64},
+			{Kind: Mesh, P: 4, Q: 4},
+			{Kind: Mesh, P: 8, Q: 8},
+		}
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{16, 32}
+	}
+	if c.ElemBytes == 0 {
+		c.ElemBytes = 64
+	}
+	if c.M == 0 {
+		c.M = 2
+	}
+	return c
+}
+
+// dists is the distribution rotation applied across scenarios: the
+// four distribution families of the paper's Figure 8.
+var dists = []distrib.Dist2D{
+	{D0: distrib.Block{}, D1: distrib.Block{}},
+	{D0: distrib.Cyclic{}, D1: distrib.Cyclic{}},
+	{D0: distrib.BlockCyclic{B: 4}, D1: distrib.Block{}},
+	{D0: distrib.Grouped{K: 2}, D1: distrib.Block{}},
+}
+
+// Generate returns the scenario suite of cfg: (examples + random
+// nests) × machines, with distributions and sizes rotated so the
+// suite covers every combination family without a full cross
+// product. The result is deterministic in cfg.
+func Generate(cfg Config) []Scenario {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var progs []*affine.Program
+	if !cfg.NoExamples {
+		progs = append(progs, affine.AllExamples()...)
+	}
+	for i := 0; i < cfg.Random; i++ {
+		progs = append(progs, RandomNest(rng, fmt.Sprintf("rand%03d", i)))
+	}
+
+	var out []Scenario
+	for pi, p := range progs {
+		for mi, ms := range cfg.Machines {
+			// Rotate distributions and sizes by program+machine index
+			// so every machine sees every distribution family and
+			// every size across the suite. (A single running counter
+			// would alias: counter mod len(machines) equals the
+			// machine index, pinning each machine to one slot.)
+			d := dists[(pi+mi)%len(dists)]
+			n := cfg.Sizes[(pi+mi)%len(cfg.Sizes)]
+			out = append(out, Scenario{
+				Name:      fmt.Sprintf("%s/%s/%s/n%d", p.Name, ms, d.Name(), n),
+				Program:   p,
+				M:         cfg.M,
+				Opts:      cfg.Opts,
+				Machine:   ms,
+				Dist:      d,
+				N:         n,
+				ElemBytes: cfg.ElemBytes,
+			})
+		}
+	}
+	return out
+}
+
+// RandomNest builds a random valid affine nest: 1–2 statements of
+// depth 2–3 over 2–3 arrays, each statement with one full-rank write
+// (sometimes a reduction) and 1–3 reads through small random affine
+// matrices. Offsets are small constants; an outermost sequential loop
+// is added occasionally. The result always passes Validate.
+func RandomNest(rng *rand.Rand, name string) *affine.Program {
+	p := &affine.Program{Name: name}
+	nArr := 2 + rng.Intn(2)
+	for a := 0; a < nArr; a++ {
+		dim := 2 + rng.Intn(2)
+		p.AddArray(fmt.Sprintf("%s_a%d", name, a), dim)
+	}
+	nStmt := 1 + rng.Intn(2)
+	for s := 0; s < nStmt; s++ {
+		depth := 2 + rng.Intn(2)
+		idx := []string{"i", "j", "k"}[:depth]
+		st := p.NewStatement(fmt.Sprintf("%s_S%d", name, s), idx...)
+
+		// one write (or reduction) through a full-rank access
+		wArr := p.Arrays[rng.Intn(len(p.Arrays))]
+		wf := randAccess(rng, wArr.Dim, depth, true)
+		if rng.Intn(4) == 0 {
+			st.Reduce(wArr.Name, wf, randOffsets(rng, wArr.Dim)...)
+		} else {
+			st.Write(wArr.Name, wf, randOffsets(rng, wArr.Dim)...)
+		}
+
+		nReads := 1 + rng.Intn(3)
+		for r := 0; r < nReads; r++ {
+			rArr := p.Arrays[rng.Intn(len(p.Arrays))]
+			rf := randAccess(rng, rArr.Dim, depth, rng.Intn(3) > 0)
+			st.Read(rArr.Name, rf, randOffsets(rng, rArr.Dim)...)
+		}
+		if depth == 3 && rng.Intn(3) == 0 {
+			st.Seq(0)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		// randAccess and randOffsets respect every structural
+		// invariant, so this is unreachable; fail loudly if the
+		// generator regresses.
+		panic("scenarios: generated invalid nest: " + err.Error())
+	}
+	return p
+}
+
+// randAccess returns a random dim×depth access matrix with entries in
+// [-2, 2]; when fullRank is set it retries until rank min(dim, depth)
+// so the access participates in the access graph.
+func randAccess(rng *rand.Rand, dim, depth int, fullRank bool) *intmat.Mat {
+	want := dim
+	if depth < dim {
+		want = depth
+	}
+	for {
+		f := intmat.RandMat(rng, dim, depth, 2)
+		if !fullRank || f.Rank() == want {
+			return f
+		}
+	}
+}
+
+func randOffsets(rng *rand.Rand, dim int) []int64 {
+	c := make([]int64, dim)
+	for i := range c {
+		c[i] = int64(rng.Intn(5) - 2)
+	}
+	return c
+}

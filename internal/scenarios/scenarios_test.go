@@ -1,0 +1,120 @@
+package scenarios
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGenerateDeterministic: the same config yields the same suite,
+// name for name and key for key.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 42})
+	b := Generate(Config{Seed: 42})
+	if len(a) != len(b) {
+		t.Fatalf("suite sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("scenario %d: name %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		if a[i].PlanKey() != b[i].PlanKey() {
+			t.Fatalf("scenario %d (%s): plan keys differ", i, a[i].Name)
+		}
+	}
+	c := Generate(Config{Seed: 43})
+	diff := false
+	for i := range a {
+		if i < len(c) && a[i].PlanKey() != c[i].PlanKey() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("seeds 42 and 43 generated identical suites")
+	}
+}
+
+// TestDefaultSuiteSize: the defaults produce the ≥100-scenario batch
+// the benchmarks rely on.
+func TestDefaultSuiteSize(t *testing.T) {
+	s := Generate(Config{})
+	if len(s) != 100 {
+		t.Fatalf("default suite has %d scenarios, want 100", len(s))
+	}
+}
+
+// TestRandomNestsValid: generated nests always satisfy the Program
+// invariants (RandomNest panics otherwise) and have the advertised
+// shape bounds.
+func TestRandomNestsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		p := RandomNest(rng, "t")
+		if len(p.Arrays) < 2 || len(p.Arrays) > 3 {
+			t.Fatalf("nest %d: %d arrays", i, len(p.Arrays))
+		}
+		if len(p.Statements) < 1 || len(p.Statements) > 2 {
+			t.Fatalf("nest %d: %d statements", i, len(p.Statements))
+		}
+		for _, s := range p.Statements {
+			if s.Depth < 2 || s.Depth > 3 {
+				t.Fatalf("nest %d: statement depth %d", i, s.Depth)
+			}
+		}
+	}
+}
+
+// TestPlanKeySharing: scenarios that differ only in machine,
+// distribution or size share a plan key; different nests do not.
+func TestPlanKeySharing(t *testing.T) {
+	s := Generate(Config{Seed: 5, Random: 1, NoExamples: true})
+	if len(s) < 2 {
+		t.Fatal("need at least two scenarios")
+	}
+	if s[0].PlanKey() != s[1].PlanKey() {
+		t.Error("machine variants of the same nest have different plan keys")
+	}
+	other := Generate(Config{Seed: 6, Random: 1, NoExamples: true})
+	if s[0].PlanKey() == other[0].PlanKey() {
+		t.Error("different random nests share a plan key")
+	}
+}
+
+// TestMachineSpec: string forms and processor counts.
+func TestMachineSpec(t *testing.T) {
+	ft := MachineSpec{Kind: FatTree, P: 32}
+	if ft.String() != "fattree32" || ft.Procs() != 32 {
+		t.Errorf("fat tree spec: %s/%d", ft, ft.Procs())
+	}
+	m := MachineSpec{Kind: Mesh, P: 4, Q: 8}
+	if m.String() != "mesh4x8" || m.Procs() != 32 {
+		t.Errorf("mesh spec: %s/%d", m, m.Procs())
+	}
+}
+
+// TestDistributionCoverage: the rotation must pair every machine
+// with every distribution family and every size across the default
+// suite (a naive running counter aliases with the machine count and
+// pins each machine to a single distribution).
+func TestDistributionCoverage(t *testing.T) {
+	s := Generate(Config{Seed: 1})
+	seen := map[string]map[string]bool{}
+	sizes := map[string]map[int]bool{}
+	for _, sc := range s {
+		m := sc.Machine.String()
+		if seen[m] == nil {
+			seen[m] = map[string]bool{}
+			sizes[m] = map[int]bool{}
+		}
+		seen[m][sc.Dist.Name()] = true
+		sizes[m][sc.N] = true
+	}
+	for m, ds := range seen {
+		if len(ds) != len(dists) {
+			t.Errorf("machine %s sees %d distribution families, want %d: %v", m, len(ds), len(dists), ds)
+		}
+		if len(sizes[m]) < 2 {
+			t.Errorf("machine %s sees only sizes %v", m, sizes[m])
+		}
+	}
+}
