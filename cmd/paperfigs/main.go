@@ -7,6 +7,7 @@
 //	paperfigs -fig8      # grouped partition ratio curves
 //	paperfigs -motivating
 //	paperfigs -example5
+//	paperfigs -sweep      # batch sweep over the generated scenario suite
 package main
 
 import (
@@ -23,11 +24,15 @@ func main() {
 	f8 := flag.Bool("fig8", false, "print Figure 8 only")
 	mot := flag.Bool("motivating", false, "print the Section 2-3 walkthrough only")
 	ex5 := flag.Bool("example5", false, "print the Section 7.2 comparison only")
+	sweep := flag.Bool("sweep", false, "print the batch sweep only")
 	procs := flag.Int("procs", 32, "CM-5-like processor count for Table 1")
 	bytes := flag.Int64("bytes", 512, "payload per processor for Table 1 (bytes)")
+	sweepSeed := flag.Int64("sweep-seed", 1, "batch sweep: scenario generation seed")
+	sweepRandom := flag.Int("sweep-random", 15, "batch sweep: number of random nests")
+	sweepWorkers := flag.Int("sweep-workers", 0, "batch sweep: worker pool size (0: GOMAXPROCS)")
 	flag.Parse()
 
-	all := !*t1 && !*t2 && !*f8 && !*mot && !*ex5
+	all := !*t1 && !*t2 && !*f8 && !*mot && !*ex5 && !*sweep
 	if all || *t1 {
 		fmt.Print(experiments.FormatTable1(experiments.Table1(*procs, *bytes)))
 		fmt.Println()
@@ -58,5 +63,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(experiments.FormatExample5(r, steps))
+		fmt.Println()
+	}
+	if all || *sweep {
+		b := experiments.BatchSweep(*sweepSeed, *sweepRandom, *sweepWorkers)
+		fmt.Print(experiments.FormatBatchSweep(b))
 	}
 }

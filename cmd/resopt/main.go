@@ -15,13 +15,25 @@
 //
 //	resopt -batch                     # default 100-scenario suite
 //	resopt -batch -random 40 -seed 3  # bigger suite, different nests
+//	resopt -batch -deep 10 -m 3 -skew # deep nests, m=3, skewed grids
 //	resopt -batch -workers 1          # sequential baseline
 //	resopt -batch -no-cache           # memo-cache ablation
+//
+// The persistent plan store makes repeated sweeps
+// compile-once/reuse-many across processes, and snapshots make them
+// diffable across commits:
+//
+//	resopt -batch -store ./plans                  # warm the store
+//	resopt -batch -store ./plans                  # ≥90% served from disk
+//	resopt -batch -emit json -o after.json        # persist the results
+//	resopt -batch -store ./plans -snapshot after  # ... or into the store
+//	resopt -diff before.json after.json           # exit 1 on regressions
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/affine"
@@ -29,6 +41,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/nestlang"
 	"repro/internal/scenarios"
+	"repro/internal/store"
 )
 
 func main() {
@@ -40,20 +53,42 @@ func main() {
 	noDecomp := flag.Bool("no-decomp", false, "disable communication decomposition")
 	batch := flag.Bool("batch", false, "run the batch engine over a generated scenario suite")
 	random := flag.Int("random", 0, "batch: number of random nests (0: default)")
+	deep := flag.Int("deep", 0, "batch: number of deep (depth 4-5) random nests")
+	skew := flag.Bool("skew", false, "batch: add skewed machine grids to the suite")
 	seed := flag.Int64("seed", 0, "batch: scenario generation seed (0: default)")
 	workers := flag.Int("workers", 0, "batch: worker pool size (0: GOMAXPROCS)")
 	noCache := flag.Bool("no-cache", false, "batch: disable the memo cache")
+	cacheCap := flag.Int("cache-cap", 0, "batch: in-memory cache entry cap (0: default, <0: unbounded)")
+	storeDir := flag.String("store", "", "batch: directory of the persistent plan store")
+	snapshot := flag.String("snapshot", "", "batch: save the results as a named snapshot in the store")
+	emit := flag.String("emit", "", "batch: also emit the results as \"json\" or \"csv\"")
+	outFile := flag.String("o", "", "batch: write the -emit output to this file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two snapshots (args: paths, or names with -store); exit 1 on regressions")
 	flag.Parse()
 
+	if *diff {
+		runDiff(*storeDir, flag.Args())
+		return
+	}
+
 	if *batch {
-		suite := scenarios.Generate(scenarios.Config{
-			Seed:   *seed,
-			Random: *random,
-			M:      *m,
-			Opts:   core.Options{NoMacro: *noMacro, NoDecomposition: *noDecomp},
+		runBatch(batchConfig{
+			suite: scenarios.Config{
+				Seed:   *seed,
+				Random: *random,
+				Deep:   *deep,
+				Skew:   *skew,
+				M:      *m,
+				Opts:   core.Options{NoMacro: *noMacro, NoDecomposition: *noDecomp},
+			},
+			workers:  *workers,
+			noCache:  *noCache,
+			cacheCap: *cacheCap,
+			storeDir: *storeDir,
+			snapshot: *snapshot,
+			emit:     *emit,
+			outFile:  *outFile,
 		})
-		res := engine.Run(suite, engine.Options{Workers: *workers, DisableCache: *noCache})
-		fmt.Print(res.Report())
 		return
 	}
 
@@ -98,6 +133,128 @@ func main() {
 	fmt.Print(prog.String())
 	fmt.Println()
 	fmt.Print(res.Report())
+}
+
+type batchConfig struct {
+	suite              scenarios.Config
+	workers            int
+	noCache            bool
+	cacheCap           int
+	storeDir, snapshot string
+	emit, outFile      string
+}
+
+func runBatch(cfg batchConfig) {
+	// Flag validation first: a sweep can take minutes, so a typo must
+	// fail before the run, not discard its results after.
+	switch cfg.emit {
+	case "", "json", "csv":
+	default:
+		fatal(fmt.Errorf("unknown -emit format %q (want json or csv)", cfg.emit))
+	}
+	if cfg.snapshot != "" && cfg.storeDir == "" {
+		fatal(fmt.Errorf("-snapshot requires -store"))
+	}
+	if cfg.outFile != "" && cfg.emit == "" {
+		fatal(fmt.Errorf("-o requires -emit json|csv"))
+	}
+	if cfg.noCache && cfg.storeDir != "" {
+		// The disk tier hangs off the memory cache (memory → disk →
+		// compute); without the cache nothing would be read or
+		// persisted, so fail loudly instead of silently skipping it.
+		fatal(fmt.Errorf("-no-cache disables the plan cache the store extends; drop -store or -no-cache"))
+	}
+	var out *os.File
+	if cfg.emit != "" && cfg.outFile != "" {
+		f, err := os.Create(cfg.outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	opts := engine.Options{Workers: cfg.workers, DisableCache: cfg.noCache, CacheCap: cfg.cacheCap}
+	var st *store.Store
+	if cfg.storeDir != "" {
+		var err error
+		st, err = store.Open(cfg.storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = st
+	}
+	suite := scenarios.Generate(cfg.suite)
+	res := engine.Run(suite, opts)
+	// When the snapshot itself goes to stdout, the human report moves
+	// to stderr so the emitted stream stays machine-parseable.
+	report := os.Stdout
+	if cfg.emit != "" && cfg.outFile == "" {
+		report = os.Stderr
+	}
+	fmt.Fprint(report, res.Report())
+
+	snap := store.Take(res)
+	if cfg.snapshot != "" {
+		path, err := st.SaveSnapshot(cfg.snapshot, snap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(report, "snapshot saved to %s\n", path)
+	}
+	if cfg.emit != "" {
+		var w io.Writer = os.Stdout
+		if out != nil {
+			w = out
+		}
+		var err error
+		if cfg.emit == "json" {
+			err = snap.WriteJSON(w)
+		} else {
+			err = snap.WriteCSV(w)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runDiff loads two snapshots — file paths, or names inside the
+// -store directory — and reports their scenario-by-scenario diff.
+func runDiff(storeDir string, args []string) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("-diff needs exactly two snapshot arguments, got %d", len(args)))
+	}
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(storeDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	load := func(arg string) *store.Snapshot {
+		if _, err := os.Stat(arg); err == nil {
+			s, err := store.ReadSnapshot(arg)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}
+		if st != nil {
+			s, err := st.LoadSnapshot(arg)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}
+		fatal(fmt.Errorf("snapshot %q: no such file (use -store to resolve names)", arg))
+		return nil
+	}
+	d := store.Compare(load(args[0]), load(args[1]))
+	fmt.Print(d.Report())
+	if d.Regressions > 0 {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,76 @@
+// Command resoptd serves the residual-communication optimizer over
+// HTTP. One engine session backs every request, so concurrent
+// clients share the worker pool, the in-memory memo cache and the
+// optional disk store — a nest optimized once is served from cache
+// thereafter, across requests and (with -store) across restarts.
+//
+//	resoptd                              # serve on :8080, no persistence
+//	resoptd -addr :9000 -store ./plans   # persistent plan store
+//	resoptd -workers 8 -cache-cap 4096   # bounded pool and cache
+//
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/optimize -d '{"example":"matmul"}'
+//	curl -s -X POST localhost:8080/batch -d '{"random":2,"no_examples":true}'
+//
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "directory of the persistent plan store (empty: none)")
+	workers := flag.Int("workers", 0, "engine worker pool size (0: GOMAXPROCS)")
+	cacheCap := flag.Int("cache-cap", 0, "in-memory cache entry cap (0: default, <0: unbounded)")
+	flag.Parse()
+	log.SetPrefix("resoptd: ")
+	log.SetFlags(0)
+
+	opts := server.Options{Workers: *workers, CacheCap: *cacheCap}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Store = st
+		log.Printf("plan store at %s", st.Dir())
+	}
+	srv := server.New(opts)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		// Handlers may still be mid-request and submitting work to the
+		// shared session; closing it now would race them. The process
+		// is exiting anyway, so skip the session teardown.
+		log.Print("shutdown: ", err)
+		return
+	}
+	// Clean drain: no handler is running, the session can close.
+	srv.Close()
+}

@@ -1,12 +1,13 @@
 package engine
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 )
 
 // Cache is a concurrency-safe memo store shared by every worker of a
-// batch run. It memoizes at two tiers:
+// session. It memoizes at two tiers:
 //
 //   - kernel tier: Hermite normal forms, unimodular inverses and
 //     integer kernel bases, installed into package intmat via
@@ -18,25 +19,60 @@ import (
 //
 // Every memoized computation is a pure function of its canonical
 // key, so a hit always returns exactly what recomputation would.
+//
+// The cache is bounded: each shard keeps an LRU list and evicts its
+// least-recently-used entries once the shard exceeds its share of the
+// entry cap. Eviction never affects correctness — an evicted entry is
+// simply recomputed on the next request — but it does mean the miss
+// counters count recomputations, not distinct keys, once the cap is
+// reached.
 type Cache struct {
 	shards [cacheShards]cacheShard
 
 	kernelHits, kernelMisses atomic.Uint64
 	planHits, planMisses     atomic.Uint64
+	diskHits, diskMisses     atomic.Uint64
+	evictions                atomic.Uint64
 }
 
 const cacheShards = 16
 
+// DefaultCacheCap is the default bound on cached entries across both
+// tiers. Entries are small (a few matrices or plan summaries), so the
+// default is generous; it exists to keep truly large suites from
+// growing the process without bound (ROADMAP: eviction policy).
+const DefaultCacheCap = 1 << 16
+
 type cacheShard struct {
-	mu sync.RWMutex
-	m  map[string]any
+	mu  sync.Mutex
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used; values are *cacheCell
+	cap int        // max entries in this shard; 0 = unbounded
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
+type cacheCell struct {
+	key string
+	v   any
+}
+
+// NewCache returns an empty cache bounded to capEntries entries
+// (0: DefaultCacheCap; negative: unbounded).
+func NewCache(capEntries int) *Cache {
+	if capEntries == 0 {
+		capEntries = DefaultCacheCap
+	}
+	perShard := 0
+	if capEntries > 0 {
+		perShard = (capEntries + cacheShards - 1) / cacheShards
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
 	c := &Cache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]any)
+		c.shards[i].m = make(map[string]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].cap = perShard
 	}
 	return c
 }
@@ -50,19 +86,45 @@ func (c *Cache) shard(key string) *cacheShard {
 	return &c.shards[h%cacheShards]
 }
 
+// lookup returns the entry for key, marking it most recently used.
 func (c *Cache) lookup(key string) (any, bool) {
 	s := c.shard(key)
-	s.mu.RLock()
-	v, ok := s.m[key]
-	s.mu.RUnlock()
-	return v, ok
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheCell).v, true
 }
 
+// store inserts or refreshes key, evicting LRU entries past the cap.
 func (c *Cache) store(key string, v any) {
 	s := c.shard(key)
 	s.mu.Lock()
-	s.m[key] = v
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheCell).v = v
+		s.lru.MoveToFront(el)
+	} else {
+		s.m[key] = s.lru.PushFront(&cacheCell{key: key, v: v})
+		c.evict(s)
+	}
 	s.mu.Unlock()
+}
+
+// evict drops least-recently-used entries while the shard is over its
+// cap. Called with the shard lock held.
+func (c *Cache) evict(s *cacheShard) {
+	if s.cap <= 0 {
+		return
+	}
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.m, back.Value.(*cacheCell).key)
+		c.evictions.Add(1)
+	}
 }
 
 // Get implements intmat.KernelCache (kernel tier).
@@ -87,25 +149,28 @@ type planSlot struct {
 	val  planEntry
 }
 
-// planDo returns the plan entry for key, computing it exactly once
-// across all workers. The hit/miss counters are exact: misses equal
-// the number of distinct keys, whatever the worker count.
+// planDo returns the plan entry for key, computing it at most once
+// concurrently: workers racing on the same key share one computation.
+// Below the eviction cap the miss counter equals the number of
+// distinct keys exactly, whatever the worker count; past the cap an
+// evicted key misses again on its next use.
 func (c *Cache) planDo(key string, compute func() planEntry) planEntry {
 	k := "plan:" + key
 	s := c.shard(k)
 	s.mu.Lock()
-	v, ok := s.m[k]
-	if !ok {
-		v = &planSlot{}
-		s.m[k] = v
-	}
-	s.mu.Unlock()
-	if ok {
+	var slot *planSlot
+	if el, ok := s.m[k]; ok {
+		s.lru.MoveToFront(el)
+		slot = el.Value.(*cacheCell).v.(*planSlot)
+		s.mu.Unlock()
 		c.planHits.Add(1)
 	} else {
+		slot = &planSlot{}
+		s.m[k] = s.lru.PushFront(&cacheCell{key: k, v: slot})
+		c.evict(s)
+		s.mu.Unlock()
 		c.planMisses.Add(1)
 	}
-	slot := v.(*planSlot)
 	slot.once.Do(func() { slot.val = compute() })
 	return slot.val
 }
@@ -115,9 +180,9 @@ func (c *Cache) Len() int {
 	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
-		s.mu.RLock()
-		n += len(s.m)
-		s.mu.RUnlock()
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
 	}
 	return n
 }
@@ -126,7 +191,12 @@ func (c *Cache) Len() int {
 type CacheStats struct {
 	KernelHits, KernelMisses uint64
 	PlanHits, PlanMisses     uint64
-	Entries                  int
+	// DiskHits/DiskMisses count plan-tier memory misses that were
+	// served from / not found in the disk store (zero without one).
+	DiskHits, DiskMisses uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	Entries   int
 }
 
 // Stats snapshots the counters.
@@ -139,6 +209,9 @@ func (c *Cache) Stats() CacheStats {
 		KernelMisses: c.kernelMisses.Load(),
 		PlanHits:     c.planHits.Load(),
 		PlanMisses:   c.planMisses.Load(),
+		DiskHits:     c.diskHits.Load(),
+		DiskMisses:   c.diskMisses.Load(),
+		Evictions:    c.evictions.Load(),
 		Entries:      c.Len(),
 	}
 }

@@ -4,12 +4,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/intmat"
 	"repro/internal/machine"
-	"repro/internal/macro"
 	"repro/internal/scenarios"
 )
 
 // planTime costs one communication plan on the scenario's machine
-// model, in model-µs.
+// model, in model-µs. It reads only the cost-relevant projection of
+// the plan (planInfo), so plans loaded from the disk store cost
+// identically to freshly computed ones.
 //
 // Fat tree (CM-5-like): the four Table-1 primitives. The scenario's
 // per-processor payload is N elements of ElemBytes; a vectorizable
@@ -25,8 +26,8 @@ import (
 // all-to-root, for reductions) message pattern. A general plan whose
 // data-flow matrix is unknown is costed with the transpose
 // permutation [[0,1],[1,0]] as a deterministic stand-in pattern.
-func planTime(sc *scenarios.Scenario, pl core.Plan) float64 {
-	if pl.Class == core.Local {
+func planTime(sc *scenarios.Scenario, pl planInfo) float64 {
+	if pl.class == core.Local {
 		return 0
 	}
 	if sc.Machine.Kind == scenarios.Mesh {
@@ -35,17 +36,17 @@ func planTime(sc *scenarios.Scenario, pl core.Plan) float64 {
 	return fatTreePlanTime(sc, pl)
 }
 
-func fatTreePlanTime(sc *scenarios.Scenario, pl core.Plan) float64 {
+func fatTreePlanTime(sc *scenarios.Scenario, pl planInfo) float64 {
 	ft := machine.DefaultFatTree(sc.Machine.P)
 	one := func(bytes int64) float64 {
-		switch pl.Class {
+		switch pl.class {
 		case core.MacroComm:
-			if pl.Macro != nil && pl.Macro.Kind == macro.Reduction {
+			if pl.macroReduction {
 				return ft.Reduction(bytes)
 			}
 			return ft.Broadcast(bytes)
 		case core.Decomposed:
-			k := len(pl.Factors)
+			k := len(pl.factors)
 			if k == 0 {
 				k = 1 // pure translation
 			}
@@ -54,7 +55,7 @@ func fatTreePlanTime(sc *scenarios.Scenario, pl core.Plan) float64 {
 			return ft.General(1, bytes)
 		}
 	}
-	if pl.Vectorizable {
+	if pl.vectorizable {
 		return one(sc.ElemBytes * int64(sc.N))
 	}
 	return float64(sc.N) * one(sc.ElemBytes)
@@ -64,26 +65,26 @@ func fatTreePlanTime(sc *scenarios.Scenario, pl core.Plan) float64 {
 // plan has no usable 2×2 data-flow matrix.
 var standInGeneral = intmat.New(2, 2, 0, 1, 1, 0)
 
-func meshPlanTime(sc *scenarios.Scenario, pl core.Plan) float64 {
+func meshPlanTime(sc *scenarios.Scenario, pl planInfo) float64 {
 	m := machine.DefaultMesh(sc.Machine.P, sc.Machine.Q)
 	n, eb := sc.N, sc.ElemBytes
-	switch pl.Class {
+	switch pl.class {
 	case core.MacroComm:
-		return meshCollectiveTime(m, eb*int64(n), pl.Macro != nil && pl.Macro.Kind == macro.Reduction)
+		return meshCollectiveTime(m, eb*int64(n), pl.macroReduction)
 	case core.Decomposed:
-		if len(pl.Factors) > 0 && is2x2(pl.Factors[0]) {
-			return machine.DecomposedTime(m, sc.Dist, pl.Factors, n, n, eb)
+		if len(pl.factors) > 0 && is2x2(pl.factors[0]) {
+			return machine.DecomposedTime(m, sc.Dist, pl.factors, n, n, eb)
 		}
 		// pure translation (T = Id), or factors outside the 2-D
 		// simulator: unit-shift phases
-		k := len(pl.Factors)
+		k := len(pl.factors)
 		if k == 0 {
 			k = 1
 		}
 		shift := m.Time(machine.AffineComm2D(m, sc.Dist, intmat.Identity(2), []int64{1, 1}, n, n, eb))
 		return float64(k) * shift
 	default: // General
-		t := pl.Dataflow
+		t := pl.dataflow
 		if t == nil || !is2x2(t) {
 			t = standInGeneral
 		}

@@ -1,19 +1,25 @@
 // Package engine runs the paper's two-step heuristic over large
-// batches of scenarios concurrently. A fixed worker pool fans
-// core.Optimize out across the batch; a shared two-tier memo cache
-// (see Cache) computes each distinct optimization problem and each
-// distinct integer-matrix kernel once, so suites that reuse nests
-// across machine/distribution/size variants pay the expensive exact
-// linear algebra only once. Results are aggregated into per-class
-// communication counts, model-time totals and cache statistics.
+// batches of scenarios concurrently. A Session owns a fixed worker
+// pool that fans core.Optimize out across submitted work, and a
+// shared two-tier memo cache (see Cache) that computes each distinct
+// optimization problem and each distinct integer-matrix kernel once,
+// so suites that reuse nests across machine/distribution/size
+// variants pay the expensive exact linear algebra only once. An
+// optional disk tier (see PlanStore) extends the plan cache across
+// processes: lookups go memory → disk → compute, and fresh plans are
+// written back, so repeated CLI sweeps and daemon restarts reuse past
+// work. Results are aggregated into per-class communication counts,
+// model-time totals and cache statistics.
 //
 // Running a batch is deterministic: results are reported in input
-// order and are byte-identical whatever the worker count and whether
-// the cache is enabled, because every memoized computation is a pure
-// function of its canonical key and the plan tier is single-flight.
+// order and are byte-identical whatever the worker count, whether the
+// cache is enabled, and whether plans come from memory, disk or fresh
+// computation, because every memoized computation is a pure function
+// of its canonical key, the plan tier is single-flight, and the disk
+// tier persists exactly the cost-relevant projection of each plan.
 // The only timing-dependent quantity is the kernel-tier hit/miss
 // split in CacheStats (two workers can race to first-compute the
-// same kernel); plan-tier stats are exact.
+// same kernel); plan-tier stats are exact below the eviction cap.
 package engine
 
 import (
@@ -28,13 +34,20 @@ import (
 	"repro/internal/scenarios"
 )
 
-// Options tune a batch run.
+// Options tune a session or batch run.
 type Options struct {
 	// Workers is the size of the worker pool (≤0: GOMAXPROCS).
 	Workers int
 	// DisableCache turns the memo cache off; every scenario then
 	// recomputes its heuristic from scratch (ablation / testing).
+	// Disabling the memory tier also disables the disk tier.
 	DisableCache bool
+	// CacheCap bounds the in-memory cache entry count
+	// (0: DefaultCacheCap; negative: unbounded).
+	CacheCap int
+	// Store is the optional disk tier behind the plan cache
+	// (internal/store provides the implementation).
+	Store PlanStore
 }
 
 // Result is the outcome for one scenario, in input order.
@@ -63,50 +76,126 @@ type BatchResult struct {
 	// Errors counts failed scenarios.
 	Errors int
 	// Cache is the cache-effectiveness snapshot (zero when disabled).
+	// For a long-lived Session it covers the session's lifetime up to
+	// this batch, not just this batch.
 	Cache CacheStats
 }
 
-// installMu serializes Runs: the intmat kernel-cache hook is
-// process-global, so two overlapping runs (one cached, one not)
-// would otherwise leak one run's cache into the other's "uncached"
-// ablation and misattribute stats. Memoized kernels are pure, so
-// sharing would still be *correct* — the lock keeps runs honest.
+// installMu serializes sessions: the intmat kernel-cache hook is
+// process-global, so two overlapping sessions (one cached, one not)
+// would otherwise leak one session's cache into the other's
+// "uncached" ablation and misattribute stats. Memoized kernels are
+// pure, so sharing would still be *correct* — the lock keeps runs
+// honest. It is held from NewSession to Close.
 var installMu sync.Mutex
 
-// Run optimizes and costs every scenario of the batch.
-func Run(batch []scenarios.Scenario, opts Options) *BatchResult {
+// Session is a long-lived optimization context: a persistent worker
+// pool plus the shared cache tiers. A CLI batch run wraps one Run
+// call in a session; the resoptd daemon keeps a single session open
+// so concurrent requests share the pool, the memo cache and the disk
+// store. Sessions are safe for concurrent use; creating one blocks
+// until every previously created session has been Closed.
+type Session struct {
+	cache   *Cache
+	store   PlanStore
+	workers int
+	tasks   chan task
+	wg      sync.WaitGroup
+}
+
+type task struct {
+	sc    *scenarios.Scenario
+	idx   int
+	reply chan<- indexedResult
+}
+
+type indexedResult struct {
+	idx int
+	res Result
+}
+
+// NewSession starts the worker pool and installs the kernel-tier
+// cache hook. The caller must Close the session when done.
+func NewSession(opts Options) *Session {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	installMu.Lock()
-	defer installMu.Unlock()
-	var cache *Cache
+	s := &Session{workers: workers, tasks: make(chan task)}
 	if !opts.DisableCache {
-		cache = NewCache()
-		intmat.SetKernelCache(cache)
-		defer intmat.SetKernelCache(nil)
+		s.cache = NewCache(opts.CacheCap)
+		s.store = opts.Store
+		intmat.SetKernelCache(s.cache)
 	} else {
 		intmat.SetKernelCache(nil)
 	}
-
-	b := &BatchResult{Results: make([]Result, len(batch)), Workers: workers}
-	idx := make(chan int)
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		s.wg.Add(1)
 		go func() {
-			defer wg.Done()
-			for i := range idx {
-				b.Results[i] = runOne(&batch[i], cache)
+			defer s.wg.Done()
+			for t := range s.tasks {
+				t.reply <- indexedResult{t.idx, runOne(t.sc, s.cache, s.store)}
 			}
 		}()
 	}
-	for i := range batch {
-		idx <- i
+	return s
+}
+
+// Close drains the pool, uninstalls the kernel-cache hook and
+// releases the session lock. The session must not be used after.
+func (s *Session) Close() {
+	close(s.tasks)
+	s.wg.Wait()
+	intmat.SetKernelCache(nil)
+	installMu.Unlock()
+}
+
+// Workers returns the worker-pool size.
+func (s *Session) Workers() int { return s.workers }
+
+// CacheStats snapshots the session's cache counters (zero when the
+// cache is disabled).
+func (s *Session) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Optimize runs one scenario through the shared pool and cache tiers.
+func (s *Session) Optimize(sc *scenarios.Scenario) Result {
+	reply := make(chan indexedResult, 1)
+	s.tasks <- task{sc: sc, reply: reply}
+	return (<-reply).res
+}
+
+// Run optimizes and costs every scenario of the batch.
+func (s *Session) Run(batch []scenarios.Scenario) *BatchResult {
+	return s.RunStream(batch, nil)
+}
+
+// RunStream is Run with incremental delivery: emit (when non-nil) is
+// called once per scenario, in input order, as soon as that result
+// and all its predecessors are done — workers keep computing ahead
+// while earlier scenarios are still in flight. The returned
+// BatchResult is identical to Run's.
+func (s *Session) RunStream(batch []scenarios.Scenario, emit func(Result)) *BatchResult {
+	b := &BatchResult{Results: make([]Result, len(batch)), Workers: s.workers}
+	reply := make(chan indexedResult, len(batch))
+	go func() {
+		for i := range batch {
+			s.tasks <- task{sc: &batch[i], idx: i, reply: reply}
+		}
+	}()
+	done := make([]bool, len(batch))
+	next := 0
+	for n := 0; n < len(batch); n++ {
+		r := <-reply
+		b.Results[r.idx] = r.res
+		done[r.idx] = true
+		for next < len(batch) && done[next] {
+			if emit != nil {
+				emit(b.Results[next])
+			}
+			next++
+		}
 	}
-	close(idx)
-	wg.Wait()
 
 	for i := range b.Results {
 		r := &b.Results[i]
@@ -119,23 +208,25 @@ func Run(batch []scenarios.Scenario, opts Options) *BatchResult {
 		}
 		b.TotalModelTime += r.ModelTime
 	}
-	b.Cache = cache.Stats()
+	b.Cache = s.cache.Stats()
 	return b
 }
 
-// planEntry is the plan-tier cache value: the optimization result (or
-// its error) for one distinct optimization problem. The cached
-// *core.Result is shared read-only across scenarios and workers.
-type planEntry struct {
-	res *core.Result
-	err string
+// Run optimizes and costs every scenario of the batch in a one-shot
+// session.
+func Run(batch []scenarios.Scenario, opts Options) *BatchResult {
+	s := NewSession(opts)
+	defer s.Close()
+	return s.Run(batch)
 }
 
-func runOne(sc *scenarios.Scenario, cache *Cache) Result {
+func runOne(sc *scenarios.Scenario, cache *Cache, store PlanStore) Result {
 	out := Result{Name: sc.Name}
 	var ent planEntry
 	if cache != nil {
-		ent = cache.planDo(sc.PlanKey(), func() planEntry { return optimize(sc) })
+		ent = cache.planDo(sc.PlanKey(), func() planEntry {
+			return computeOrLoad(sc, cache, store)
+		})
 	} else {
 		ent = optimize(sc)
 	}
@@ -143,9 +234,9 @@ func runOne(sc *scenarios.Scenario, cache *Cache) Result {
 		out.Err = ent.err
 		return out
 	}
-	for _, pl := range ent.res.Plans {
-		out.Classes[pl.Class]++
-		if pl.Vectorizable {
+	for _, pl := range ent.plans {
+		out.Classes[pl.class]++
+		if pl.vectorizable {
 			out.Vectorizable++
 		}
 		out.ModelTime += planTime(sc, pl)
@@ -153,12 +244,26 @@ func runOne(sc *scenarios.Scenario, cache *Cache) Result {
 	return out
 }
 
-func optimize(sc *scenarios.Scenario) planEntry {
-	res, err := core.Optimize(sc.Program, sc.M, sc.Opts)
-	if err != nil {
-		return planEntry{err: err.Error()}
+// computeOrLoad fills a plan-tier memory miss: consult the disk store
+// first, recompute on a disk miss (or an undecodable record), and
+// write fresh plans back so the next process starts warm.
+func computeOrLoad(sc *scenarios.Scenario, cache *Cache, store PlanStore) planEntry {
+	key := sc.PlanKey()
+	if store != nil {
+		if recs, errMsg, ok := store.GetPlan(key); ok {
+			if ent, err := fromRecords(recs, errMsg); err == nil {
+				cache.diskHits.Add(1)
+				return ent
+			}
+		}
+		cache.diskMisses.Add(1)
 	}
-	return planEntry{res: res}
+	ent := optimize(sc)
+	if store != nil {
+		recs, errMsg := toRecords(ent)
+		store.PutPlan(key, recs, errMsg)
+	}
+	return ent
 }
 
 // Report renders a human-readable batch summary: aggregate class
@@ -177,9 +282,17 @@ func (b *BatchResult) Report() string {
 	s.WriteByte('\n')
 	if b.Cache != (CacheStats{}) {
 		c := b.Cache
-		fmt.Fprintf(&s, "cache: plan %d/%d hits, kernel %d/%d hits, %d entries\n",
+		fmt.Fprintf(&s, "cache: plan %d/%d hits, kernel %d/%d hits, %d entries",
 			c.PlanHits, c.PlanHits+c.PlanMisses,
 			c.KernelHits, c.KernelHits+c.KernelMisses, c.Entries)
+		if c.Evictions > 0 {
+			fmt.Fprintf(&s, ", %d evicted", c.Evictions)
+		}
+		s.WriteByte('\n')
+		if c.DiskHits+c.DiskMisses > 0 {
+			fmt.Fprintf(&s, "store: %d/%d plan loads served from disk\n",
+				c.DiskHits, c.DiskHits+c.DiskMisses)
+		}
 	}
 	top := make([]int, 0, len(b.Results))
 	for i, r := range b.Results {

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/intmat"
+	"repro/internal/macro"
+	"repro/internal/scenarios"
+)
+
+// PlanRecord is the serializable projection of one core.Plan: exactly
+// the fields the cost models and batch aggregation read. It is the
+// unit the disk tier persists, so a plan loaded from a warm store
+// yields byte-identical batch results to a cold recomputation.
+type PlanRecord struct {
+	Class          int          `json:"class"`
+	Vectorizable   bool         `json:"vec,omitempty"`
+	MacroReduction bool         `json:"red,omitempty"`
+	Factors        []intmat.Rec `json:"factors,omitempty"`
+	Dataflow       *intmat.Rec  `json:"dataflow,omitempty"`
+}
+
+// PlanStore is the disk tier consulted between the in-memory memo
+// cache and a fresh computation (memory → disk → compute).
+// Implementations must be safe for concurrent use and must never
+// fail loudly on bad data: a missing, corrupt or mismatched entry is
+// reported as ok == false, and the engine recomputes.
+// internal/store provides the canonical implementation.
+type PlanStore interface {
+	GetPlan(key string) (plans []PlanRecord, errMsg string, ok bool)
+	PutPlan(key string, plans []PlanRecord, errMsg string)
+}
+
+// planInfo is the runtime form of one plan inside a planEntry: the
+// cost-relevant projection of core.Plan, whatever tier it came from.
+type planInfo struct {
+	class          core.Class
+	vectorizable   bool
+	macroReduction bool
+	factors        []*intmat.Mat
+	dataflow       *intmat.Mat
+}
+
+// planEntry is the plan-tier cache value: the cost-relevant plan
+// summaries (or the optimization error) for one distinct optimization
+// problem. Entries are shared read-only across scenarios and workers.
+type planEntry struct {
+	plans []planInfo
+	err   string
+}
+
+// optimize computes a plan entry from scratch via the full two-step
+// heuristic, projecting the result down to what costing needs.
+func optimize(sc *scenarios.Scenario) planEntry {
+	res, err := core.Optimize(sc.Program, sc.M, sc.Opts)
+	if err != nil {
+		return planEntry{err: err.Error()}
+	}
+	ent := planEntry{plans: make([]planInfo, 0, len(res.Plans))}
+	for _, pl := range res.Plans {
+		ent.plans = append(ent.plans, planInfo{
+			class:          pl.Class,
+			vectorizable:   pl.Vectorizable,
+			macroReduction: pl.Macro != nil && pl.Macro.Kind == macro.Reduction,
+			factors:        pl.Factors,
+			dataflow:       pl.Dataflow,
+		})
+	}
+	return ent
+}
+
+// toRecords serializes a plan entry for the disk tier.
+func toRecords(ent planEntry) ([]PlanRecord, string) {
+	recs := make([]PlanRecord, 0, len(ent.plans))
+	for _, p := range ent.plans {
+		r := PlanRecord{
+			Class:          int(p.class),
+			Vectorizable:   p.vectorizable,
+			MacroReduction: p.macroReduction,
+		}
+		for _, f := range p.factors {
+			r.Factors = append(r.Factors, f.Rec())
+		}
+		if p.dataflow != nil {
+			rec := p.dataflow.Rec()
+			r.Dataflow = &rec
+		}
+		recs = append(recs, r)
+	}
+	return recs, ent.err
+}
+
+// fromRecords rebuilds a plan entry from disk records, rejecting
+// records that do not decode to valid matrices or classes (the caller
+// treats an error as a disk miss and recomputes).
+func fromRecords(recs []PlanRecord, errMsg string) (planEntry, error) {
+	ent := planEntry{err: errMsg, plans: make([]planInfo, 0, len(recs))}
+	for _, r := range recs {
+		if r.Class < int(core.Local) || r.Class > int(core.General) {
+			return planEntry{}, errBadRecord{}
+		}
+		p := planInfo{
+			class:          core.Class(r.Class),
+			vectorizable:   r.Vectorizable,
+			macroReduction: r.MacroReduction,
+		}
+		for _, fr := range r.Factors {
+			f, err := intmat.FromRec(fr)
+			if err != nil {
+				return planEntry{}, err
+			}
+			p.factors = append(p.factors, f)
+		}
+		if r.Dataflow != nil {
+			t, err := intmat.FromRec(*r.Dataflow)
+			if err != nil {
+				return planEntry{}, err
+			}
+			p.dataflow = t
+		}
+		ent.plans = append(ent.plans, p)
+	}
+	return ent, nil
+}
+
+type errBadRecord struct{}
+
+func (errBadRecord) Error() string { return "engine: plan record has an invalid class" }

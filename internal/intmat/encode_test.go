@@ -1,0 +1,42 @@
+package intmat
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRecRoundTrip: Mat → Rec → JSON → Rec → Mat is the identity.
+func TestRecRoundTrip(t *testing.T) {
+	m := New(2, 3, 1, -2, 3, 0, 5, -6)
+	data, err := json.Marshal(m.Rec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Rec
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromRec(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("round-trip %v ≠ %v", got, m)
+	}
+}
+
+// TestFromRecValidation: malformed records error instead of panicking
+// or producing a broken matrix.
+func TestFromRecValidation(t *testing.T) {
+	for name, r := range map[string]Rec{
+		"zero rows":  {R: 0, C: 2, V: []int64{}},
+		"neg cols":   {R: 2, C: -1, V: []int64{}},
+		"too few":    {R: 2, C: 2, V: []int64{1, 2, 3}},
+		"too many":   {R: 1, C: 1, V: []int64{1, 2}},
+		"nil values": {R: 1, C: 1},
+	} {
+		if _, err := FromRec(r); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

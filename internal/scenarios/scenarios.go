@@ -43,6 +43,24 @@ func (s MachineSpec) String() string {
 	return fmt.Sprintf("fattree%d", s.P)
 }
 
+// ParseMachineSpec parses the String form back into a spec:
+// "fattreeP" or "meshPxQ" with positive extents.
+func ParseMachineSpec(s string) (MachineSpec, error) {
+	var spec MachineSpec
+	if n, err := fmt.Sscanf(s, "fattree%d", &spec.P); err == nil && n == 1 && spec.P > 0 {
+		if s == spec.String() {
+			return spec, nil
+		}
+	}
+	spec = MachineSpec{Kind: Mesh}
+	if n, err := fmt.Sscanf(s, "mesh%dx%d", &spec.P, &spec.Q); err == nil && n == 2 && spec.P > 0 && spec.Q > 0 {
+		if s == spec.String() {
+			return spec, nil
+		}
+	}
+	return MachineSpec{}, fmt.Errorf(`scenarios: bad machine spec %q (want "fattreeP" or "meshPxQ")`, s)
+}
+
 // Procs returns the processor count of the machine.
 func (s MachineSpec) Procs() int {
 	if s.Kind == Mesh {
@@ -85,6 +103,15 @@ type Config struct {
 	// Random is the number of random affine nests to generate in
 	// addition to the built-in examples (default 15).
 	Random int
+	// Deep is the number of additional deep random nests (depth 4–5,
+	// see RandomDeepNest) to generate; default 0. Deep nests exercise
+	// the m = 3 target-dimension path (the Cray T3D case the paper
+	// sketches) and give the disk store large plans to persist.
+	Deep int
+	// Skew appends skewed machine grids (2×16 and 16×2 meshes, a
+	// 128-node fat tree) to the machine list, so suites also cover
+	// far-from-square processor arrangements.
+	Skew bool
 	// NoExamples drops the built-in example nests from the suite.
 	NoExamples bool
 	// Machines lists the machine configurations to cross programs
@@ -120,6 +147,13 @@ func (c Config) withDefaults() Config {
 	if len(c.Sizes) == 0 {
 		c.Sizes = []int{16, 32}
 	}
+	if c.Skew {
+		c.Machines = append(append([]MachineSpec{}, c.Machines...),
+			MachineSpec{Kind: Mesh, P: 2, Q: 16},
+			MachineSpec{Kind: Mesh, P: 16, Q: 2},
+			MachineSpec{Kind: FatTree, P: 128},
+		)
+	}
 	if c.ElemBytes == 0 {
 		c.ElemBytes = 64
 	}
@@ -153,6 +187,9 @@ func Generate(cfg Config) []Scenario {
 	for i := 0; i < cfg.Random; i++ {
 		progs = append(progs, RandomNest(rng, fmt.Sprintf("rand%03d", i)))
 	}
+	for i := 0; i < cfg.Deep; i++ {
+		progs = append(progs, RandomDeepNest(rng, fmt.Sprintf("deep%03d", i)))
+	}
 
 	var out []Scenario
 	for pi, p := range progs {
@@ -185,6 +222,23 @@ func Generate(cfg Config) []Scenario {
 // matrices. Offsets are small constants; an outermost sequential loop
 // is added occasionally. The result always passes Validate.
 func RandomNest(rng *rand.Rand, name string) *affine.Program {
+	return randomNest(rng, name, 2, 3)
+}
+
+// RandomDeepNest is RandomNest scaled up: statements of depth 4–5,
+// the deeper iteration spaces the ROADMAP asks for. Deep nests pair
+// with target dimension m = 3 to exercise the elementary-N
+// decomposition path.
+func RandomDeepNest(rng *rand.Rand, name string) *affine.Program {
+	return randomNest(rng, name, 4, 5)
+}
+
+// randomNest draws a nest with statement depths in [minDepth,
+// maxDepth]. For the historical 2–3 range it consumes the rng in
+// exactly the original RandomNest order, so seeded suites are stable
+// across this generalization.
+func randomNest(rng *rand.Rand, name string, minDepth, maxDepth int) *affine.Program {
+	idxNames := []string{"i", "j", "k", "l", "m", "n", "o"}
 	p := &affine.Program{Name: name}
 	nArr := 2 + rng.Intn(2)
 	for a := 0; a < nArr; a++ {
@@ -193,8 +247,8 @@ func RandomNest(rng *rand.Rand, name string) *affine.Program {
 	}
 	nStmt := 1 + rng.Intn(2)
 	for s := 0; s < nStmt; s++ {
-		depth := 2 + rng.Intn(2)
-		idx := []string{"i", "j", "k"}[:depth]
+		depth := minDepth + rng.Intn(maxDepth-minDepth+1)
+		idx := idxNames[:depth]
 		st := p.NewStatement(fmt.Sprintf("%s_S%d", name, s), idx...)
 
 		// one write (or reduction) through a full-rank access
@@ -212,7 +266,7 @@ func RandomNest(rng *rand.Rand, name string) *affine.Program {
 			rf := randAccess(rng, rArr.Dim, depth, rng.Intn(3) > 0)
 			st.Read(rArr.Name, rf, randOffsets(rng, rArr.Dim)...)
 		}
-		if depth == 3 && rng.Intn(3) == 0 {
+		if depth >= 3 && rng.Intn(3) == 0 {
 			st.Seq(0)
 		}
 	}

@@ -80,6 +80,88 @@ func TestPlanKeySharing(t *testing.T) {
 	}
 }
 
+// TestDeepNestsValid: deep nests respect the advertised depth range
+// and still validate.
+func TestDeepNestsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		p := RandomDeepNest(rng, "d")
+		for _, s := range p.Statements {
+			if s.Depth < 4 || s.Depth > 5 {
+				t.Fatalf("deep nest %d: statement depth %d, want 4-5", i, s.Depth)
+			}
+		}
+	}
+}
+
+// TestScaledSuite: Deep + Skew + m=3 extend the suite with deep nests
+// crossed against skewed grids, deterministically.
+func TestScaledSuite(t *testing.T) {
+	cfg := Config{Seed: 11, Random: 1, Deep: 3, Skew: true, M: 3, NoExamples: true}
+	s := Generate(cfg)
+	// (1 random + 3 deep) nests × (4 default + 3 skewed) machines.
+	if len(s) != 4*7 {
+		t.Fatalf("scaled suite has %d scenarios, want %d", len(s), 4*7)
+	}
+	deep, skewed := 0, 0
+	for _, sc := range s {
+		if sc.M != 3 {
+			t.Fatalf("%s: M = %d, want 3", sc.Name, sc.M)
+		}
+		if len(sc.Name) >= 4 && sc.Name[:4] == "deep" {
+			deep++
+		}
+		switch sc.Machine.String() {
+		case "mesh2x16", "mesh16x2", "fattree128":
+			skewed++
+		}
+	}
+	if deep != 3*7 {
+		t.Errorf("%d deep scenarios, want %d", deep, 3*7)
+	}
+	if skewed != 4*3 {
+		t.Errorf("%d skewed-machine scenarios, want %d", skewed, 4*3)
+	}
+	again := Generate(cfg)
+	for i := range s {
+		if s[i].Name != again[i].Name || s[i].PlanKey() != again[i].PlanKey() {
+			t.Fatalf("scaled suite not deterministic at %d", i)
+		}
+	}
+}
+
+// TestSeedStability: generalizing the nest generator must not change
+// what historical seeds produce (disk-store keys depend on it).
+func TestSeedStability(t *testing.T) {
+	s := Generate(Config{Seed: 7, Random: 2, NoExamples: true})
+	deep := Generate(Config{Seed: 7, Random: 2, Deep: 1, NoExamples: true})
+	for i := range s {
+		if s[i].PlanKey() != deep[i].PlanKey() {
+			t.Fatalf("adding deep nests changed random nest %d (%s)", i, s[i].Name)
+		}
+	}
+}
+
+// TestParseMachineSpec: round-trips and rejections.
+func TestParseMachineSpec(t *testing.T) {
+	for _, spec := range []MachineSpec{
+		{Kind: FatTree, P: 32},
+		{Kind: FatTree, P: 128},
+		{Kind: Mesh, P: 4, Q: 4},
+		{Kind: Mesh, P: 16, Q: 2},
+	} {
+		got, err := ParseMachineSpec(spec.String())
+		if err != nil || got != spec {
+			t.Errorf("ParseMachineSpec(%q) = %v, %v", spec.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "torus4", "mesh4", "meshx4", "fattree", "fattree-2", "mesh0x4", "fattree32x"} {
+		if _, err := ParseMachineSpec(bad); err == nil {
+			t.Errorf("ParseMachineSpec(%q) accepted", bad)
+		}
+	}
+}
+
 // TestMachineSpec: string forms and processor counts.
 func TestMachineSpec(t *testing.T) {
 	ft := MachineSpec{Kind: FatTree, P: 32}

@@ -1,0 +1,309 @@
+// Package server exposes the optimization engine as an HTTP service
+// (the resoptd daemon). One long-lived engine.Session backs every
+// request: concurrent clients share the worker pool, the in-memory
+// memo cache and the optional disk store, so a nest optimized once —
+// by anyone, in any process that shared the store — is served from
+// cache thereafter (the ResFed-style compile-once/reuse-many model).
+//
+// Endpoints:
+//
+//	POST /optimize  one nest (built-in example or nestlang source) →
+//	                classification counts and model time
+//	POST /batch     suite spec → NDJSON stream of per-scenario
+//	                results, in input order, ending in a summary line
+//	GET  /stats     cache, store and request counters
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/affine"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/engine"
+	"repro/internal/nestlang"
+	"repro/internal/scenarios"
+	"repro/internal/store"
+)
+
+// Options configure a server.
+type Options struct {
+	// Workers sizes the shared engine pool (≤0: GOMAXPROCS).
+	Workers int
+	// CacheCap bounds the in-memory cache (0: engine default).
+	CacheCap int
+	// Store is the optional disk tier shared by every request.
+	Store *store.Store
+}
+
+// Server owns the shared session. Create with New, serve via
+// Handler, and Close on shutdown.
+type Server struct {
+	session *engine.Session
+	store   *store.Store
+	mux     *http.ServeMux
+
+	optimizes, batches atomic.Uint64
+}
+
+// New starts the shared engine session and builds the route table.
+func New(opts Options) *Server {
+	eo := engine.Options{Workers: opts.Workers, CacheCap: opts.CacheCap}
+	if opts.Store != nil {
+		eo.Store = opts.Store
+	}
+	s := &Server{session: engine.NewSession(eo), store: opts.Store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "resoptd: POST /optimize, POST /batch, GET /stats\n")
+	})
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the shared session down. Call only after the HTTP
+// server has stopped serving requests.
+func (s *Server) Close() { s.session.Close() }
+
+// maxBody bounds request bodies; nest sources are tiny.
+const maxBody = 1 << 20
+
+// OptimizeRequest is the POST /optimize body. Exactly one of Example
+// (a built-in nest name, see `resopt -list`) or Nest (nestlang
+// source) selects the program.
+type OptimizeRequest struct {
+	Example string `json:"example,omitempty"`
+	Nest    string `json:"nest,omitempty"`
+	// M is the target virtual grid dimension (default 2).
+	M int `json:"m,omitempty"`
+	// Machine is a spec like "fattree32" or "mesh4x4"
+	// (default fattree32); N and ElemBytes size the payload
+	// (defaults 16 and 64).
+	Machine   string `json:"machine,omitempty"`
+	N         int    `json:"n,omitempty"`
+	ElemBytes int64  `json:"elem_bytes,omitempty"`
+	// NoMacro / NoDecomposition are the heuristic ablations.
+	NoMacro         bool `json:"no_macro,omitempty"`
+	NoDecomposition bool `json:"no_decomposition,omitempty"`
+}
+
+// OptimizeResponse is the POST /optimize reply: the per-class
+// communication counts of the optimized nest (identical to a direct
+// core.Optimize call) plus the modeled time on the chosen machine.
+type OptimizeResponse struct {
+	Name         string  `json:"name"`
+	Machine      string  `json:"machine"`
+	Local        int     `json:"local"`
+	Macro        int     `json:"macro"`
+	Decomposed   int     `json:"decomposed"`
+	General      int     `json:"general"`
+	Vectorizable int     `json:"vectorizable"`
+	ModelTimeUs  float64 `json:"model_time_us"`
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.optimizes.Add(1)
+	var req OptimizeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sc, err := scenarioFromRequest(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res := s.session.Optimize(sc)
+	if res.Err != "" {
+		httpError(w, http.StatusUnprocessableEntity, "optimization failed: %s", res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OptimizeResponse{
+		Name:         res.Name,
+		Machine:      sc.Machine.String(),
+		Local:        res.Classes[core.Local],
+		Macro:        res.Classes[core.MacroComm],
+		Decomposed:   res.Classes[core.Decomposed],
+		General:      res.Classes[core.General],
+		Vectorizable: res.Vectorizable,
+		ModelTimeUs:  res.ModelTime,
+	})
+}
+
+// scenarioFromRequest resolves the program and fills the machine and
+// payload defaults.
+func scenarioFromRequest(req *OptimizeRequest) (*scenarios.Scenario, error) {
+	var prog *affine.Program
+	switch {
+	case req.Example != "" && req.Nest != "":
+		return nil, fmt.Errorf(`give "example" or "nest", not both`)
+	case req.Example != "":
+		for _, p := range affine.AllExamples() {
+			if p.Name == req.Example {
+				prog = p
+			}
+		}
+		if prog == nil {
+			return nil, fmt.Errorf("unknown example %q", req.Example)
+		}
+	case req.Nest != "":
+		p, err := nestlang.Parse(req.Nest)
+		if err != nil {
+			return nil, fmt.Errorf("parsing nest: %w", err)
+		}
+		prog = p
+	default:
+		return nil, fmt.Errorf(`give "example" or "nest"`)
+	}
+	m := req.M
+	if m == 0 {
+		m = 2
+	}
+	ms := scenarios.MachineSpec{Kind: scenarios.FatTree, P: 32}
+	if req.Machine != "" {
+		var err error
+		ms, err = scenarios.ParseMachineSpec(req.Machine)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := req.N
+	if n <= 0 {
+		n = 16
+	}
+	eb := req.ElemBytes
+	if eb <= 0 {
+		eb = 64
+	}
+	return &scenarios.Scenario{
+		Name:      prog.Name,
+		Program:   prog,
+		M:         m,
+		Opts:      core.Options{NoMacro: req.NoMacro, NoDecomposition: req.NoDecomposition},
+		Machine:   ms,
+		Dist:      distrib.Dist2D{D0: distrib.Block{}, D1: distrib.Block{}},
+		N:         n,
+		ElemBytes: eb,
+	}, nil
+}
+
+// BatchRequest is the POST /batch body: a scenarios.Config spec.
+type BatchRequest struct {
+	Seed       int64 `json:"seed,omitempty"`
+	Random     int   `json:"random,omitempty"`
+	Deep       int   `json:"deep,omitempty"`
+	Skew       bool  `json:"skew,omitempty"`
+	NoExamples bool  `json:"no_examples,omitempty"`
+	M          int   `json:"m,omitempty"`
+	NoMacro    bool  `json:"no_macro,omitempty"`
+	NoDecomp   bool  `json:"no_decomposition,omitempty"`
+}
+
+// maxSuiteNests bounds /batch suite generation per request.
+const maxSuiteNests = 1000
+
+// BatchLine is one NDJSON line of the /batch stream.
+type BatchLine struct {
+	Name         string  `json:"name"`
+	Classes      [4]int  `json:"classes"`
+	Vectorizable int     `json:"vectorizable"`
+	ModelTimeUs  float64 `json:"model_time_us"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// BatchSummary is the final NDJSON line of the /batch stream.
+type BatchSummary struct {
+	Summary struct {
+		Scenarios      int     `json:"scenarios"`
+		ClassTotals    [4]int  `json:"class_totals"`
+		TotalModelTime float64 `json:"total_model_time_us"`
+		Errors         int     `json:"errors"`
+	} `json:"summary"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.batches.Add(1)
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Bound each field before summing: two huge values could overflow
+	// the sum past the guard.
+	if req.Random < 0 || req.Deep < 0 ||
+		req.Random > maxSuiteNests || req.Deep > maxSuiteNests ||
+		req.Random+req.Deep > maxSuiteNests {
+		httpError(w, http.StatusBadRequest, "random+deep must be in [0, %d]", maxSuiteNests)
+		return
+	}
+	suite := scenarios.Generate(scenarios.Config{
+		Seed:       req.Seed,
+		Random:     req.Random,
+		Deep:       req.Deep,
+		Skew:       req.Skew,
+		NoExamples: req.NoExamples,
+		M:          req.M,
+		Opts:       core.Options{NoMacro: req.NoMacro, NoDecomposition: req.NoDecomp},
+	})
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	b := s.session.RunStream(suite, func(res engine.Result) {
+		enc.Encode(BatchLine{
+			Name:         res.Name,
+			Classes:      res.Classes,
+			Vectorizable: res.Vectorizable,
+			ModelTimeUs:  res.ModelTime,
+			Err:          res.Err,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	var sum BatchSummary
+	sum.Summary.Scenarios = len(b.Results)
+	sum.Summary.ClassTotals = b.ClassTotals
+	sum.Summary.TotalModelTime = b.TotalModelTime
+	sum.Summary.Errors = b.Errors
+	enc.Encode(sum)
+}
+
+// StatsResponse is the GET /stats reply.
+type StatsResponse struct {
+	Workers  int               `json:"workers"`
+	Cache    engine.CacheStats `json:"cache"`
+	Store    *store.Stats      `json:"store,omitempty"`
+	Requests struct {
+		Optimize uint64 `json:"optimize"`
+		Batch    uint64 `json:"batch"`
+	} `json:"requests"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Workers: s.session.Workers(), Cache: s.session.CacheStats()}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
+	resp.Requests.Optimize = s.optimizes.Load()
+	resp.Requests.Batch = s.batches.Load()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/scenarios"
+	"repro/internal/store"
+)
+
+// direct computes the reference answer for an example nest straight
+// through core.Optimize, the way the acceptance criterion phrases it.
+func direct(t *testing.T, prog *affine.Program, m int) OptimizeResponse {
+	t.Helper()
+	res, err := core.Optimize(prog, m, core.Options{})
+	if err != nil {
+		t.Fatalf("core.Optimize(%s): %v", prog.Name, err)
+	}
+	out := OptimizeResponse{Name: prog.Name}
+	for _, pl := range res.Plans {
+		switch pl.Class {
+		case core.Local:
+			out.Local++
+		case core.MacroComm:
+			out.Macro++
+		case core.Decomposed:
+			out.Decomposed++
+		case core.General:
+			out.General++
+		}
+		if pl.Vectorizable {
+			out.Vectorizable++
+		}
+	}
+	return out
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestConcurrentOptimize is the acceptance scenario: ≥ 32 concurrent
+// /optimize requests (under -race in CI), each response identical to
+// a direct core.Optimize call.
+func TestConcurrentOptimize(t *testing.T) {
+	examples := affine.AllExamples()
+	// Reference answers first: core.Optimize runs outside the session
+	// (sessions hold the process-global engine lock until Close).
+	want := make(map[string]OptimizeResponse, len(examples))
+	for _, p := range examples {
+		want[p.Name] = direct(t, p, 2)
+	}
+
+	srv := New(Options{Workers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := examples[c%len(examples)]
+			data, _ := json.Marshal(OptimizeRequest{Example: p.Name})
+			resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s: status %d", p.Name, resp.StatusCode)
+				return
+			}
+			var got OptimizeResponse
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				errs <- err
+				return
+			}
+			w := want[p.Name]
+			if got.Local != w.Local || got.Macro != w.Macro ||
+				got.Decomposed != w.Decomposed || got.General != w.General ||
+				got.Vectorizable != w.Vectorizable {
+				errs <- fmt.Errorf("%s: server %+v ≠ direct %+v", p.Name, got, w)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.session.CacheStats()
+	if st.PlanHits == 0 {
+		t.Error("32 clients over few nests produced no shared plan-cache hits")
+	}
+}
+
+// TestOptimizeNestSource: a nest given as nestlang source optimizes
+// and costs like the equivalent scenario.
+func TestOptimizeNestSource(t *testing.T) {
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const nest = `
+nest t {
+  array a[2]
+  array b[2]
+  loop (i, j) {
+    S: a[i, j] = f(b[j, i])
+  }
+}
+`
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/optimize", OptimizeRequest{Nest: nest, Machine: "mesh4x4", N: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got OptimizeResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine != "mesh4x4" {
+		t.Errorf("machine = %q", got.Machine)
+	}
+	if got.Local+got.Macro+got.Decomposed+got.General == 0 {
+		t.Error("no communications classified")
+	}
+}
+
+// TestOptimizeErrors: bad inputs are 4xx with a JSON error, and never
+// kill the shared session.
+func TestOptimizeErrors(t *testing.T) {
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for name, tc := range map[string]struct {
+		req  OptimizeRequest
+		code int
+	}{
+		"no program":   {OptimizeRequest{}, http.StatusBadRequest},
+		"both":         {OptimizeRequest{Example: "matmul", Nest: "x"}, http.StatusBadRequest},
+		"unknown":      {OptimizeRequest{Example: "nope"}, http.StatusBadRequest},
+		"bad nest":     {OptimizeRequest{Nest: "not a nest"}, http.StatusBadRequest},
+		"bad machine":  {OptimizeRequest{Example: "matmul", Machine: "torus9"}, http.StatusBadRequest},
+		"bad optimize": {OptimizeRequest{Example: "matmul", M: -1}, http.StatusUnprocessableEntity},
+	} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/optimize", tc.req)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", name, resp.StatusCode, tc.code, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: no JSON error in %s", name, body)
+		}
+	}
+
+	// The session still works after the failures.
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/optimize", OptimizeRequest{Example: "matmul"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("session broken after bad requests: status %d", resp.StatusCode)
+	}
+}
+
+// TestBatchStream: /batch streams one NDJSON line per scenario, in
+// suite order, with a trailing summary matching a direct engine run.
+func TestBatchStream(t *testing.T) {
+	cfg := scenarios.Config{Seed: 3, Random: 2, NoExamples: true}
+	suite := scenarios.Generate(cfg)
+	ref := engine.Run(suite, engine.Options{}) // before the server session opens
+
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	data, _ := json.Marshal(BatchRequest{Seed: 3, Random: 2, NoExamples: true})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var lines []BatchLine
+	var sum BatchSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if strings.Contains(string(line), `"summary"`) {
+			if err := json.Unmarshal(line, &sum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var l BatchLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(ref.Results) {
+		t.Fatalf("streamed %d lines, want %d", len(lines), len(ref.Results))
+	}
+	for i, l := range lines {
+		r := ref.Results[i]
+		if l.Name != r.Name || l.Classes != r.Classes || l.ModelTimeUs != r.ModelTime ||
+			l.Vectorizable != r.Vectorizable || l.Err != r.Err {
+			t.Errorf("line %d: %+v ≠ engine %+v", i, l, r)
+		}
+	}
+	if sum.Summary.Scenarios != len(ref.Results) || sum.Summary.ClassTotals != ref.ClassTotals ||
+		sum.Summary.TotalModelTime != ref.TotalModelTime || sum.Summary.Errors != ref.Errors {
+		t.Errorf("summary %+v ≠ engine aggregates", sum.Summary)
+	}
+}
+
+// TestBatchLimits: oversized suite specs are rejected.
+func TestBatchLimits(t *testing.T) {
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	const huge = 1 << 62 // random+deep would overflow int
+	for name, req := range map[string]BatchRequest{
+		"oversized": {Random: 100000},
+		"negative":  {Random: -1},
+		"overflow":  {Random: huge, Deep: huge},
+	} {
+		resp, _ := postJSON(t, ts.Client(), ts.URL+"/batch", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s batch: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestStats: /stats reports the shared cache, the store and request
+// counters.
+func TestStats(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Store: st})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/optimize", OptimizeRequest{Example: "matmul"})
+	postJSON(t, ts.Client(), ts.URL+"/optimize", OptimizeRequest{Example: "matmul"})
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests.Optimize != 2 {
+		t.Errorf("optimize requests = %d, want 2", got.Requests.Optimize)
+	}
+	if got.Cache.PlanMisses == 0 {
+		t.Error("cache stats empty after requests")
+	}
+	if got.Cache.PlanHits == 0 {
+		t.Error("second identical request missed the shared plan cache")
+	}
+	if got.Store == nil || got.Store.PlanPuts == 0 {
+		t.Errorf("store stats missing or empty: %+v", got.Store)
+	}
+	if got.Workers <= 0 {
+		t.Errorf("workers = %d", got.Workers)
+	}
+}

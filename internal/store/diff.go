@@ -1,0 +1,119 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Diff is the scenario-by-scenario comparison of two snapshots,
+// matched by scenario name. It separates mere changes from
+// regressions — a scenario in B that optimizes strictly worse than in
+// A — so CI can diff sweeps across commits and fail only on real
+// deterioration.
+type Diff struct {
+	// Added / Removed list scenario names present in only one side.
+	Added, Removed []string
+	// Changed lists scenarios whose results differ.
+	Changed []Change
+	// Unchanged counts scenarios with identical results.
+	Unchanged int
+	// Regressions counts Changed entries flagged as regressions.
+	Regressions int
+}
+
+// Change is one differing scenario.
+type Change struct {
+	Name string
+	A, B engine.Result
+	// Regression is set when B is strictly worse (see Compare).
+	Regression bool
+	// Reasons explains the regression flags.
+	Reasons []string
+}
+
+// Compare diffs two snapshots, A (older) against B (newer). A
+// scenario regresses when it newly fails, loses local communications,
+// gains general communications, loses vectorizable plans, or its
+// model time grows beyond rounding noise.
+func Compare(a, b *Snapshot) *Diff {
+	d := &Diff{}
+	inA := make(map[string]engine.Result, len(a.Results))
+	for _, r := range a.Results {
+		inA[r.Name] = r
+	}
+	seen := make(map[string]bool, len(b.Results))
+	for _, rb := range b.Results {
+		ra, ok := inA[rb.Name]
+		if !ok {
+			d.Added = append(d.Added, rb.Name)
+			continue
+		}
+		seen[rb.Name] = true
+		if ra == rb {
+			d.Unchanged++
+			continue
+		}
+		ch := Change{Name: rb.Name, A: ra, B: rb}
+		if rb.Err != "" && ra.Err == "" {
+			ch.flag("now fails: %s", rb.Err)
+		}
+		if rb.Classes[core.Local] < ra.Classes[core.Local] {
+			ch.flag("local communications %d → %d", ra.Classes[core.Local], rb.Classes[core.Local])
+		}
+		if rb.Classes[core.General] > ra.Classes[core.General] {
+			ch.flag("general communications %d → %d", ra.Classes[core.General], rb.Classes[core.General])
+		}
+		if rb.Vectorizable < ra.Vectorizable {
+			ch.flag("vectorizable plans %d → %d", ra.Vectorizable, rb.Vectorizable)
+		}
+		if rb.ModelTime > ra.ModelTime*(1+1e-9) {
+			ch.flag("model time %.0f → %.0f µs", ra.ModelTime, rb.ModelTime)
+		}
+		if ch.Regression {
+			d.Regressions++
+		}
+		d.Changed = append(d.Changed, ch)
+	}
+	for _, ra := range a.Results {
+		if !seen[ra.Name] {
+			d.Removed = append(d.Removed, ra.Name)
+		}
+	}
+	return d
+}
+
+func (c *Change) flag(format string, args ...any) {
+	c.Regression = true
+	c.Reasons = append(c.Reasons, fmt.Sprintf(format, args...))
+}
+
+// Report renders the diff for humans.
+func (d *Diff) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diff: %d unchanged, %d changed (%d regressions), %d added, %d removed\n",
+		d.Unchanged, len(d.Changed), d.Regressions, len(d.Added), len(d.Removed))
+	for _, ch := range d.Changed {
+		mark := "~"
+		if ch.Regression {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, " %s %s\n", mark, ch.Name)
+		for _, r := range ch.Reasons {
+			fmt.Fprintf(&b, "     %s\n", r)
+		}
+		if !ch.Regression {
+			fmt.Fprintf(&b, "     improved or shifted: classes %v → %v, time %.0f → %.0f µs\n",
+				ch.A.Classes, ch.B.Classes, ch.A.ModelTime, ch.B.ModelTime)
+		}
+	}
+	for _, n := range d.Added {
+		fmt.Fprintf(&b, " + %s (new)\n", n)
+	}
+	for _, n := range d.Removed {
+		fmt.Fprintf(&b, " - %s (gone)\n", n)
+	}
+	return b.String()
+}

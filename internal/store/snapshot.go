@@ -1,0 +1,145 @@
+package store
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/engine"
+)
+
+// Snapshot is the persistable projection of an engine.BatchResult:
+// the per-scenario results plus the deterministic aggregates, and
+// nothing run-dependent (worker count, cache statistics). Two runs of
+// the same suite — cold or warm, sequential or parallel — therefore
+// serialize to byte-identical snapshots, which is what makes
+// snapshots diffable across commits.
+type Snapshot struct {
+	Scenarios      int             `json:"scenarios"`
+	ClassTotals    [4]int          `json:"class_totals"`
+	TotalModelTime float64         `json:"total_model_time_us"`
+	Errors         int             `json:"errors"`
+	Results        []engine.Result `json:"results"`
+}
+
+// Take projects a batch result down to its snapshot.
+func Take(b *engine.BatchResult) *Snapshot {
+	return &Snapshot{
+		Scenarios:      len(b.Results),
+		ClassTotals:    b.ClassTotals,
+		TotalModelTime: b.TotalModelTime,
+		Errors:         b.Errors,
+		Results:        b.Results,
+	}
+}
+
+// WriteJSON emits the snapshot as indented JSON (the -emit json
+// format, and the on-disk snapshot format).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteCSV emits one row per scenario (the -emit csv format).
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "local", "macro", "decomposed", "general", "vectorizable", "model_time_us", "err"}); err != nil {
+		return err
+	}
+	for _, r := range s.Results {
+		row := []string{
+			r.Name,
+			strconv.Itoa(r.Classes[0]), strconv.Itoa(r.Classes[1]),
+			strconv.Itoa(r.Classes[2]), strconv.Itoa(r.Classes[3]),
+			strconv.Itoa(r.Vectorizable),
+			strconv.FormatFloat(r.ModelTime, 'f', -1, 64),
+			r.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSnapshot loads a snapshot from an arbitrary JSON file (e.g. one
+// written with -emit json -o).
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// snapshotName restricts snapshot names to a safe filename alphabet.
+var snapshotName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+func (s *Store) snapshotPath(name string) (string, error) {
+	if !snapshotName.MatchString(name) {
+		return "", fmt.Errorf("store: bad snapshot name %q", name)
+	}
+	return filepath.Join(s.root, "snapshots", name+".json"), nil
+}
+
+// SaveSnapshot persists snap under name inside the store and returns
+// its path.
+func (s *Store) SaveSnapshot(name string, snap *Snapshot) (string, error) {
+	path, err := s.snapshotPath(name)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		return "", err
+	}
+	if err := s.writeAtomic(path, buf.Bytes()); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadSnapshot loads a named snapshot from the store.
+func (s *Store) LoadSnapshot(name string) (*Snapshot, error) {
+	path, err := s.snapshotPath(name)
+	if err != nil {
+		return nil, err
+	}
+	return ReadSnapshot(path)
+}
+
+// ListSnapshots returns the stored snapshot names, sorted.
+func (s *Store) ListSnapshots() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "snapshots"))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if n := e.Name(); filepath.Ext(n) == ".json" {
+			names = append(names, n[:len(n)-len(".json")])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

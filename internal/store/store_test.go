@@ -1,0 +1,257 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/scenarios"
+)
+
+// quiet silences the stderr warning log; warnings stay inspectable
+// via Warnings().
+func quiet(s *Store) *Store {
+	s.logf = nil
+	return s
+}
+
+func openTemp(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return quiet(s)
+}
+
+// TestWarmStartByteIdentical is the acceptance scenario: a second
+// identical batch run against a warm store serves every plan-tier
+// memory miss from disk and emits a byte-identical results file, and
+// the diff of the two snapshots reports zero regressions.
+func TestWarmStartByteIdentical(t *testing.T) {
+	st := openTemp(t)
+	suite := scenarios.Generate(scenarios.Config{Seed: 7})
+	cold := engine.Run(suite, engine.Options{Workers: 4, Store: st})
+	warm := engine.Run(suite, engine.Options{Workers: 4, Store: st})
+
+	if !reflect.DeepEqual(cold.Results, warm.Results) {
+		t.Fatal("warm results differ from cold results")
+	}
+	total := warm.Cache.DiskHits + warm.Cache.DiskMisses
+	if total == 0 || float64(warm.Cache.DiskHits) < 0.9*float64(total) {
+		t.Fatalf("warm run served %d/%d plan loads from disk, want ≥ 90%%",
+			warm.Cache.DiskHits, total)
+	}
+
+	var a, b bytes.Buffer
+	if err := Take(cold).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Take(warm).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("cold and warm snapshots serialize differently")
+	}
+
+	d := Compare(Take(cold), Take(warm))
+	if d.Regressions != 0 || len(d.Changed) != 0 {
+		t.Fatalf("diff of identical runs: %d regressions, %d changed", d.Regressions, len(d.Changed))
+	}
+	if len(st.Warnings()) != 0 {
+		t.Errorf("clean round-trip produced warnings: %v", st.Warnings())
+	}
+}
+
+// TestPlanRoundTrip: PutPlan/GetPlan round-trips records and the
+// error string exactly.
+func TestPlanRoundTrip(t *testing.T) {
+	st := openTemp(t)
+	recs := []engine.PlanRecord{{Class: 1, Vectorizable: true, MacroReduction: true}}
+	st.PutPlan("some key", recs, "")
+	got, errMsg, ok := st.GetPlan("some key")
+	if !ok || errMsg != "" || !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round-trip: ok=%v err=%q got=%+v", ok, errMsg, got)
+	}
+	st.PutPlan("failing key", nil, "boom")
+	_, errMsg, ok = st.GetPlan("failing key")
+	if !ok || errMsg != "boom" {
+		t.Fatalf("error round-trip: ok=%v err=%q", ok, errMsg)
+	}
+	if _, _, ok := st.GetPlan("absent key"); ok {
+		t.Fatal("absent key reported present")
+	}
+	s := st.Stats()
+	if s.PlanPuts != 2 || s.PlanGetHits != 2 || s.PlanGetMisses != 1 {
+		t.Errorf("stats %+v, want 2 puts / 2 hits / 1 miss", s)
+	}
+}
+
+// TestCorruptFilesSkipped: truncated or garbage plan files are
+// skipped with a warning — never a panic, never wrong data — and the
+// engine recomputes and heals them.
+func TestCorruptFilesSkipped(t *testing.T) {
+	st := openTemp(t)
+	st.PutPlan("key A", []engine.PlanRecord{{Class: 2}}, "")
+	path := st.planPath("key A")
+
+	for name, corrupt := range map[string][]byte{
+		"truncated": []byte(`{"key":"key A","plans":[{"cla`),
+		"garbage":   []byte("\x00\x01not json"),
+		"empty":     nil,
+	} {
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := st.GetPlan("key A"); ok {
+			t.Errorf("%s file reported a hit", name)
+		}
+	}
+	if len(st.Warnings()) < 3 {
+		t.Errorf("3 corrupt reads produced %d warnings", len(st.Warnings()))
+	}
+
+	// A key-mismatched file (e.g. moved between stores) is a miss too.
+	st.PutPlan("key B", []engine.PlanRecord{{Class: 3}}, "")
+	data, err := os.ReadFile(st.planPath("key B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.GetPlan("key A"); ok {
+		t.Error("key-mismatched file reported a hit")
+	}
+
+	// The engine heals the corrupt entry on its next run.
+	suite := scenarios.Generate(scenarios.Config{Seed: 3, Random: 1, NoExamples: true})
+	clean := engine.Run(suite, engine.Options{})
+	dirty := quiet(mustOpen(t, filepath.Dir(st.Dir())))
+	healed := engine.Run(suite, engine.Options{Store: dirty})
+	if !reflect.DeepEqual(clean.Results, healed.Results) {
+		t.Fatal("corrupt store changed engine results")
+	}
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSnapshots: save/load/list round-trip inside the store, and
+// name validation.
+func TestSnapshots(t *testing.T) {
+	st := openTemp(t)
+	suite := scenarios.Generate(scenarios.Config{Seed: 2, Random: 1, NoExamples: true})
+	snap := Take(engine.Run(suite, engine.Options{}))
+	if _, err := st.SaveSnapshot("before", snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadSnapshot("before")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatal("snapshot load ≠ save")
+	}
+	if _, err := st.SaveSnapshot("../escape", snap); err == nil {
+		t.Error("path-traversal snapshot name accepted")
+	}
+	if _, err := st.SaveSnapshot("after.run-2", snap); err != nil {
+		t.Fatal(err)
+	}
+	names, err := st.ListSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"after.run-2", "before"}) {
+		t.Errorf("ListSnapshots = %v", names)
+	}
+}
+
+// TestEmitters: WriteJSON round-trips through ReadSnapshot; WriteCSV
+// has one row per scenario plus a header.
+func TestEmitters(t *testing.T) {
+	suite := scenarios.Generate(scenarios.Config{Seed: 2, Random: 1, NoExamples: true})
+	snap := Take(engine.Run(suite, engine.Options{}))
+
+	path := filepath.Join(t.TempDir(), "results.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatal("JSON emit did not round-trip")
+	}
+
+	var csv bytes.Buffer
+	if err := snap.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != len(snap.Results)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(snap.Results)+1)
+	}
+	if !strings.HasPrefix(lines[0], "name,local,macro,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+// TestCompare: regressions (new failures, worse classes, slower
+// model time) are flagged; improvements and additions are not.
+func TestCompare(t *testing.T) {
+	base := &Snapshot{Results: []engine.Result{
+		{Name: "a", Classes: [4]int{3, 1, 0, 0}, ModelTime: 100, Vectorizable: 2},
+		{Name: "b", Classes: [4]int{2, 0, 1, 1}, ModelTime: 200},
+		{Name: "c", Classes: [4]int{1, 0, 0, 0}, ModelTime: 0},
+		{Name: "gone", Classes: [4]int{1, 0, 0, 0}},
+	}}
+	next := &Snapshot{Results: []engine.Result{
+		// a: regressed — lost a local comm, gained a general, slower.
+		{Name: "a", Classes: [4]int{2, 1, 0, 1}, ModelTime: 150, Vectorizable: 2},
+		// b: improved — faster, fewer generals.
+		{Name: "b", Classes: [4]int{2, 0, 2, 0}, ModelTime: 120},
+		// c: now fails.
+		{Name: "c", Err: "boom"},
+		// new scenario.
+		{Name: "fresh", Classes: [4]int{1, 0, 0, 0}},
+	}}
+	d := Compare(base, next)
+	if d.Regressions != 2 {
+		t.Errorf("regressions = %d, want 2 (a, c)", d.Regressions)
+	}
+	if len(d.Changed) != 3 {
+		t.Errorf("changed = %d, want 3", len(d.Changed))
+	}
+	if !reflect.DeepEqual(d.Added, []string{"fresh"}) || !reflect.DeepEqual(d.Removed, []string{"gone"}) {
+		t.Errorf("added %v / removed %v", d.Added, d.Removed)
+	}
+	rep := d.Report()
+	for _, want := range []string{"2 regressions", "! a", "! c", "~ b", "+ fresh", "- gone", "now fails"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+
+	same := Compare(base, base)
+	if same.Regressions != 0 || len(same.Changed) != 0 || same.Unchanged != 4 {
+		t.Errorf("self-diff: %+v", same)
+	}
+}
