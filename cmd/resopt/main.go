@@ -21,13 +21,24 @@
 //
 // The persistent plan store makes repeated sweeps
 // compile-once/reuse-many across processes, and snapshots make them
-// diffable across commits:
+// diffable across commits and re-runnable by name:
 //
 //	resopt -batch -store ./plans                  # warm the store
 //	resopt -batch -store ./plans                  # ≥90% served from disk
 //	resopt -batch -emit json -o after.json        # persist the results
 //	resopt -batch -store ./plans -snapshot after  # ... or into the store
+//	resopt -batch -store ./plans -from-snapshot after  # re-run + diff it
 //	resopt -diff before.json after.json           # exit 1 on regressions
+//	resopt -store ./plans -gc -gc-age 720h        # collect stale plans
+//
+// Remote mode drives a resoptd daemon over its /v1 API with the Go
+// client instead of optimizing locally:
+//
+//	resopt -remote http://localhost:8080 -example matmul
+//	resopt -remote http://localhost:8080 -batch -random 20 -o lines.ndjson
+//	resopt -remote http://localhost:8080 -batch -snapshot nightly
+//	resopt -remote http://localhost:8080 -batch -from-snapshot nightly
+//	resopt -remote http://localhost:8080 -snapshots
 package main
 
 import (
@@ -37,10 +48,12 @@ import (
 	"os"
 
 	"repro/internal/affine"
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/nestlang"
 	"repro/internal/scenarios"
+	"repro/internal/server"
 	"repro/internal/store"
 )
 
@@ -59,11 +72,18 @@ func main() {
 	workers := flag.Int("workers", 0, "batch: worker pool size (0: GOMAXPROCS)")
 	noCache := flag.Bool("no-cache", false, "batch: disable the memo cache")
 	cacheCap := flag.Int("cache-cap", 0, "batch: in-memory cache entry cap (0: default, <0: unbounded)")
-	storeDir := flag.String("store", "", "batch: directory of the persistent plan store")
-	snapshot := flag.String("snapshot", "", "batch: save the results as a named snapshot in the store")
+	storeDir := flag.String("store", "", "directory of the persistent plan store")
+	snapshot := flag.String("snapshot", "", "batch: save the results as a named snapshot (in the -store, or remotely)")
+	fromSnapshot := flag.String("from-snapshot", "", "batch: re-run the suite recorded under this snapshot name and diff against it")
 	emit := flag.String("emit", "", "batch: also emit the results as \"json\" or \"csv\"")
-	outFile := flag.String("o", "", "batch: write the -emit output to this file (default stdout)")
+	outFile := flag.String("o", "", "batch: write the -emit output (or remote NDJSON lines) to this file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two snapshots (args: paths, or names with -store); exit 1 on regressions")
+	remote := flag.String("remote", "", "drive the resoptd daemon at this base URL over /v1 instead of optimizing locally")
+	snapshots := flag.Bool("snapshots", false, "remote: list the daemon's stored snapshots")
+	gc := flag.Bool("gc", false, "store: sweep the plan tier (needs -store and -gc-age and/or -gc-keep)")
+	gcAge := flag.Duration("gc-age", 0, "gc: remove plans unused for longer than this (0: no age limit)")
+	gcKeep := flag.Int("gc-keep", 0, "gc: keep at most this many plans, least recently used removed first (0: no count limit)")
+	gcDryRun := flag.Bool("gc-dry-run", false, "gc: report what would be removed without removing it")
 	flag.Parse()
 
 	if *diff {
@@ -71,24 +91,8 @@ func main() {
 		return
 	}
 
-	if *batch {
-		runBatch(batchConfig{
-			suite: scenarios.Config{
-				Seed:   *seed,
-				Random: *random,
-				Deep:   *deep,
-				Skew:   *skew,
-				M:      *m,
-				Opts:   core.Options{NoMacro: *noMacro, NoDecomposition: *noDecomp},
-			},
-			workers:  *workers,
-			noCache:  *noCache,
-			cacheCap: *cacheCap,
-			storeDir: *storeDir,
-			snapshot: *snapshot,
-			emit:     *emit,
-			outFile:  *outFile,
-		})
+	if *gc {
+		runGC(*storeDir, store.GCOptions{MaxAge: *gcAge, MaxPlans: *gcKeep, DryRun: *gcDryRun})
 		return
 	}
 
@@ -96,6 +100,53 @@ func main() {
 		for _, p := range affine.AllExamples() {
 			fmt.Println(p.Name)
 		}
+		return
+	}
+
+	if *remote != "" {
+		runRemote(remoteConfig{
+			base:         *remote,
+			batch:        *batch,
+			snapshots:    *snapshots,
+			example:      *example,
+			nestFile:     *nestFile,
+			outFile:      *outFile,
+			saveAs:       *snapshot,
+			fromSnapshot: *fromSnapshot,
+			spec: api.BatchSpec{
+				Seed:            *seed,
+				Random:          *random,
+				Deep:            *deep,
+				Skew:            *skew,
+				M:               *m,
+				NoMacro:         *noMacro,
+				NoDecomposition: *noDecomp,
+			},
+			m: *m,
+		})
+		return
+	}
+
+	if *batch {
+		runBatch(batchConfig{
+			spec: api.BatchSpec{
+				Seed:            *seed,
+				Random:          *random,
+				Deep:            *deep,
+				Skew:            *skew,
+				M:               *m,
+				NoMacro:         *noMacro,
+				NoDecomposition: *noDecomp,
+			},
+			workers:      *workers,
+			noCache:      *noCache,
+			cacheCap:     *cacheCap,
+			storeDir:     *storeDir,
+			snapshot:     *snapshot,
+			fromSnapshot: *fromSnapshot,
+			emit:         *emit,
+			outFile:      *outFile,
+		})
 		return
 	}
 
@@ -136,12 +187,13 @@ func main() {
 }
 
 type batchConfig struct {
-	suite              scenarios.Config
-	workers            int
-	noCache            bool
-	cacheCap           int
-	storeDir, snapshot string
-	emit, outFile      string
+	spec                   api.BatchSpec
+	workers                int
+	noCache                bool
+	cacheCap               int
+	storeDir               string
+	snapshot, fromSnapshot string
+	emit, outFile          string
 }
 
 func runBatch(cfg batchConfig) {
@@ -154,6 +206,9 @@ func runBatch(cfg batchConfig) {
 	}
 	if cfg.snapshot != "" && cfg.storeDir == "" {
 		fatal(fmt.Errorf("-snapshot requires -store"))
+	}
+	if cfg.fromSnapshot != "" && cfg.storeDir == "" {
+		fatal(fmt.Errorf("-from-snapshot requires -store (or -remote)"))
 	}
 	if cfg.outFile != "" && cfg.emit == "" {
 		fatal(fmt.Errorf("-o requires -emit json|csv"))
@@ -183,7 +238,24 @@ func runBatch(cfg batchConfig) {
 		}
 		opts.Store = st
 	}
-	suite := scenarios.Generate(cfg.suite)
+
+	// Resolve the suite spec: -from-snapshot replays the spec recorded
+	// in the store, exactly like the server's snapshot resolver.
+	spec := cfg.spec
+	var baseline *store.Snapshot
+	if cfg.fromSnapshot != "" {
+		snap, err := st.LoadSnapshot(cfg.fromSnapshot)
+		if err != nil {
+			fatal(err)
+		}
+		if snap.Spec == nil {
+			fatal(fmt.Errorf("snapshot %q predates spec recording and cannot be re-run by name", cfg.fromSnapshot))
+		}
+		baseline = snap
+		spec = *snap.Spec
+		spec.Snapshot, spec.SaveAs = "", ""
+	}
+	suite := scenarios.Generate(server.SpecConfig(spec))
 	res := engine.Run(suite, opts)
 	// When the snapshot itself goes to stdout, the human report moves
 	// to stderr so the emitted stream stays machine-parseable.
@@ -194,6 +266,7 @@ func runBatch(cfg batchConfig) {
 	fmt.Fprint(report, res.Report())
 
 	snap := store.Take(res)
+	snap.Spec = &spec
 	if cfg.snapshot != "" {
 		path, err := st.SaveSnapshot(cfg.snapshot, snap)
 		if err != nil {
@@ -215,6 +288,40 @@ func runBatch(cfg batchConfig) {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if baseline != nil {
+		d := store.Compare(baseline, snap)
+		fmt.Fprint(report, d.Report())
+		if d.Regressions > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// runGC sweeps the plan store.
+func runGC(storeDir string, opts store.GCOptions) {
+	if storeDir == "" {
+		fatal(fmt.Errorf("-gc requires -store"))
+	}
+	if opts.MaxAge <= 0 && opts.MaxPlans <= 0 {
+		fatal(fmt.Errorf("-gc needs -gc-age and/or -gc-keep (it would remove nothing)"))
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := st.GC(opts)
+	if err != nil {
+		fatal(err)
+	}
+	mode := ""
+	if opts.DryRun {
+		mode = " (dry run)"
+	}
+	fmt.Printf("gc%s: scanned %d plans, removed %d (%d aged out, %d over LRU cap, %d stale temp), kept %d, freed %d bytes\n",
+		mode, res.Scanned, res.Removed(), res.RemovedAge, res.RemovedLRU, res.RemovedTemp, res.Kept, res.BytesFreed)
+	for _, w := range st.Warnings() {
+		fmt.Fprintln(os.Stderr, "resopt: gc warning:", w)
 	}
 }
 

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/api"
+	"repro/internal/client"
+)
+
+// remoteConfig is resopt's -remote mode: drive a resoptd daemon over
+// the /v1 API with the Go client instead of optimizing in-process.
+type remoteConfig struct {
+	base                 string
+	batch, snapshots     bool
+	example, nestFile    string
+	outFile              string
+	saveAs, fromSnapshot string
+	spec                 api.BatchSpec
+	m                    int
+}
+
+func runRemote(cfg remoteConfig) {
+	c, err := client.New(cfg.base, nil)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+
+	switch {
+	case cfg.snapshots:
+		remoteSnapshots(ctx, c)
+	case cfg.batch:
+		remoteBatch(ctx, c, cfg)
+	default:
+		remoteOptimize(ctx, c, cfg)
+	}
+}
+
+func remoteSnapshots(ctx context.Context, c *client.Client) {
+	snaps, err := c.Snapshots(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if len(snaps) == 0 {
+		fmt.Println("no snapshots stored")
+		return
+	}
+	fmt.Printf("%-30s %10s %8s %14s  %s\n", "NAME", "SCENARIOS", "ERRORS", "MODEL µs", "RERUNNABLE")
+	for _, s := range snaps {
+		rerun := ""
+		if s.Rerunnable {
+			rerun = "yes"
+		}
+		fmt.Printf("%-30s %10d %8d %14.0f  %s\n", s.Name, s.Scenarios, s.Errors, s.TotalModelTime, rerun)
+	}
+}
+
+func remoteOptimize(ctx context.Context, c *client.Client, cfg remoteConfig) {
+	req := api.OptimizeRequest{
+		M:               cfg.spec.M,
+		NoMacro:         cfg.spec.NoMacro,
+		NoDecomposition: cfg.spec.NoDecomposition,
+	}
+	switch {
+	case cfg.example != "":
+		req.Example = cfg.example
+	case cfg.nestFile != "":
+		src, err := os.ReadFile(cfg.nestFile)
+		if err != nil {
+			fatal(err)
+		}
+		req.Nest = string(src)
+	default:
+		req.Example = "example1"
+	}
+	res, err := c.Optimize(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s: %d local, %d macro, %d decomposed, %d general (%d vectorizable), model time %.1f µs\n",
+		res.Name, res.Machine, res.Local, res.Macro, res.Decomposed, res.General, res.Vectorizable, res.ModelTimeUs)
+}
+
+// remoteBatch streams a batch run: NDJSON result lines to stdout (or
+// -o FILE), the human summary — including the server-side snapshot
+// diff for -from-snapshot re-runs — to stderr. Exits 1 when the
+// server reports regressions against the snapshot baseline.
+func remoteBatch(ctx context.Context, c *client.Client, cfg remoteConfig) {
+	spec := cfg.spec
+	spec.SaveAs = cfg.saveAs
+	if cfg.fromSnapshot != "" {
+		// A snapshot-named spec carries only the name; the server
+		// resolves the recorded generation fields.
+		spec = api.BatchSpec{Snapshot: cfg.fromSnapshot, SaveAs: cfg.saveAs}
+	}
+
+	// -o writes via a temp file renamed into place on success, so a
+	// failed or interrupted run never truncates an existing results
+	// file (a previous good NDJSON would otherwise be lost to an
+	// empty one, and empty-vs-empty comparisons pass vacuously).
+	var out *os.File = os.Stdout
+	var tmpName string
+	if cfg.outFile != "" {
+		f, err := os.CreateTemp(filepath.Dir(cfg.outFile), ".resopt-*")
+		if err != nil {
+			fatal(err)
+		}
+		tmpName = f.Name()
+		out = f
+	}
+	// fatal os.Exits (defers do not run), so failure paths remove the
+	// temp file explicitly before exiting.
+	fail := func(err error) {
+		if tmpName != "" {
+			out.Close()
+			os.Remove(tmpName)
+		}
+		fatal(err)
+	}
+	enc := json.NewEncoder(out)
+	sum, err := c.Batch(ctx, spec, func(l api.BatchLine) error { return enc.Encode(l) })
+	if err != nil {
+		fail(err)
+	}
+	if tmpName != "" {
+		if err := out.Close(); err != nil {
+			fail(err)
+		}
+		if err := os.Rename(tmpName, cfg.outFile); err != nil {
+			fail(err)
+		}
+	}
+	s := sum.Summary
+	fmt.Fprintf(os.Stderr, "batch: %d scenarios, %d errors, communications [%d %d %d %d], model time %.0f µs\n",
+		s.Scenarios, s.Errors, s.ClassTotals[0], s.ClassTotals[1], s.ClassTotals[2], s.ClassTotals[3], s.TotalModelTime)
+	if s.Snapshot != "" {
+		fmt.Fprintf(os.Stderr, "recorded server-side as snapshot %q\n", s.Snapshot)
+	}
+	if d := s.Diff; d != nil {
+		fmt.Fprintf(os.Stderr, "diff vs %q: %d unchanged, %d changed (%d regressions), %d added, %d removed\n",
+			d.Baseline, d.Unchanged, d.Changed, d.Regressions, d.Added, d.Removed)
+		if d.Regressions > 0 {
+			os.Exit(1)
+		}
+	}
+}

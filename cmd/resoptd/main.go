@@ -1,16 +1,20 @@
 // Command resoptd serves the residual-communication optimizer over
-// HTTP. One engine session backs every request, so concurrent
-// clients share the worker pool, the in-memory memo cache and the
-// optional disk store — a nest optimized once is served from cache
-// thereafter, across requests and (with -store) across restarts.
+// HTTP: the versioned /v1 API of internal/api (plus the deprecated
+// unversioned shims). One engine session backs every request, so
+// concurrent clients share the worker pool, the in-memory memo cache
+// and the optional disk store — a nest optimized once is served from
+// cache thereafter, across requests and (with -store) across
+// restarts.
 //
 //	resoptd                              # serve on :8080, no persistence
 //	resoptd -addr :9000 -store ./plans   # persistent plan store
 //	resoptd -workers 8 -cache-cap 4096   # bounded pool and cache
+//	resoptd -rate 50 -burst 100          # per-client rate limiting
 //
-//	curl -s localhost:8080/stats
-//	curl -s -X POST localhost:8080/optimize -d '{"example":"matmul"}'
-//	curl -s -X POST localhost:8080/batch -d '{"random":2,"no_examples":true}'
+//	curl -s localhost:8080/v1/stats
+//	curl -s -X POST localhost:8080/v1/optimize -d '{"example":"matmul"}'
+//	curl -s -X POST localhost:8080/v1/batch -d '{"random":2,"no_examples":true}'
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"deep":50,"m":3}'
 //
 // SIGINT/SIGTERM drain in-flight requests and exit cleanly.
 package main
@@ -34,11 +38,23 @@ func main() {
 	storeDir := flag.String("store", "", "directory of the persistent plan store (empty: none)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0: GOMAXPROCS)")
 	cacheCap := flag.Int("cache-cap", 0, "in-memory cache entry cap (0: default, <0: unbounded)")
+	rate := flag.Float64("rate", 0, "per-client sustained request rate limit in req/s (0: unlimited)")
+	burst := flag.Int("burst", 0, "per-client burst above -rate (0: twice the rate)")
+	jobsCap := flag.Int("jobs-cap", 0, "retained finished async jobs (0: default)")
 	flag.Parse()
 	log.SetPrefix("resoptd: ")
 	log.SetFlags(0)
 
-	opts := server.Options{Workers: *workers, CacheCap: *cacheCap}
+	opts := server.Options{
+		Workers:    *workers,
+		CacheCap:   *cacheCap,
+		RatePerSec: *rate,
+		RateBurst:  *burst,
+		JobsCap:    *jobsCap,
+	}
+	if *rate > 0 {
+		log.Printf("rate limiting clients to %g req/s", *rate)
+	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {

@@ -1,0 +1,288 @@
+// Package api is the typed wire contract of the resoptd HTTP API:
+// every request, response, job and error body exchanged over the
+// versioned /v1 route set, shared verbatim by internal/server and
+// internal/client so the two sides can never drift. The package is
+// deliberately a leaf — it imports nothing from this module — which
+// keeps the contract importable from anywhere (clients, the store's
+// snapshot format, CI drivers) without dragging the engine along.
+//
+// Versioning: Version names the current wire version; servers stamp
+// every response with the VersionHeader header and serve the route
+// set under the /v1 prefix. The pre-/v1 unversioned endpoints
+// (POST /optimize, POST /batch, GET /stats) remain as deprecated
+// shims over the same types.
+package api
+
+import (
+	"fmt"
+	"time"
+)
+
+// Version is the wire-contract version, also the route prefix
+// (/ + Version + /...).
+const Version = "v1"
+
+// VersionHeader is the response header naming the wire version that
+// produced the body.
+const VersionHeader = "Resopt-Api-Version"
+
+// MaxSuiteNests bounds per-request suite generation (random + deep)
+// for batch and job specs.
+const MaxSuiteNests = 1000
+
+// Error is the typed error body of every non-2xx response, wrapped in
+// an envelope: {"error": {"status": ..., "code": ..., "message": ...}}.
+// It implements the error interface, so clients surface it directly.
+type Error struct {
+	// Status is the HTTP status the error was (or should be) sent with.
+	Status int `json:"status"`
+	// Code is a stable machine-readable cause from the Code* constants.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// Errorf builds a typed error.
+func Errorf(status int, code, format string, args ...any) *Error {
+	return &Error{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Stable error codes.
+const (
+	CodeBadRequest    = "bad_request"   // malformed body or invalid field values
+	CodeUnprocessable = "unprocessable" // well-formed input the optimizer rejects
+	CodeNotFound      = "not_found"     // unknown job, snapshot or route
+	CodeNoStore       = "no_store"      // the endpoint needs a plan store the daemon lacks
+	CodeJobRunning    = "job_running"   // results requested before the job finished
+	CodeRateLimited   = "rate_limited"  // per-client token bucket exhausted
+	CodeCancelled     = "cancelled"     // the request's context was cancelled
+	CodeInternal      = "internal"      // unexpected server-side failure
+)
+
+// ErrorEnvelope is the JSON wrapper every error body uses.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// OptimizeRequest is the POST /v1/optimize body. Exactly one of
+// Example (a built-in nest name, see `resopt -list`) or Nest
+// (nestlang source) selects the program.
+type OptimizeRequest struct {
+	Example string `json:"example,omitempty"`
+	Nest    string `json:"nest,omitempty"`
+	// M is the target virtual grid dimension (default 2).
+	M int `json:"m,omitempty"`
+	// Machine is a spec like "fattree32" or "mesh4x4"
+	// (default fattree32); N and ElemBytes size the payload
+	// (defaults 16 and 64).
+	Machine   string `json:"machine,omitempty"`
+	N         int    `json:"n,omitempty"`
+	ElemBytes int64  `json:"elem_bytes,omitempty"`
+	// NoMacro / NoDecomposition are the heuristic ablations.
+	NoMacro         bool `json:"no_macro,omitempty"`
+	NoDecomposition bool `json:"no_decomposition,omitempty"`
+}
+
+// OptimizeResponse is the POST /v1/optimize reply: the per-class
+// communication counts of the optimized nest (identical to a direct
+// core.Optimize call) plus the modeled time on the chosen machine.
+type OptimizeResponse struct {
+	Name         string  `json:"name"`
+	Machine      string  `json:"machine"`
+	Local        int     `json:"local"`
+	Macro        int     `json:"macro"`
+	Decomposed   int     `json:"decomposed"`
+	General      int     `json:"general"`
+	Vectorizable int     `json:"vectorizable"`
+	ModelTimeUs  float64 `json:"model_time_us"`
+}
+
+// BatchSpec is the suite specification shared by POST /v1/batch and
+// POST /v1/jobs (and, minus the snapshot fields, the deprecated
+// POST /batch). Generation fields are deterministic: the same spec
+// always resolves to the same suite, which is what lets the server
+// cache resolved suites and re-run recorded ones.
+type BatchSpec struct {
+	Seed            int64 `json:"seed,omitempty"`
+	Random          int   `json:"random,omitempty"`
+	Deep            int   `json:"deep,omitempty"`
+	Skew            bool  `json:"skew,omitempty"`
+	NoExamples      bool  `json:"no_examples,omitempty"`
+	M               int   `json:"m,omitempty"`
+	NoMacro         bool  `json:"no_macro,omitempty"`
+	NoDecomposition bool  `json:"no_decomposition,omitempty"`
+
+	// Snapshot re-runs the suite recorded under this stored snapshot
+	// name instead of generating one from the fields above: the server
+	// resolves the snapshot's recorded spec, runs it, and reports the
+	// scenario-by-scenario diff against the recorded results in the
+	// batch summary. Mutually exclusive with the generation fields.
+	Snapshot string `json:"snapshot,omitempty"`
+	// SaveAs records the run as a named snapshot (with this spec
+	// embedded) in the server's store, making it re-runnable by name.
+	SaveAs string `json:"save_as,omitempty"`
+}
+
+// BatchLine is one NDJSON line of the /v1/batch stream and one entry
+// of a job's results.
+type BatchLine struct {
+	Name         string  `json:"name"`
+	Classes      [4]int  `json:"classes"`
+	Vectorizable int     `json:"vectorizable"`
+	ModelTimeUs  float64 `json:"model_time_us"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// BatchSummary is the final NDJSON line of the /v1/batch stream.
+type BatchSummary struct {
+	Summary BatchSummaryBody `json:"summary"`
+}
+
+// BatchSummaryBody aggregates a batch run.
+type BatchSummaryBody struct {
+	Scenarios      int     `json:"scenarios"`
+	ClassTotals    [4]int  `json:"class_totals"`
+	TotalModelTime float64 `json:"total_model_time_us"`
+	Errors         int     `json:"errors"`
+	// Cancelled marks a run cut short by context cancellation; the
+	// preceding lines are the completed prefix.
+	Cancelled bool `json:"cancelled,omitempty"`
+	// Snapshot is the name the run was recorded under (spec.SaveAs).
+	Snapshot string `json:"snapshot,omitempty"`
+	// Diff compares the run against the snapshot it was resolved from
+	// (spec.Snapshot), computed server-side.
+	Diff *DiffSummary `json:"diff,omitempty"`
+}
+
+// DiffSummary is the server-side comparison of a re-run against the
+// stored snapshot it was resolved from.
+type DiffSummary struct {
+	Baseline    string `json:"baseline"`
+	Unchanged   int    `json:"unchanged"`
+	Changed     int    `json:"changed"`
+	Regressions int    `json:"regressions"`
+	Added       int    `json:"added"`
+	Removed     int    `json:"removed"`
+}
+
+// JobStatus is the lifecycle state of an async batch job.
+type JobStatus string
+
+const (
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobCancelled JobStatus = "cancelled"
+)
+
+// Finished reports whether the status is terminal.
+func (s JobStatus) Finished() bool { return s == JobDone || s == JobCancelled }
+
+// Job is the POST /v1/jobs reply and the GET /v1/jobs/{id} body: an
+// async batch run identified by ID, polled until Status.Finished().
+type Job struct {
+	ID       string      `json:"id"`
+	Status   JobStatus   `json:"status"`
+	Spec     BatchSpec   `json:"spec"`
+	Created  time.Time   `json:"created"`
+	Started  *time.Time  `json:"started,omitempty"`
+	Finished *time.Time  `json:"finished,omitempty"`
+	Progress JobProgress `json:"progress"`
+	// Error is the run-level failure, if any (per-scenario failures
+	// appear in the results' err fields instead).
+	Error string `json:"error,omitempty"`
+}
+
+// JobProgress counts completed scenarios out of the resolved suite.
+type JobProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobList is the GET /v1/jobs body, most recent first.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// JobResults is the GET /v1/jobs/{id}/results body, available once
+// the job finished (a cancelled job returns its completed prefix).
+type JobResults struct {
+	Job     Job              `json:"job"`
+	Results []BatchLine      `json:"results"`
+	Summary BatchSummaryBody `json:"summary"`
+}
+
+// SnapshotInfo describes one stored snapshot in GET /v1/snapshots.
+type SnapshotInfo struct {
+	Name           string  `json:"name"`
+	Scenarios      int     `json:"scenarios"`
+	Errors         int     `json:"errors"`
+	TotalModelTime float64 `json:"total_model_time_us"`
+	// Rerunnable is set when the snapshot recorded its generating
+	// spec, so it can be submitted back via BatchSpec.Snapshot.
+	Rerunnable bool `json:"rerunnable"`
+}
+
+// SnapshotList is the GET /v1/snapshots body.
+type SnapshotList struct {
+	Snapshots []SnapshotInfo `json:"snapshots"`
+}
+
+// CacheStats mirrors the engine's in-memory cache counters.
+type CacheStats struct {
+	KernelHits   uint64 `json:"kernel_hits"`
+	KernelMisses uint64 `json:"kernel_misses"`
+	PlanHits     uint64 `json:"plan_hits"`
+	PlanMisses   uint64 `json:"plan_misses"`
+	DiskHits     uint64 `json:"disk_hits"`
+	DiskMisses   uint64 `json:"disk_misses"`
+	Evictions    uint64 `json:"evictions"`
+	Entries      int    `json:"entries"`
+}
+
+// StoreStats mirrors the plan store's traffic counters.
+type StoreStats struct {
+	PlanPuts      uint64 `json:"plan_puts"`
+	PlanGetHits   uint64 `json:"plan_get_hits"`
+	PlanGetMisses uint64 `json:"plan_get_misses"`
+	Warnings      uint64 `json:"warnings"`
+}
+
+// SuiteCacheStats counts batch-spec resolutions served from the
+// resolved-suite cache versus freshly generated.
+type SuiteCacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// RequestStats counts requests per endpoint family, including the
+// deprecated unversioned shims.
+type RequestStats struct {
+	Optimize    uint64 `json:"optimize"`
+	Batch       uint64 `json:"batch"`
+	Jobs        uint64 `json:"jobs"`
+	RateLimited uint64 `json:"rate_limited"`
+}
+
+// JobStats counts jobs by lifecycle state.
+type JobStats struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Cancelled int `json:"cancelled"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Version    string          `json:"api_version"`
+	Workers    int             `json:"workers"`
+	Cache      CacheStats      `json:"cache"`
+	Store      *StoreStats     `json:"store,omitempty"`
+	SuiteCache SuiteCacheStats `json:"suite_cache"`
+	Requests   RequestStats    `json:"requests"`
+	Jobs       JobStats        `json:"jobs"`
+}

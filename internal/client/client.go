@@ -1,0 +1,264 @@
+// Package client is the Go client for the resoptd /v1 API. It speaks
+// exclusively in internal/api wire types, so anything the server can
+// say, the client can decode — and a round trip through both proves
+// the contract. Used by `resopt -remote` and by the CI smoke driver.
+//
+//	c, _ := client.New("http://localhost:8080", nil)
+//	res, err := c.Optimize(ctx, api.OptimizeRequest{Example: "matmul"})
+//	sum, err := c.Batch(ctx, api.BatchSpec{Random: 20}, func(l api.BatchLine) error { ... })
+//	job, err := c.SubmitJob(ctx, api.BatchSpec{Deep: 50})
+//	job, err = c.WaitJob(ctx, job.ID, 0)
+//	results, err := c.JobResults(ctx, job.ID)
+//
+// Every non-2xx response decodes into *api.Error, so callers can
+// switch on err's Code (rate_limited, not_found, ...) via errors.As.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Client talks to one resoptd instance.
+type Client struct {
+	base *url.URL
+	hc   *http.Client
+}
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://localhost:8080"). hc == nil uses a default http.Client;
+// timeouts and cancellation come from the per-call contexts either
+// way, so the default client has no global timeout (batch streams
+// and long polls would trip it).
+func New(baseURL string, hc *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: u, hc: hc}, nil
+}
+
+// do issues one request; out (when non-nil) receives the decoded 2xx
+// body. Non-2xx responses return *api.Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.send(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := responseError(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("client: encoding %s %s request: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	u := *c.base
+	u.Path = strings.TrimRight(u.Path, "/") + path
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	return resp, nil
+}
+
+// responseError maps a non-2xx response to its typed *api.Error,
+// synthesizing one when the body is not a well-formed envelope.
+func responseError(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env api.ErrorEnvelope
+	if json.Unmarshal(body, &env) == nil && env.Error != nil {
+		return env.Error
+	}
+	return api.Errorf(resp.StatusCode, api.CodeInternal, "unexpected response: %s", bytes.TrimSpace(body))
+}
+
+// Optimize runs one nest synchronously.
+func (c *Client) Optimize(ctx context.Context, req api.OptimizeRequest) (*api.OptimizeResponse, error) {
+	var out api.OptimizeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch streams a synchronous batch run: emit (when non-nil) is
+// called once per NDJSON result line, in suite order, as the server
+// produces them; the trailing summary is returned. A non-nil error
+// from emit aborts the stream (and, by closing the body, cancels the
+// server-side run at the next scenario boundary).
+func (c *Client) Batch(ctx context.Context, spec api.BatchSpec, emit func(api.BatchLine) error) (*api.BatchSummary, error) {
+	resp, err := c.send(ctx, http.MethodPost, "/v1/batch", spec)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := responseError(resp); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var sum *api.BatchSummary
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"summary"`)) {
+			var s api.BatchSummary
+			if err := json.Unmarshal(line, &s); err != nil {
+				return nil, fmt.Errorf("client: decoding batch summary: %w", err)
+			}
+			sum = &s
+			continue
+		}
+		var l api.BatchLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return nil, fmt.Errorf("client: decoding batch line: %w", err)
+		}
+		if emit != nil {
+			if err := emit(l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: reading batch stream: %w", err)
+	}
+	if sum == nil {
+		return nil, fmt.Errorf("client: batch stream ended without a summary line")
+	}
+	return sum, nil
+}
+
+// SubmitJob submits a batch spec as an async job.
+func (c *Client) SubmitJob(ctx context.Context, spec api.BatchSpec) (*api.Job, error) {
+	var out api.Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job polls one job.
+func (c *Client) Job(ctx context.Context, id string) (*api.Job, error) {
+	var out api.Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists the server's jobs, most recent first.
+func (c *Client) Jobs(ctx context.Context) ([]api.Job, error) {
+	var out api.JobList
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// CancelJob cancels a queued or running job (a no-op on finished
+// ones) and returns the job's state after the request.
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.Job, error) {
+	var out api.Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls until the job finishes (or ctx dies). poll ≤ 0
+// defaults to 100ms. A rate-limited poll is not a failure: it is
+// retried at the same poll interval, so pick a poll comfortably above
+// 1/rate when the server runs with -rate.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*api.Job, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		job, err := c.Job(ctx, id)
+		switch {
+		case err == nil:
+			if job.Status.Finished() {
+				return job, nil
+			}
+		default:
+			var ae *api.Error
+			if !errors.As(err, &ae) || ae.Code != api.CodeRateLimited {
+				return nil, err
+			}
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// JobResults fetches a finished job's full results.
+func (c *Client) JobResults(ctx context.Context, id string) (*api.JobResults, error) {
+	var out api.JobResults
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/results", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshots lists the server's stored snapshots.
+func (c *Client) Snapshots(ctx context.Context) ([]api.SnapshotInfo, error) {
+	var out api.SnapshotList
+	if err := c.do(ctx, http.MethodGet, "/v1/snapshots", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Snapshots, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

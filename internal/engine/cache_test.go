@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -214,8 +215,14 @@ func TestSessionReuse(t *testing.T) {
 	s := scenarios.Generate(scenarios.Config{Seed: 7, Random: 2, NoExamples: true})
 	sess := NewSession(Options{Workers: 2})
 	defer sess.Close()
-	first := sess.Optimize(&s[0])
-	again := sess.Optimize(&s[0])
+	first, err := sess.Optimize(context.Background(), &s[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := sess.Optimize(context.Background(), &s[0])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(first, again) {
 		t.Fatal("repeated Optimize returned different results")
 	}
@@ -231,7 +238,10 @@ func TestRunStreamOrder(t *testing.T) {
 	sess := NewSession(Options{Workers: 8})
 	defer sess.Close()
 	var streamed []Result
-	b := sess.RunStream(s, func(r Result) { streamed = append(streamed, r) })
+	b, err := sess.RunStream(context.Background(), s, func(r Result) { streamed = append(streamed, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(streamed) != len(s) {
 		t.Fatalf("streamed %d results, want %d", len(streamed), len(s))
 	}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenarios"
+)
+
+// cancelSuite is a suite big enough that cancelling after the first
+// emitted result reliably leaves work unsubmitted.
+func cancelSuite(t *testing.T) []scenarios.Scenario {
+	t.Helper()
+	s := scenarios.Generate(scenarios.Config{Seed: 11, Random: 10})
+	if len(s) < 40 {
+		t.Fatalf("suite has %d scenarios, want ≥ 40", len(s))
+	}
+	return s
+}
+
+// TestRunStreamCancelMidBatch: cancelling the context mid-stream
+// stops the run at a scenario boundary: emission stops, RunStream
+// returns context.Canceled with a partial result, unrun scenarios are
+// marked with the context error, and the session stays fully usable.
+func TestRunStreamCancelMidBatch(t *testing.T) {
+	s := cancelSuite(t)
+	sess := NewSession(Options{Workers: 2})
+	defer sess.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted int
+	b, err := sess.RunStream(ctx, s, func(Result) {
+		emitted++
+		if emitted == 1 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("RunStream error = %v, want context.Canceled", err)
+	}
+	if emitted >= len(s) {
+		t.Errorf("cancellation did not curtail emission: %d of %d emitted", emitted, len(s))
+	}
+	if len(b.Results) != len(s) {
+		t.Fatalf("partial result has %d slots, want %d", len(b.Results), len(s))
+	}
+	cancelled := 0
+	for i, r := range b.Results {
+		if r.Name == "" {
+			t.Errorf("result %d has no name", i)
+		}
+		if strings.Contains(r.Err, context.Canceled.Error()) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no scenario was marked with the context error")
+	}
+	if b.Errors < cancelled {
+		t.Errorf("Errors = %d, want ≥ %d cancelled scenarios counted", b.Errors, cancelled)
+	}
+
+	// The pool survives: a fresh run on the same session completes
+	// cleanly after the cancelled one.
+	full, err := sess.Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("post-cancel run failed: %v", err)
+	}
+	if full.Errors != 0 {
+		t.Errorf("post-cancel run had %d errors", full.Errors)
+	}
+}
+
+// TestRunStreamCancelNoGoroutineLeak: repeated cancelled runs do not
+// accumulate goroutines (the feeder exits on cancellation; workers
+// belong to the session).
+func TestRunStreamCancelNoGoroutineLeak(t *testing.T) {
+	s := cancelSuite(t)
+	sess := NewSession(Options{Workers: 2})
+	defer sess.Close()
+
+	// Warm once so the baseline goroutine count is steady-state.
+	if _, err := sess.Run(context.Background(), s[:4]); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		sess.RunStream(ctx, s, func(Result) {
+			if n++; n == 1 {
+				cancel()
+			}
+		})
+		cancel()
+	}
+	// Give exiting feeders a moment, then compare against the
+	// baseline with a small tolerance for runtime-internal noise.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= base+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after cancelled runs", base, g)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestOptimizeCancelled: a dead context fails fast without touching
+// the pool, and a live one still works.
+func TestOptimizeCancelled(t *testing.T) {
+	s := cancelSuite(t)
+	sess := NewSession(Options{Workers: 1})
+	defer sess.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sess.Optimize(ctx, &s[0])
+	if err != context.Canceled {
+		t.Fatalf("Optimize error = %v, want context.Canceled", err)
+	}
+	if res.Err == "" {
+		t.Error("cancelled result has no error message")
+	}
+
+	res, err = sess.Optimize(context.Background(), &s[0])
+	if err != nil || res.Err != "" {
+		t.Fatalf("live Optimize failed: %v / %q", err, res.Err)
+	}
+}
+
+// TestRunDeadline: a context deadline in the past cancels the whole
+// batch up front.
+func TestRunDeadline(t *testing.T) {
+	s := cancelSuite(t)
+	sess := NewSession(Options{Workers: 2})
+	defer sess.Close()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	b, err := sess.Run(ctx, s)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Run error = %v, want context.DeadlineExceeded", err)
+	}
+	if b.Errors != len(s) {
+		t.Errorf("expired deadline ran %d of %d scenarios", len(s)-b.Errors, len(s))
+	}
+}

@@ -20,9 +20,15 @@
 // The only timing-dependent quantity is the kernel-tier hit/miss
 // split in CacheStats (two workers can race to first-compute the
 // same kernel); plan-tier stats are exact below the eviction cap.
+//
+// Every Session entry point takes a context.Context. Cancellation is
+// honored at scenario boundaries: in-flight scenarios run to
+// completion (their plans stay cached), unstarted ones are refused,
+// and RunStream returns the partial result with ctx.Err().
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -104,6 +110,7 @@ type Session struct {
 }
 
 type task struct {
+	ctx   context.Context
 	sc    *scenarios.Scenario
 	idx   int
 	reply chan<- indexedResult
@@ -135,6 +142,14 @@ func NewSession(opts Options) *Session {
 		go func() {
 			defer s.wg.Done()
 			for t := range s.tasks {
+				// Cancellation is honored at scenario boundaries: a
+				// worker never starts a scenario whose context is
+				// already dead, but one mid-optimization runs to
+				// completion (its plan stays cached for the retry).
+				if err := t.ctx.Err(); err != nil {
+					t.reply <- indexedResult{t.idx, Result{Name: t.sc.Name, Err: err.Error()}}
+					continue
+				}
 				t.reply <- indexedResult{t.idx, runOne(t.sc, s.cache, s.store)}
 			}
 		}()
@@ -158,16 +173,26 @@ func (s *Session) Workers() int { return s.workers }
 // cache is disabled).
 func (s *Session) CacheStats() CacheStats { return s.cache.Stats() }
 
-// Optimize runs one scenario through the shared pool and cache tiers.
-func (s *Session) Optimize(sc *scenarios.Scenario) Result {
+// Optimize runs one scenario through the shared pool and cache
+// tiers. It returns ctx.Err() if the context dies before a worker
+// picks the scenario up; a cancellation after pickup is reported in
+// Result.Err instead (the worker refuses dead work at the scenario
+// boundary).
+func (s *Session) Optimize(ctx context.Context, sc *scenarios.Scenario) (Result, error) {
 	reply := make(chan indexedResult, 1)
-	s.tasks <- task{sc: sc, reply: reply}
-	return (<-reply).res
+	select {
+	case s.tasks <- task{ctx: ctx, sc: sc, reply: reply}:
+	case <-ctx.Done():
+		return Result{Name: sc.Name, Err: ctx.Err().Error()}, ctx.Err()
+	}
+	return (<-reply).res, nil
 }
 
-// Run optimizes and costs every scenario of the batch.
-func (s *Session) Run(batch []scenarios.Scenario) *BatchResult {
-	return s.RunStream(batch, nil)
+// Run optimizes and costs every scenario of the batch. On
+// cancellation it returns the partial BatchResult alongside ctx.Err()
+// (see RunStream).
+func (s *Session) Run(ctx context.Context, batch []scenarios.Scenario) (*BatchResult, error) {
+	return s.RunStream(ctx, batch, nil)
 }
 
 // RunStream is Run with incremental delivery: emit (when non-nil) is
@@ -175,25 +200,56 @@ func (s *Session) Run(batch []scenarios.Scenario) *BatchResult {
 // and all its predecessors are done — workers keep computing ahead
 // while earlier scenarios are still in flight. The returned
 // BatchResult is identical to Run's.
-func (s *Session) RunStream(batch []scenarios.Scenario, emit func(Result)) *BatchResult {
+//
+// Cancelling ctx stops the run at the next scenario boundary: no new
+// scenario is submitted to the pool, already-submitted scenarios
+// either finish or are refused by their worker, emission stops, and
+// RunStream returns the partial BatchResult together with ctx.Err().
+// Scenarios that never ran carry Err set to the context error and
+// count toward Errors. RunStream never leaks goroutines: the feeder
+// exits on cancellation and the worker pool is owned by the session.
+func (s *Session) RunStream(ctx context.Context, batch []scenarios.Scenario, emit func(Result)) (*BatchResult, error) {
 	b := &BatchResult{Results: make([]Result, len(batch)), Workers: s.workers}
 	reply := make(chan indexedResult, len(batch))
+	// The feeder reports how many tasks it managed to submit before
+	// the context died, so the collector knows how many replies to
+	// await (workers reply exactly once per submitted task).
+	submitted := make(chan int, 1)
 	go func() {
+		n := 0
+		defer func() { submitted <- n }()
 		for i := range batch {
-			s.tasks <- task{sc: &batch[i], idx: i, reply: reply}
+			select {
+			case s.tasks <- task{ctx: ctx, sc: &batch[i], idx: i, reply: reply}:
+				n++
+			case <-ctx.Done():
+				return
+			}
 		}
 	}()
 	done := make([]bool, len(batch))
-	next := 0
-	for n := 0; n < len(batch); n++ {
-		r := <-reply
-		b.Results[r.idx] = r.res
-		done[r.idx] = true
-		for next < len(batch) && done[next] {
-			if emit != nil {
-				emit(b.Results[next])
+	next, received, total := 0, 0, -1
+	for total < 0 || received < total {
+		select {
+		case n := <-submitted:
+			total = n
+		case r := <-reply:
+			received++
+			b.Results[r.idx] = r.res
+			done[r.idx] = true
+			for next < len(batch) && done[next] {
+				if emit != nil && ctx.Err() == nil {
+					emit(b.Results[next])
+				}
+				next++
 			}
-			next++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range b.Results {
+			if !done[i] {
+				b.Results[i] = Result{Name: batch[i].Name, Err: err.Error()}
+			}
 		}
 	}
 
@@ -209,15 +265,16 @@ func (s *Session) RunStream(batch []scenarios.Scenario, emit func(Result)) *Batc
 		b.TotalModelTime += r.ModelTime
 	}
 	b.Cache = s.cache.Stats()
-	return b
+	return b, ctx.Err()
 }
 
 // Run optimizes and costs every scenario of the batch in a one-shot
-// session.
+// session (uncancellable; use a Session for context control).
 func Run(batch []scenarios.Scenario, opts Options) *BatchResult {
 	s := NewSession(opts)
 	defer s.Close()
-	return s.Run(batch)
+	b, _ := s.Run(context.Background(), batch)
+	return b
 }
 
 func runOne(sc *scenarios.Scenario, cache *Cache, store PlanStore) Result {

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// DefaultJobsCap bounds retained finished jobs; running jobs are
+// never evicted, so a burst of submissions can exceed the cap until
+// its jobs finish.
+const DefaultJobsCap = 64
+
+// jobManager owns the async batch jobs of one server: submission,
+// polling, cancellation, results, and bounded retention.
+type jobManager struct {
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*jobState
+	order []string // submission order, oldest first (for listing + eviction)
+	cap   int
+}
+
+// jobState is one job: the wire-visible Job plus the run machinery.
+// The mutex guards every field; the run goroutine and HTTP handlers
+// touch jobs concurrently.
+type jobState struct {
+	mu      sync.Mutex
+	job     api.Job
+	cancel  context.CancelFunc
+	lines   []api.BatchLine
+	summary api.BatchSummaryBody
+}
+
+func newJobManager(capJobs int) *jobManager {
+	if capJobs <= 0 {
+		capJobs = DefaultJobsCap
+	}
+	return &jobManager{jobs: make(map[string]*jobState), cap: capJobs}
+}
+
+// create registers a queued job for spec over a suite of total
+// scenarios and returns it with its private run context.
+func (m *jobManager) create(spec api.BatchSpec, total int) (*jobState, context.Context) {
+	// Jobs outlive the submitting request, so the run context is
+	// rooted at Background, not at the request.
+	ctx, cancel := context.WithCancel(context.Background())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	js := &jobState{
+		job: api.Job{
+			ID:       fmt.Sprintf("job-%06d", m.seq),
+			Status:   api.JobQueued,
+			Spec:     spec,
+			Created:  time.Now().UTC(),
+			Progress: api.JobProgress{Total: total},
+		},
+		cancel: cancel,
+	}
+	m.jobs[js.job.ID] = js
+	m.order = append(m.order, js.job.ID)
+	m.evictLocked()
+	return js, ctx
+}
+
+// evictLocked drops the oldest finished jobs beyond the cap.
+func (m *jobManager) evictLocked() {
+	if len(m.jobs) <= m.cap {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		js := m.jobs[id]
+		if len(m.jobs) > m.cap && js.snapshot().Status.Finished() {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+func (m *jobManager) get(id string) (*jobState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js, ok := m.jobs[id]
+	return js, ok
+}
+
+// list snapshots every job, most recent first.
+func (m *jobManager) list() []api.Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]api.Job, 0, len(m.order))
+	for i := len(m.order) - 1; i >= 0; i-- {
+		out = append(out, m.jobs[m.order[i]].snapshot())
+	}
+	return out
+}
+
+func (m *jobManager) stats() api.JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var st api.JobStats
+	for _, js := range m.jobs {
+		switch js.snapshot().Status {
+		case api.JobQueued:
+			st.Queued++
+		case api.JobRunning:
+			st.Running++
+		case api.JobDone:
+			st.Done++
+		case api.JobCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// shutdown cancels every unfinished job; the server closes the
+// session only after their RunStreams return.
+func (m *jobManager) shutdown() {
+	m.mu.Lock()
+	states := make([]*jobState, 0, len(m.jobs))
+	for _, js := range m.jobs {
+		states = append(states, js)
+	}
+	m.mu.Unlock()
+	for _, js := range states {
+		js.cancel()
+	}
+}
+
+// snapshot copies the wire-visible job under the lock.
+func (js *jobState) snapshot() api.Job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.job
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.jobReqs.Add(1)
+	var spec api.BatchSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&spec); err != nil {
+		writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
+		return
+	}
+	rb, aerr := s.resolveBatch(spec)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	js, ctx := s.jobs.create(spec, len(rb.suite))
+	s.jobWG.Add(1)
+	go func() {
+		defer s.jobWG.Done()
+		s.runJob(ctx, js, rb)
+	}()
+	writeJSON(w, http.StatusAccepted, js.snapshot())
+}
+
+// runJob drives one async batch on the shared session.
+func (s *Server) runJob(ctx context.Context, js *jobState, rb *resolvedBatch) {
+	js.mu.Lock()
+	now := time.Now().UTC()
+	js.job.Status = api.JobRunning
+	js.job.Started = &now
+	js.mu.Unlock()
+
+	sum, runErr := s.runBatch(ctx, rb, func(line api.BatchLine) {
+		js.mu.Lock()
+		js.lines = append(js.lines, line)
+		js.job.Progress.Done = len(js.lines)
+		js.mu.Unlock()
+	})
+
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	done := time.Now().UTC()
+	js.job.Finished = &done
+	js.summary = sum
+	if runErr != nil {
+		js.job.Status = api.JobCancelled
+		js.job.Error = runErr.Error()
+		return
+	}
+	js.job.Status = api.JobDone
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*jobState, bool) {
+	id := r.PathValue("id")
+	js, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no job %q", id))
+		return nil, false
+	}
+	return js, true
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if js, ok := s.jobFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, js.snapshot())
+	}
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.JobList{Jobs: s.jobs.list()})
+}
+
+// handleJobCancel cancels a queued or running job. Cancelling a
+// finished job is a harmless no-op returning its final state, so
+// clients can fire-and-forget.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	js.cancel()
+	writeJSON(w, http.StatusOK, js.snapshot())
+}
+
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	js.mu.Lock()
+	job := js.job
+	results := append([]api.BatchLine(nil), js.lines...)
+	summary := js.summary
+	js.mu.Unlock()
+	if !job.Status.Finished() {
+		writeError(w, api.Errorf(http.StatusConflict, api.CodeJobRunning,
+			"job %s is %s (%d/%d done); poll until it finishes", job.ID, job.Status, job.Progress.Done, job.Progress.Total))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.JobResults{Job: job, Results: results, Summary: summary})
+}

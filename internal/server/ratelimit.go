@@ -1,0 +1,99 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter: each client key
+// (the request's remote host) owns a bucket refilled at rate tokens
+// per second up to burst. A request takes one token; an empty bucket
+// rejects with the time until the next token.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu        sync.Mutex
+	clients   map[string]*bucket
+	lastPrune time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the bucket map; past it, buckets idle long enough
+// to have refilled completely are pruned (forgetting a full bucket is
+// lossless — a new client starts full anyway). Pruning is amortized
+// to once per pruneInterval so a flood of distinct addresses cannot
+// turn every admission into an O(map) scan under the mutex, and past
+// the hard cap the map is reset outright: bounded memory matters more
+// than briefly re-granting bursts to abusive traffic.
+const (
+	maxClients    = 4096
+	hardClientCap = 2 * maxClients
+	pruneInterval = time.Second
+)
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = 2 * rate
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{rate: rate, burst: b, clients: make(map[string]*bucket)}
+}
+
+// allow takes a token from key's bucket. When it cannot, it returns
+// ok == false and how long until a token accrues.
+func (l *rateLimiter) allow(key string, now time.Time) (retryAfter time.Duration, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk, exists := l.clients[key]
+	if !exists {
+		if len(l.clients) >= maxClients && now.Sub(l.lastPrune) >= pruneInterval {
+			l.pruneLocked(now)
+			l.lastPrune = now
+		}
+		if len(l.clients) >= hardClientCap {
+			l.clients = make(map[string]*bucket)
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.clients[key] = bk
+	} else {
+		bk.tokens += now.Sub(bk.last).Seconds() * l.rate
+		if bk.tokens > l.burst {
+			bk.tokens = l.burst
+		}
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - bk.tokens) / l.rate * float64(time.Second)), false
+}
+
+// pruneLocked drops buckets idle long enough to be full again.
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, bk := range l.clients {
+		if now.Sub(bk.last) > idle {
+			delete(l.clients, k)
+		}
+	}
+}
+
+// clientKey identifies the client for rate limiting: the remote host
+// without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

@@ -5,27 +5,45 @@
 // by anyone, in any process that shared the store — is served from
 // cache thereafter (the ResFed-style compile-once/reuse-many model).
 //
-// Endpoints:
+// The wire contract lives in internal/api and is served under the
+// versioned /v1 prefix:
 //
-//	POST /optimize  one nest (built-in example or nestlang source) →
-//	                classification counts and model time
-//	POST /batch     suite spec → NDJSON stream of per-scenario
-//	                results, in input order, ending in a summary line
-//	GET  /stats     cache, store and request counters
+//	POST   /v1/optimize          one nest → classification counts + model time
+//	POST   /v1/batch             suite spec → NDJSON stream of per-scenario
+//	                             results ending in a summary line; specs may
+//	                             name a stored snapshot to re-run and diff it
+//	POST   /v1/jobs              submit a batch spec as an async job
+//	GET    /v1/jobs              list jobs, most recent first
+//	GET    /v1/jobs/{id}         poll one job
+//	DELETE /v1/jobs/{id}         cancel a queued/running job
+//	GET    /v1/jobs/{id}/results full results once the job finished
+//	GET    /v1/snapshots         stored snapshots (re-runnable ones flagged)
+//	GET    /v1/stats             cache, store, suite-cache, request and job
+//	                             counters
+//
+// The pre-/v1 endpoints (POST /optimize, POST /batch, GET /stats)
+// remain as thin deprecated shims over the same handlers; they send
+// a Deprecation header and a Link to their successor.
+//
+// Request contexts are threaded into the engine: a client that
+// disconnects (or times out) cancels its in-flight work at the next
+// scenario boundary. Optional per-client token-bucket rate limiting
+// (Options.RatePerSec) answers excess traffic with a typed 429.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 
-	"repro/internal/affine"
+	"repro/internal/api"
 	"repro/internal/core"
-	"repro/internal/distrib"
 	"repro/internal/engine"
-	"repro/internal/nestlang"
-	"repro/internal/scenarios"
 	"repro/internal/store"
 )
 
@@ -35,18 +53,30 @@ type Options struct {
 	Workers int
 	// CacheCap bounds the in-memory cache (0: engine default).
 	CacheCap int
-	// Store is the optional disk tier shared by every request.
+	// Store is the optional disk tier shared by every request; it also
+	// enables the snapshot endpoints and snapshot-named batch specs.
 	Store *store.Store
+	// RatePerSec enables per-client token-bucket rate limiting at this
+	// sustained request rate (0: disabled).
+	RatePerSec float64
+	// RateBurst is the bucket depth (0: twice the rate, minimum 1).
+	RateBurst int
+	// JobsCap bounds retained finished jobs (0: DefaultJobsCap).
+	JobsCap int
 }
 
 // Server owns the shared session. Create with New, serve via
 // Handler, and Close on shutdown.
 type Server struct {
-	session *engine.Session
-	store   *store.Store
-	mux     *http.ServeMux
+	session  *engine.Session
+	store    *store.Store
+	mux      *http.ServeMux
+	limiter  *rateLimiter
+	resolver *suiteResolver
+	jobs     *jobManager
+	jobWG    sync.WaitGroup
 
-	optimizes, batches atomic.Uint64
+	optimizes, batches, jobReqs, rateLimited atomic.Uint64
 }
 
 // New starts the shared engine session and builds the route table.
@@ -55,77 +85,105 @@ func New(opts Options) *Server {
 	if opts.Store != nil {
 		eo.Store = opts.Store
 	}
-	s := &Server{session: engine.NewSession(eo), store: opts.Store, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
-	s.mux.HandleFunc("POST /batch", s.handleBatch)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s := &Server{
+		session:  engine.NewSession(eo),
+		store:    opts.Store,
+		mux:      http.NewServeMux(),
+		resolver: newSuiteResolver(suiteCacheCap),
+		jobs:     newJobManager(opts.JobsCap),
+	}
+	if opts.RatePerSec > 0 {
+		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst)
+	}
+
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	s.mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+
+	// Deprecated unversioned shims. /stats keeps its pre-/v1 body
+	// shape (Go-default CamelCase cache keys): legacy monitoring
+	// clients unmarshal those field names, and serving them
+	// snake_case would silently zero their counters.
+	s.mux.HandleFunc("POST /optimize", deprecated("/v1/optimize", s.handleOptimize))
+	s.mux.HandleFunc("POST /batch", deprecated("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("GET /stats", deprecated("/v1/stats", s.handleLegacyStats))
+
 	s.mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprint(w, "resoptd: POST /optimize, POST /batch, GET /stats\n")
+		fmt.Fprint(w, "resoptd /v1: POST /v1/optimize, POST /v1/batch, POST|GET /v1/jobs, GET /v1/jobs/{id}[/results], GET /v1/snapshots, GET /v1/stats\n")
 	})
 	return s
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// deprecated wraps a v1 handler as an unversioned shim: same
+// behavior, plus the deprecation headers pointing at the successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
 
-// Close shuts the shared session down. Call only after the HTTP
-// server has stopped serving requests.
-func (s *Server) Close() { s.session.Close() }
+// Handler returns the HTTP handler: version stamping and rate
+// limiting around the route table.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, api.Version)
+		if s.limiter != nil {
+			if retry, ok := s.limiter.allow(clientKey(r), time.Now()); !ok {
+				s.rateLimited.Add(1)
+				w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())+1))
+				writeError(w, api.Errorf(http.StatusTooManyRequests, api.CodeRateLimited,
+					"rate limit exceeded; retry in %s", retry.Round(time.Millisecond)))
+				return
+			}
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close cancels outstanding jobs, waits for their runs to drain, and
+// shuts the shared session down. Call only after the HTTP server has
+// stopped serving requests.
+func (s *Server) Close() {
+	s.jobs.shutdown()
+	s.jobWG.Wait()
+	s.session.Close()
+}
 
 // maxBody bounds request bodies; nest sources are tiny.
 const maxBody = 1 << 20
 
-// OptimizeRequest is the POST /optimize body. Exactly one of Example
-// (a built-in nest name, see `resopt -list`) or Nest (nestlang
-// source) selects the program.
-type OptimizeRequest struct {
-	Example string `json:"example,omitempty"`
-	Nest    string `json:"nest,omitempty"`
-	// M is the target virtual grid dimension (default 2).
-	M int `json:"m,omitempty"`
-	// Machine is a spec like "fattree32" or "mesh4x4"
-	// (default fattree32); N and ElemBytes size the payload
-	// (defaults 16 and 64).
-	Machine   string `json:"machine,omitempty"`
-	N         int    `json:"n,omitempty"`
-	ElemBytes int64  `json:"elem_bytes,omitempty"`
-	// NoMacro / NoDecomposition are the heuristic ablations.
-	NoMacro         bool `json:"no_macro,omitempty"`
-	NoDecomposition bool `json:"no_decomposition,omitempty"`
-}
-
-// OptimizeResponse is the POST /optimize reply: the per-class
-// communication counts of the optimized nest (identical to a direct
-// core.Optimize call) plus the modeled time on the chosen machine.
-type OptimizeResponse struct {
-	Name         string  `json:"name"`
-	Machine      string  `json:"machine"`
-	Local        int     `json:"local"`
-	Macro        int     `json:"macro"`
-	Decomposed   int     `json:"decomposed"`
-	General      int     `json:"general"`
-	Vectorizable int     `json:"vectorizable"`
-	ModelTimeUs  float64 `json:"model_time_us"`
-}
-
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.optimizes.Add(1)
-	var req OptimizeRequest
+	var req api.OptimizeRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
-	sc, err := scenarioFromRequest(&req)
+	sc, aerr := scenarioFromRequest(&req)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	res, err := s.session.Optimize(r.Context(), sc)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		// The client is gone (or its deadline passed); status is moot
+		// but a typed body keeps proxies and logs coherent.
+		writeError(w, api.Errorf(http.StatusRequestTimeout, api.CodeCancelled, "request cancelled: %v", err))
 		return
 	}
-	res := s.session.Optimize(sc)
 	if res.Err != "" {
-		httpError(w, http.StatusUnprocessableEntity, "optimization failed: %s", res.Err)
+		writeError(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeUnprocessable, "optimization failed: %s", res.Err))
 		return
 	}
-	writeJSON(w, http.StatusOK, OptimizeResponse{
+	writeJSON(w, http.StatusOK, api.OptimizeResponse{
 		Name:         res.Name,
 		Machine:      sc.Machine.String(),
 		Local:        res.Classes[core.Local],
@@ -137,147 +195,156 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// scenarioFromRequest resolves the program and fills the machine and
-// payload defaults.
-func scenarioFromRequest(req *OptimizeRequest) (*scenarios.Scenario, error) {
-	var prog *affine.Program
-	switch {
-	case req.Example != "" && req.Nest != "":
-		return nil, fmt.Errorf(`give "example" or "nest", not both`)
-	case req.Example != "":
-		for _, p := range affine.AllExamples() {
-			if p.Name == req.Example {
-				prog = p
-			}
-		}
-		if prog == nil {
-			return nil, fmt.Errorf("unknown example %q", req.Example)
-		}
-	case req.Nest != "":
-		p, err := nestlang.Parse(req.Nest)
-		if err != nil {
-			return nil, fmt.Errorf("parsing nest: %w", err)
-		}
-		prog = p
-	default:
-		return nil, fmt.Errorf(`give "example" or "nest"`)
-	}
-	m := req.M
-	if m == 0 {
-		m = 2
-	}
-	ms := scenarios.MachineSpec{Kind: scenarios.FatTree, P: 32}
-	if req.Machine != "" {
-		var err error
-		ms, err = scenarios.ParseMachineSpec(req.Machine)
-		if err != nil {
-			return nil, err
-		}
-	}
-	n := req.N
-	if n <= 0 {
-		n = 16
-	}
-	eb := req.ElemBytes
-	if eb <= 0 {
-		eb = 64
-	}
-	return &scenarios.Scenario{
-		Name:      prog.Name,
-		Program:   prog,
-		M:         m,
-		Opts:      core.Options{NoMacro: req.NoMacro, NoDecomposition: req.NoDecomposition},
-		Machine:   ms,
-		Dist:      distrib.Dist2D{D0: distrib.Block{}, D1: distrib.Block{}},
-		N:         n,
-		ElemBytes: eb,
-	}, nil
-}
-
-// BatchRequest is the POST /batch body: a scenarios.Config spec.
-type BatchRequest struct {
-	Seed       int64 `json:"seed,omitempty"`
-	Random     int   `json:"random,omitempty"`
-	Deep       int   `json:"deep,omitempty"`
-	Skew       bool  `json:"skew,omitempty"`
-	NoExamples bool  `json:"no_examples,omitempty"`
-	M          int   `json:"m,omitempty"`
-	NoMacro    bool  `json:"no_macro,omitempty"`
-	NoDecomp   bool  `json:"no_decomposition,omitempty"`
-}
-
-// maxSuiteNests bounds /batch suite generation per request.
-const maxSuiteNests = 1000
-
-// BatchLine is one NDJSON line of the /batch stream.
-type BatchLine struct {
-	Name         string  `json:"name"`
-	Classes      [4]int  `json:"classes"`
-	Vectorizable int     `json:"vectorizable"`
-	ModelTimeUs  float64 `json:"model_time_us"`
-	Err          string  `json:"err,omitempty"`
-}
-
-// BatchSummary is the final NDJSON line of the /batch stream.
-type BatchSummary struct {
-	Summary struct {
-		Scenarios      int     `json:"scenarios"`
-		ClassTotals    [4]int  `json:"class_totals"`
-		TotalModelTime float64 `json:"total_model_time_us"`
-		Errors         int     `json:"errors"`
-	} `json:"summary"`
-}
-
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batches.Add(1)
-	var req BatchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	var spec api.BatchSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&spec); err != nil {
+		writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
-	// Bound each field before summing: two huge values could overflow
-	// the sum past the guard.
-	if req.Random < 0 || req.Deep < 0 ||
-		req.Random > maxSuiteNests || req.Deep > maxSuiteNests ||
-		req.Random+req.Deep > maxSuiteNests {
-		httpError(w, http.StatusBadRequest, "random+deep must be in [0, %d]", maxSuiteNests)
+	rb, aerr := s.resolveBatch(spec)
+	if aerr != nil {
+		writeError(w, aerr)
 		return
 	}
-	suite := scenarios.Generate(scenarios.Config{
-		Seed:       req.Seed,
-		Random:     req.Random,
-		Deep:       req.Deep,
-		Skew:       req.Skew,
-		NoExamples: req.NoExamples,
-		M:          req.M,
-		Opts:       core.Options{NoMacro: req.NoMacro, NoDecomposition: req.NoDecomp},
-	})
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	b := s.session.RunStream(suite, func(res engine.Result) {
-		enc.Encode(BatchLine{
+	sum, _ := s.runBatch(r.Context(), rb, func(line api.BatchLine) {
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	// On cancellation the client is usually gone; writing the summary
+	// is then a no-op, but a server-side deadline still delivers a
+	// well-terminated stream with summary.cancelled set.
+	enc.Encode(api.BatchSummary{Summary: sum})
+}
+
+// runBatch runs a resolved batch on the shared session, streaming
+// lines to emit, and assembles the summary: aggregates, the
+// server-side diff against the baseline snapshot (for snapshot-named
+// specs) and the save-as recording. Shared by the synchronous /v1/batch
+// stream and async jobs.
+func (s *Server) runBatch(ctx context.Context, rb *resolvedBatch, emit func(api.BatchLine)) (api.BatchSummaryBody, error) {
+	b, runErr := s.session.RunStream(ctx, rb.suite, func(res engine.Result) {
+		emit(api.BatchLine{
 			Name:         res.Name,
 			Classes:      res.Classes,
 			Vectorizable: res.Vectorizable,
 			ModelTimeUs:  res.ModelTime,
 			Err:          res.Err,
 		})
-		if flusher != nil {
-			flusher.Flush()
-		}
 	})
-	var sum BatchSummary
-	sum.Summary.Scenarios = len(b.Results)
-	sum.Summary.ClassTotals = b.ClassTotals
-	sum.Summary.TotalModelTime = b.TotalModelTime
-	sum.Summary.Errors = b.Errors
-	enc.Encode(sum)
+	sum := api.BatchSummaryBody{
+		Scenarios:      len(b.Results),
+		ClassTotals:    b.ClassTotals,
+		TotalModelTime: b.TotalModelTime,
+		Errors:         b.Errors,
+	}
+	if runErr != nil {
+		sum.Cancelled = true
+		return sum, runErr
+	}
+	snap := store.Take(b)
+	spec := rb.genSpec
+	snap.Spec = &spec
+	if rb.baseline != nil {
+		d := store.Compare(rb.baseline, snap)
+		sum.Diff = &api.DiffSummary{
+			Baseline:    rb.baselineName,
+			Unchanged:   d.Unchanged,
+			Changed:     len(d.Changed),
+			Regressions: d.Regressions,
+			Added:       len(d.Added),
+			Removed:     len(d.Removed),
+		}
+	}
+	if rb.saveAs != "" {
+		// The name and the store were validated at resolve time, so a
+		// failure here is an I/O problem. SaveSnapshot records it in
+		// the store's warning log (visible in /v1/stats); the summary
+		// omits the recording so clients can tell it did not stick.
+		if _, err := s.store.SaveSnapshot(rb.saveAs, snap); err == nil {
+			sum.Snapshot = rb.saveAs
+		}
+	}
+	return sum, nil
 }
 
-// StatsResponse is the GET /stats reply.
-type StatsResponse struct {
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, errNoStore())
+		return
+	}
+	names, err := s.store.ListSnapshots()
+	if err != nil {
+		writeError(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "listing snapshots: %v", err))
+		return
+	}
+	list := api.SnapshotList{Snapshots: []api.SnapshotInfo{}}
+	for _, name := range names {
+		snap, err := s.store.LoadSnapshot(name)
+		if err != nil {
+			continue // raced with deletion or corrupt: skip, don't fail the listing
+		}
+		list.Snapshots = append(list.Snapshots, api.SnapshotInfo{
+			Name:           name,
+			Scenarios:      snap.Scenarios,
+			Errors:         snap.Errors,
+			TotalModelTime: snap.TotalModelTime,
+			Rerunnable:     snap.Spec != nil,
+		})
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func errNoStore() *api.Error {
+	return api.Errorf(http.StatusServiceUnavailable, api.CodeNoStore, "this daemon has no plan store (start resoptd with -store)")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	c := s.session.CacheStats()
+	resp := api.StatsResponse{
+		Version: api.Version,
+		Workers: s.session.Workers(),
+		Cache: api.CacheStats{
+			KernelHits:   c.KernelHits,
+			KernelMisses: c.KernelMisses,
+			PlanHits:     c.PlanHits,
+			PlanMisses:   c.PlanMisses,
+			DiskHits:     c.DiskHits,
+			DiskMisses:   c.DiskMisses,
+			Evictions:    c.Evictions,
+			Entries:      c.Entries,
+		},
+		SuiteCache: s.resolver.stats(),
+		Jobs:       s.jobs.stats(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &api.StoreStats{
+			PlanPuts:      st.PlanPuts,
+			PlanGetHits:   st.PlanGetHits,
+			PlanGetMisses: st.PlanGetMisses,
+			Warnings:      st.Warnings,
+		}
+	}
+	resp.Requests = api.RequestStats{
+		Optimize:    s.optimizes.Load(),
+		Batch:       s.batches.Load(),
+		Jobs:        s.jobReqs.Load(),
+		RateLimited: s.rateLimited.Load(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// legacyStatsResponse reproduces the pre-/v1 GET /stats body: the
+// engine's CacheStats serialized with its Go field names and only the
+// request counters that endpoint had.
+type legacyStatsResponse struct {
 	Workers  int               `json:"workers"`
 	Cache    engine.CacheStats `json:"cache"`
 	Store    *store.Stats      `json:"store,omitempty"`
@@ -287,8 +354,8 @@ type StatsResponse struct {
 	} `json:"requests"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{Workers: s.session.Workers(), Cache: s.session.CacheStats()}
+func (s *Server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
+	resp := legacyStatsResponse{Workers: s.session.Workers(), Cache: s.session.CacheStats()}
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &st
@@ -304,6 +371,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, e.Status, api.ErrorEnvelope{Error: e})
 }

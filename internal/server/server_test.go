@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/affine"
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/scenarios"
@@ -20,13 +22,13 @@ import (
 
 // direct computes the reference answer for an example nest straight
 // through core.Optimize, the way the acceptance criterion phrases it.
-func direct(t *testing.T, prog *affine.Program, m int) OptimizeResponse {
+func direct(t *testing.T, prog *affine.Program, m int) api.OptimizeResponse {
 	t.Helper()
 	res, err := core.Optimize(prog, m, core.Options{})
 	if err != nil {
 		t.Fatalf("core.Optimize(%s): %v", prog.Name, err)
 	}
-	out := OptimizeResponse{Name: prog.Name}
+	out := api.OptimizeResponse{Name: prog.Name}
 	for _, pl := range res.Plans {
 		switch pl.Class {
 		case core.Local:
@@ -64,13 +66,13 @@ func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Re
 }
 
 // TestConcurrentOptimize is the acceptance scenario: ≥ 32 concurrent
-// /optimize requests (under -race in CI), each response identical to
-// a direct core.Optimize call.
+// /v1/optimize requests (under -race in CI), each response identical
+// to a direct core.Optimize call.
 func TestConcurrentOptimize(t *testing.T) {
 	examples := affine.AllExamples()
 	// Reference answers first: core.Optimize runs outside the session
 	// (sessions hold the process-global engine lock until Close).
-	want := make(map[string]OptimizeResponse, len(examples))
+	want := make(map[string]api.OptimizeResponse, len(examples))
 	for _, p := range examples {
 		want[p.Name] = direct(t, p, 2)
 	}
@@ -88,8 +90,8 @@ func TestConcurrentOptimize(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			p := examples[c%len(examples)]
-			data, _ := json.Marshal(OptimizeRequest{Example: p.Name})
-			resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(data))
+			data, _ := json.Marshal(api.OptimizeRequest{Example: p.Name})
+			resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(data))
 			if err != nil {
 				errs <- err
 				return
@@ -99,7 +101,11 @@ func TestConcurrentOptimize(t *testing.T) {
 				errs <- fmt.Errorf("%s: status %d", p.Name, resp.StatusCode)
 				return
 			}
-			var got OptimizeResponse
+			if v := resp.Header.Get(api.VersionHeader); v != api.Version {
+				errs <- fmt.Errorf("%s: version header %q", p.Name, v)
+				return
+			}
+			var got api.OptimizeResponse
 			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 				errs <- err
 				return
@@ -141,11 +147,11 @@ nest t {
   }
 }
 `
-	resp, body := postJSON(t, ts.Client(), ts.URL+"/optimize", OptimizeRequest{Nest: nest, Machine: "mesh4x4", N: 8})
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/optimize", api.OptimizeRequest{Nest: nest, Machine: "mesh4x4", N: 8})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var got OptimizeResponse
+	var got api.OptimizeResponse
 	if err := json.Unmarshal(body, &got); err != nil {
 		t.Fatal(err)
 	}
@@ -157,8 +163,8 @@ nest t {
 	}
 }
 
-// TestOptimizeErrors: bad inputs are 4xx with a JSON error, and never
-// kill the shared session.
+// TestOptimizeErrors: bad inputs are 4xx with a typed JSON error, and
+// never kill the shared session.
 func TestOptimizeErrors(t *testing.T) {
 	srv := New(Options{})
 	defer srv.Close()
@@ -166,34 +172,39 @@ func TestOptimizeErrors(t *testing.T) {
 	defer ts.Close()
 
 	for name, tc := range map[string]struct {
-		req  OptimizeRequest
+		req  api.OptimizeRequest
 		code int
+		kind string
 	}{
-		"no program":   {OptimizeRequest{}, http.StatusBadRequest},
-		"both":         {OptimizeRequest{Example: "matmul", Nest: "x"}, http.StatusBadRequest},
-		"unknown":      {OptimizeRequest{Example: "nope"}, http.StatusBadRequest},
-		"bad nest":     {OptimizeRequest{Nest: "not a nest"}, http.StatusBadRequest},
-		"bad machine":  {OptimizeRequest{Example: "matmul", Machine: "torus9"}, http.StatusBadRequest},
-		"bad optimize": {OptimizeRequest{Example: "matmul", M: -1}, http.StatusUnprocessableEntity},
+		"no program":   {api.OptimizeRequest{}, http.StatusBadRequest, api.CodeBadRequest},
+		"both":         {api.OptimizeRequest{Example: "matmul", Nest: "x"}, http.StatusBadRequest, api.CodeBadRequest},
+		"unknown":      {api.OptimizeRequest{Example: "nope"}, http.StatusBadRequest, api.CodeBadRequest},
+		"bad nest":     {api.OptimizeRequest{Nest: "not a nest"}, http.StatusBadRequest, api.CodeBadRequest},
+		"bad machine":  {api.OptimizeRequest{Example: "matmul", Machine: "torus9"}, http.StatusBadRequest, api.CodeBadRequest},
+		"bad optimize": {api.OptimizeRequest{Example: "matmul", M: -1}, http.StatusUnprocessableEntity, api.CodeUnprocessable},
 	} {
-		resp, body := postJSON(t, ts.Client(), ts.URL+"/optimize", tc.req)
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/optimize", tc.req)
 		if resp.StatusCode != tc.code {
 			t.Errorf("%s: status %d, want %d (%s)", name, resp.StatusCode, tc.code, body)
 		}
-		var e map[string]string
-		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
-			t.Errorf("%s: no JSON error in %s", name, body)
+		var env api.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+			t.Errorf("%s: no typed error in %s", name, body)
+			continue
+		}
+		if env.Error.Code != tc.kind || env.Error.Status != tc.code || env.Error.Message == "" {
+			t.Errorf("%s: error %+v, want code %s status %d", name, env.Error, tc.kind, tc.code)
 		}
 	}
 
 	// The session still works after the failures.
-	resp, _ := postJSON(t, ts.Client(), ts.URL+"/optimize", OptimizeRequest{Example: "matmul"})
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/optimize", api.OptimizeRequest{Example: "matmul"})
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("session broken after bad requests: status %d", resp.StatusCode)
 	}
 }
 
-// TestBatchStream: /batch streams one NDJSON line per scenario, in
+// TestBatchStream: /v1/batch streams one NDJSON line per scenario, in
 // suite order, with a trailing summary matching a direct engine run.
 func TestBatchStream(t *testing.T) {
 	cfg := scenarios.Config{Seed: 3, Random: 2, NoExamples: true}
@@ -205,8 +216,8 @@ func TestBatchStream(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	data, _ := json.Marshal(BatchRequest{Seed: 3, Random: 2, NoExamples: true})
-	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(data))
+	data, _ := json.Marshal(api.BatchSpec{Seed: 3, Random: 2, NoExamples: true})
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,26 +225,7 @@ func TestBatchStream(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Errorf("Content-Type = %q", ct)
 	}
-	var lines []BatchLine
-	var sum BatchSummary
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if strings.Contains(string(line), `"summary"`) {
-			if err := json.Unmarshal(line, &sum); err != nil {
-				t.Fatal(err)
-			}
-			continue
-		}
-		var l BatchLine
-		if err := json.Unmarshal(line, &l); err != nil {
-			t.Fatal(err)
-		}
-		lines = append(lines, l)
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
-	}
+	lines, sum := decodeStream(t, resp)
 	if len(lines) != len(ref.Results) {
 		t.Fatalf("streamed %d lines, want %d", len(lines), len(ref.Results))
 	}
@@ -250,27 +242,115 @@ func TestBatchStream(t *testing.T) {
 	}
 }
 
-// TestBatchLimits: oversized suite specs are rejected.
+// decodeStream splits an NDJSON batch response into lines + summary.
+func decodeStream(t *testing.T, resp *http.Response) ([]api.BatchLine, api.BatchSummary) {
+	t.Helper()
+	var lines []api.BatchLine
+	var sum api.BatchSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if strings.Contains(string(line), `"summary"`) {
+			if err := json.Unmarshal(line, &sum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var l api.BatchLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines, sum
+}
+
+// TestBatchLimits: oversized suite specs are rejected on both the v1
+// and the deprecated path.
 func TestBatchLimits(t *testing.T) {
 	srv := New(Options{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	const huge = 1 << 62 // random+deep would overflow int
-	for name, req := range map[string]BatchRequest{
+	for name, req := range map[string]api.BatchSpec{
 		"oversized": {Random: 100000},
 		"negative":  {Random: -1},
 		"overflow":  {Random: huge, Deep: huge},
 	} {
-		resp, _ := postJSON(t, ts.Client(), ts.URL+"/batch", req)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s batch: status %d, want 400", name, resp.StatusCode)
+		for _, path := range []string{"/v1/batch", "/batch"} {
+			resp, _ := postJSON(t, ts.Client(), ts.URL+path, req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d, want 400", name, path, resp.StatusCode)
+			}
 		}
 	}
 }
 
-// TestStats: /stats reports the shared cache, the store and request
-// counters.
+// TestLegacyShims: the unversioned endpoints still serve the old
+// routes through the v1 handlers and announce their deprecation.
+func TestLegacyShims(t *testing.T) {
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/optimize", api.OptimizeRequest{Example: "matmul"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy /optimize: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy /optimize missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/optimize") {
+		t.Errorf("legacy /optimize Link = %q", link)
+	}
+	var legacy api.OptimizeResponse
+	if err := json.Unmarshal(body, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	resp2, body2 := postJSON(t, ts.Client(), ts.URL+"/v1/optimize", api.OptimizeRequest{Example: "matmul"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/optimize: status %d", resp2.StatusCode)
+	}
+	var v1 api.OptimizeResponse
+	if err := json.Unmarshal(body2, &v1); err != nil {
+		t.Fatal(err)
+	}
+	if legacy != v1 {
+		t.Errorf("legacy response %+v ≠ v1 response %+v", legacy, v1)
+	}
+
+	resp3, _ := postJSON(t, ts.Client(), ts.URL+"/batch", api.BatchSpec{Random: 1, NoExamples: true})
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK || resp3.Header.Get("Deprecation") != "true" {
+		t.Errorf("legacy /batch: status %d, Deprecation %q", resp3.StatusCode, resp3.Header.Get("Deprecation"))
+	}
+
+	resp4, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	if resp4.StatusCode != http.StatusOK || resp4.Header.Get("Deprecation") != "true" {
+		t.Errorf("legacy /stats: status %d, Deprecation %q", resp4.StatusCode, resp4.Header.Get("Deprecation"))
+	}
+	// The legacy body keeps its pre-/v1 shape: CamelCase cache keys.
+	statsBody, err := io.ReadAll(resp4.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(statsBody), `"PlanMisses"`) || strings.Contains(string(statsBody), `"plan_misses"`) {
+		t.Errorf("legacy /stats body changed shape: %s", statsBody)
+	}
+}
+
+// TestStats: /v1/stats reports the shared cache, the store, request
+// counters and the suite cache.
 func TestStats(t *testing.T) {
 	st, err := store.Open(t.TempDir())
 	if err != nil {
@@ -281,26 +361,40 @@ func TestStats(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	postJSON(t, ts.Client(), ts.URL+"/optimize", OptimizeRequest{Example: "matmul"})
-	postJSON(t, ts.Client(), ts.URL+"/optimize", OptimizeRequest{Example: "matmul"})
+	postJSON(t, ts.Client(), ts.URL+"/v1/optimize", api.OptimizeRequest{Example: "matmul"})
+	postJSON(t, ts.Client(), ts.URL+"/v1/optimize", api.OptimizeRequest{Example: "matmul"})
+	// Two identical batch specs: the second must hit the suite cache.
+	for i := 0; i < 2; i++ {
+		resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/batch", api.BatchSpec{Random: 1, NoExamples: true})
+		resp.Body.Close()
+	}
 
-	resp, err := http.Get(ts.URL + "/stats")
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var got StatsResponse
+	var got api.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
+	if got.Version != api.Version {
+		t.Errorf("api_version = %q", got.Version)
+	}
 	if got.Requests.Optimize != 2 {
 		t.Errorf("optimize requests = %d, want 2", got.Requests.Optimize)
+	}
+	if got.Requests.Batch != 2 {
+		t.Errorf("batch requests = %d, want 2", got.Requests.Batch)
 	}
 	if got.Cache.PlanMisses == 0 {
 		t.Error("cache stats empty after requests")
 	}
 	if got.Cache.PlanHits == 0 {
 		t.Error("second identical request missed the shared plan cache")
+	}
+	if got.SuiteCache.Hits == 0 || got.SuiteCache.Misses == 0 {
+		t.Errorf("suite cache = %+v, want ≥1 hit and ≥1 miss", got.SuiteCache)
 	}
 	if got.Store == nil || got.Store.PlanPuts == 0 {
 		t.Errorf("store stats missing or empty: %+v", got.Store)

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GCOptions select what the sweep removes. The zero value removes
+// nothing but stale temp files; set MaxAge and/or MaxPlans to enable
+// the age and LRU criteria.
+type GCOptions struct {
+	// MaxAge removes plan files not used (mtime; GetPlan touches hits)
+	// for longer than this. 0 disables the age criterion.
+	MaxAge time.Duration
+	// MaxPlans bounds the surviving plan-file count: after the age
+	// sweep, the least recently used files beyond this many are
+	// removed. 0 disables the count criterion.
+	MaxPlans int
+	// DryRun reports what would be removed without removing it.
+	DryRun bool
+}
+
+// GCResult summarizes a sweep.
+type GCResult struct {
+	// Scanned is the number of plan files examined.
+	Scanned int `json:"scanned"`
+	// RemovedAge / RemovedLRU count removals per criterion; stale
+	// temp files from interrupted writes are counted separately.
+	RemovedAge  int `json:"removed_age"`
+	RemovedLRU  int `json:"removed_lru"`
+	RemovedTemp int `json:"removed_temp"`
+	// Kept is the number of plan files surviving the sweep.
+	Kept int `json:"kept"`
+	// BytesFreed sums the sizes of removed plan files.
+	BytesFreed int64 `json:"bytes_freed"`
+}
+
+// Removed is the total number of files removed by the sweep.
+func (r GCResult) Removed() int { return r.RemovedAge + r.RemovedLRU + r.RemovedTemp }
+
+// staleTempAge is how old an orphaned temp file (from an interrupted
+// writeAtomic) must be before GC reclaims it; young ones may still be
+// mid-write in another process.
+const staleTempAge = time.Hour
+
+// GC sweeps the plan tier: age-expired files first, then the least
+// recently used files beyond MaxPlans (mtime is the recency signal —
+// GetPlan touches files it serves). Snapshots are never collected;
+// they are few, named, and referenced by re-run specs. Removing a
+// live plan is always safe — the engine recomputes and rewrites it —
+// so GC can run concurrently with serving traffic. Unremovable files
+// are recorded as store warnings and kept in the Kept count.
+func (s *Store) GC(opts GCOptions) (GCResult, error) {
+	type planFileInfo struct {
+		path  string
+		mtime time.Time
+		size  int64
+	}
+	var (
+		res   GCResult
+		files []planFileInfo
+	)
+	plansDir := filepath.Join(s.root, "plans")
+	now := time.Now()
+	err := filepath.WalkDir(plansDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent removal
+		}
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			if now.Sub(info.ModTime()) > staleTempAge {
+				if s.gcRemove(path, opts.DryRun) {
+					res.RemovedTemp++
+				}
+			}
+			return nil
+		}
+		res.Scanned++
+		files = append(files, planFileInfo{path: path, mtime: info.ModTime(), size: info.Size()})
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	// writeAtomic also stages temps under snapshots/; reclaim stale
+	// ones there too. Snapshots themselves are never collected.
+	if ents, err := os.ReadDir(filepath.Join(s.root, "snapshots")); err == nil {
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+				continue
+			}
+			if info, err := e.Info(); err == nil && now.Sub(info.ModTime()) > staleTempAge {
+				if s.gcRemove(filepath.Join(s.root, "snapshots", e.Name()), opts.DryRun) {
+					res.RemovedTemp++
+				}
+			}
+		}
+	}
+
+	// Age sweep.
+	if opts.MaxAge > 0 {
+		kept := files[:0]
+		for _, f := range files {
+			if now.Sub(f.mtime) > opts.MaxAge {
+				if s.gcRemove(f.path, opts.DryRun) {
+					res.RemovedAge++
+					res.BytesFreed += f.size
+					continue
+				}
+			}
+			kept = append(kept, f)
+		}
+		files = kept
+	}
+
+	// LRU sweep: oldest mtime first beyond the cap.
+	if opts.MaxPlans > 0 && len(files) > opts.MaxPlans {
+		sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+		excess := files[:len(files)-opts.MaxPlans]
+		kept := files[len(files)-opts.MaxPlans:]
+		for _, f := range excess {
+			if s.gcRemove(f.path, opts.DryRun) {
+				res.RemovedLRU++
+				res.BytesFreed += f.size
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		files = kept
+	}
+	res.Kept = len(files)
+
+	if !opts.DryRun {
+		s.pruneEmptyShards(plansDir)
+	}
+	return res, nil
+}
+
+// gcRemove deletes one file (or pretends to, under DryRun) and
+// reports success; failures become store warnings.
+func (s *Store) gcRemove(path string, dryRun bool) bool {
+	if dryRun {
+		return true
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		s.warnf("gc: removing %s: %v", path, err)
+		return false
+	}
+	return true
+}
+
+// pruneEmptyShards drops now-empty <hh>/ shard directories so a
+// heavily collected store does not keep 256 empty dirs around.
+func (s *Store) pruneEmptyShards(plansDir string) {
+	ents, err := os.ReadDir(plansDir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		// Remove fails on non-empty directories, which is exactly the
+		// check we want.
+		os.Remove(filepath.Join(plansDir, e.Name()))
+	}
+}

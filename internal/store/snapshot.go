@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/api"
 	"repro/internal/engine"
 )
 
@@ -27,6 +28,13 @@ type Snapshot struct {
 	TotalModelTime float64         `json:"total_model_time_us"`
 	Errors         int             `json:"errors"`
 	Results        []engine.Result `json:"results"`
+	// Spec is the wire-level suite specification the snapshot was
+	// generated from, when known. Suite generation is deterministic in
+	// the spec, so a recorded spec makes the snapshot re-runnable by
+	// name (api.BatchSpec.Snapshot): the server resolves the name back
+	// to this spec, regenerates the identical suite, and diffs the
+	// fresh results against Results.
+	Spec *api.BatchSpec `json:"spec,omitempty"`
 }
 
 // Take projects a batch result down to its snapshot.
@@ -92,6 +100,11 @@ func ReadSnapshot(path string) (*Snapshot, error) {
 // snapshotName restricts snapshot names to a safe filename alphabet.
 var snapshotName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
 
+// ValidSnapshotName reports whether name is acceptable to
+// SaveSnapshot/LoadSnapshot, so callers can reject bad names up front
+// (e.g. before streaming a batch whose results should be recorded).
+func ValidSnapshotName(name string) bool { return snapshotName.MatchString(name) }
+
 func (s *Store) snapshotPath(name string) (string, error) {
 	if !snapshotName.MatchString(name) {
 		return "", fmt.Errorf("store: bad snapshot name %q", name)
@@ -100,7 +113,10 @@ func (s *Store) snapshotPath(name string) (string, error) {
 }
 
 // SaveSnapshot persists snap under name inside the store and returns
-// its path.
+// its path. Write failures are returned and also recorded as store
+// warnings, so callers that tolerate a lost recording (the daemon's
+// save_as path answers 200 either way) still leave a trace in
+// Warnings() and the stats counters.
 func (s *Store) SaveSnapshot(name string, snap *Snapshot) (string, error) {
 	path, err := s.snapshotPath(name)
 	if err != nil {
@@ -111,6 +127,7 @@ func (s *Store) SaveSnapshot(name string, snap *Snapshot) (string, error) {
 		return "", err
 	}
 	if err := s.writeAtomic(path, buf.Bytes()); err != nil {
+		s.warnf("writing snapshot %s: %v", path, err)
 		return "", err
 	}
 	return path, nil

@@ -30,6 +30,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -106,6 +107,11 @@ func (s *Store) GetPlan(key string) ([]engine.PlanRecord, string, bool) {
 		return nil, "", false
 	}
 	s.getHits.Add(1)
+	// Touch the file so its mtime approximates recency-of-use and the
+	// LRU half of GC keeps hot plans. Best-effort: a read-only store
+	// still serves hits, it just ages like an unused one.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return f.Plans, f.Err, true
 }
 
