@@ -1,11 +1,15 @@
 // Command commsim simulates communication patterns on the
 // Paragon-like mesh model: a general affine communication, its
-// decomposed phases, or an elementary U_k communication under a
-// chosen data distribution.
+// decomposed phases, an elementary U_k communication under a chosen
+// data distribution, or a software collective (broadcast/reduction)
+// with cost-driven algorithm selection.
 //
 //	commsim -pattern general -t 1,2,3,7
 //	commsim -pattern decomposed -t 1,2,3,7
 //	commsim -pattern uk -k 4 -dist grouped
+//	commsim -pattern collective -op broadcast -p 64 -q 2 -bytes 4096
+//	commsim -pattern collective -op reduction -cdim 0     # along axis 0
+//	commsim -pattern collective -algo chain -schedule     # rounds, one by one
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/collective"
 	"repro/internal/decomp"
 	"repro/internal/distrib"
 	"repro/internal/intmat"
@@ -22,7 +27,7 @@ import (
 )
 
 func main() {
-	pattern := flag.String("pattern", "general", "general | decomposed | uk")
+	pattern := flag.String("pattern", "general", "general | decomposed | uk | collective")
 	tspec := flag.String("t", "1,2,3,7", "2x2 data-flow matrix, row-major")
 	k := flag.Int("k", 2, "k of the elementary U_k communication")
 	dist := flag.String("dist", "cyclic", "block | cyclic | cyclicb | grouped (dimension 0)")
@@ -30,6 +35,11 @@ func main() {
 	q := flag.Int("q", 8, "mesh cols")
 	n := flag.Int("n", 64, "virtual grid extent (n x n)")
 	bytes := flag.Int64("bytes", 64, "bytes per virtual processor")
+	op := flag.String("op", "broadcast", "collective: broadcast | reduction")
+	cdim := flag.Int("cdim", -1, "collective: grid axis of a partial collective (-1: total)")
+	root := flag.Int("root", 0, "collective: root rank of a total collective")
+	algo := flag.String("algo", "", "collective: pin one algorithm instead of cost-driven selection")
+	schedule := flag.Bool("schedule", false, "collective: print the chosen schedule round by round")
 	flag.Parse()
 
 	mesh := machine.DefaultMesh(*p, *q)
@@ -64,8 +74,82 @@ func main() {
 	case "uk":
 		msgs := machine.ElementaryRowComm(mesh, d, int64(*k), *n, *n, *bytes)
 		report(mesh, fmt.Sprintf("U_%d under %s", *k, d.Name()), msgs)
+	case "collective":
+		runCollective(mesh, *op, *cdim, *root, *bytes, *algo, *schedule)
 	default:
 		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+}
+
+// runCollective prints the per-algorithm cost table for the
+// collective, the selector's choice, and (with -schedule) the chosen
+// schedule round by round.
+func runCollective(mesh *machine.Mesh2D, op string, dim, root int, bytes int64, algo string, schedule bool) {
+	var pat collective.Pattern
+	switch op {
+	case "broadcast":
+		pat = collective.Broadcast
+	case "reduction":
+		pat = collective.Reduction
+	default:
+		fatal(fmt.Errorf("unknown collective op %q (want broadcast or reduction)", op))
+	}
+	if algo != "" && !collective.KnownAlgorithm(algo) {
+		fatal(fmt.Errorf("unknown algorithm %q (have %v)", algo, collective.AllAlgorithms()))
+	}
+	where := fmt.Sprintf("root %d", root)
+	if dim >= 0 {
+		where = fmt.Sprintf("along axis %d", dim)
+	}
+	fmt.Printf("%s of %d bytes on %dx%d mesh (%s):\n", op, bytes, mesh.P, mesh.Q, where)
+
+	build := func(name string) (*collective.Schedule, error) {
+		if dim >= 0 {
+			return collective.ScheduleMeshDim(mesh, pat, dim, bytes, name)
+		}
+		return collective.ScheduleMesh(mesh, pat, root, bytes, name)
+	}
+	for _, name := range collective.MeshAlgorithms() {
+		sched, err := build(name)
+		if err != nil {
+			fmt.Printf("  %-18s %15s\n", name, "n/a")
+			continue
+		}
+		fmt.Printf("  %-18s %12.0f µs  (%d rounds)\n", name, collective.MeshCost(mesh, sched.Rounds), len(sched.Rounds))
+	}
+	var choice collective.Choice
+	if dim >= 0 {
+		choice = collective.SelectMeshDim(mesh, pat, dim, bytes, algo)
+	} else {
+		choice = collective.SelectMesh(mesh, pat, root, bytes, algo)
+	}
+	if algo != "" && choice.Algorithm != algo {
+		// The selector silently falls back when a pinned algorithm
+		// cannot run here (a fat-tree name, or dim-tree on a partial
+		// collective); for an explicit -algo that would corrupt an
+		// ablation, so fail loudly instead.
+		fatal(fmt.Errorf("algorithm %q is not applicable here (selector would use %s)", algo, choice.Algorithm))
+	}
+	fmt.Printf("selected: %s at %.0f µs\n", choice.Algorithm, choice.Cost)
+
+	if !schedule {
+		return
+	}
+	sched, err := build(choice.Algorithm)
+	if err != nil {
+		fatal(err)
+	}
+	for i, r := range sched.Rounds {
+		fmt.Printf("round %2d (%6.0f µs):", i, mesh.Time(r))
+		const maxShown = 8
+		for j, msg := range r {
+			if j == maxShown {
+				fmt.Printf(" … +%d more", len(r)-maxShown)
+				break
+			}
+			fmt.Printf(" %d→%d[%dB]", msg.Src, msg.Dst, msg.Bytes)
+		}
+		fmt.Println()
 	}
 }
 

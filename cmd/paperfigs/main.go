@@ -7,7 +7,8 @@
 //	paperfigs -fig8      # grouped partition ratio curves
 //	paperfigs -motivating
 //	paperfigs -example5
-//	paperfigs -sweep      # batch sweep over the generated scenario suite
+//	paperfigs -sweep        # batch sweep over the generated scenario suite
+//	paperfigs -collectives  # collective algorithm selection vs flat baseline
 package main
 
 import (
@@ -25,6 +26,8 @@ func main() {
 	mot := flag.Bool("motivating", false, "print the Section 2-3 walkthrough only")
 	ex5 := flag.Bool("example5", false, "print the Section 7.2 comparison only")
 	sweep := flag.Bool("sweep", false, "print the batch sweep only")
+	colls := flag.Bool("collectives", false, "print the collective-selection table only")
+	collBytes := flag.Int64("coll-bytes", 1024, "collective table: payload bytes")
 	procs := flag.Int("procs", 32, "CM-5-like processor count for Table 1")
 	bytes := flag.Int64("bytes", 512, "payload per processor for Table 1 (bytes)")
 	sweepSeed := flag.Int64("sweep-seed", 1, "batch sweep: scenario generation seed")
@@ -32,7 +35,7 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0, "batch sweep: worker pool size (0: GOMAXPROCS)")
 	flag.Parse()
 
-	all := !*t1 && !*t2 && !*f8 && !*mot && !*ex5 && !*sweep
+	all := !*t1 && !*t2 && !*f8 && !*mot && !*ex5 && !*sweep && !*colls
 	if all || *t1 {
 		fmt.Print(experiments.FormatTable1(experiments.Table1(*procs, *bytes)))
 		fmt.Println()
@@ -63,6 +66,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(experiments.FormatExample5(r, steps))
+		fmt.Println()
+	}
+	if all || *colls {
+		fmt.Print(experiments.FormatCollectiveSelection(experiments.CollectiveSelection(*collBytes)))
 		fmt.Println()
 	}
 	if all || *sweep {

@@ -68,6 +68,7 @@ func main() {
 	random := flag.Int("random", 0, "batch: number of random nests (0: default)")
 	deep := flag.Int("deep", 0, "batch: number of deep (depth 4-5) random nests")
 	skew := flag.Bool("skew", false, "batch: add skewed machine grids to the suite")
+	bigMeshes := flag.Bool("big-meshes", false, "batch: add the 64x2/2x64/16x16 meshes where collective tree shape matters")
 	seed := flag.Int64("seed", 0, "batch: scenario generation seed (0: default)")
 	workers := flag.Int("workers", 0, "batch: worker pool size (0: GOMAXPROCS)")
 	noCache := flag.Bool("no-cache", false, "batch: disable the memo cache")
@@ -118,6 +119,7 @@ func main() {
 				Random:          *random,
 				Deep:            *deep,
 				Skew:            *skew,
+				BigMeshes:       *bigMeshes,
 				M:               *m,
 				NoMacro:         *noMacro,
 				NoDecomposition: *noDecomp,
@@ -134,6 +136,7 @@ func main() {
 				Random:          *random,
 				Deep:            *deep,
 				Skew:            *skew,
+				BigMeshes:       *bigMeshes,
 				M:               *m,
 				NoMacro:         *noMacro,
 				NoDecomposition: *noDecomp,

@@ -83,6 +83,9 @@ func remoteOptimize(ctx context.Context, c *client.Client, cfg remoteConfig) {
 	}
 	fmt.Printf("%s on %s: %d local, %d macro, %d decomposed, %d general (%d vectorizable), model time %.1f µs\n",
 		res.Name, res.Machine, res.Local, res.Macro, res.Decomposed, res.General, res.Vectorizable, res.ModelTimeUs)
+	if res.Collectives != "" {
+		fmt.Printf("collectives: %s\n", res.Collectives)
+	}
 }
 
 // remoteBatch streams a batch run: NDJSON result lines to stdout (or

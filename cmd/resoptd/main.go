@@ -10,6 +10,8 @@
 //	resoptd -addr :9000 -store ./plans   # persistent plan store
 //	resoptd -workers 8 -cache-cap 4096   # bounded pool and cache
 //	resoptd -rate 50 -burst 100          # per-client rate limiting
+//	resoptd -rate 50 -rate-key api-key   # buckets per X-Api-Key header
+//	resoptd -rate 50 -rate-key forwarded # buckets per X-Forwarded-For hop
 //
 //	curl -s localhost:8080/v1/stats
 //	curl -s -X POST localhost:8080/v1/optimize -d '{"example":"matmul"}'
@@ -40,20 +42,31 @@ func main() {
 	cacheCap := flag.Int("cache-cap", 0, "in-memory cache entry cap (0: default, <0: unbounded)")
 	rate := flag.Float64("rate", 0, "per-client sustained request rate limit in req/s (0: unlimited)")
 	burst := flag.Int("burst", 0, "per-client burst above -rate (0: twice the rate)")
+	rateKey := flag.String("rate-key", "ip", "rate-limiter client identity: ip | api-key (X-Api-Key header) | forwarded (first X-Forwarded-For hop); header modes trust the header — use behind a proxy that validates it")
 	jobsCap := flag.Int("jobs-cap", 0, "retained finished async jobs (0: default)")
 	flag.Parse()
 	log.SetPrefix("resoptd: ")
 	log.SetFlags(0)
 
+	valid := false
+	for _, m := range server.RateKeyModes() {
+		if *rateKey == m {
+			valid = true
+		}
+	}
+	if !valid {
+		log.Fatalf("bad -rate-key %q (want one of %v)", *rateKey, server.RateKeyModes())
+	}
 	opts := server.Options{
 		Workers:    *workers,
 		CacheCap:   *cacheCap,
 		RatePerSec: *rate,
 		RateBurst:  *burst,
+		RateKey:    *rateKey,
 		JobsCap:    *jobsCap,
 	}
 	if *rate > 0 {
-		log.Printf("rate limiting clients to %g req/s", *rate)
+		log.Printf("rate limiting clients to %g req/s (keyed by %s)", *rate, *rateKey)
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)

@@ -99,6 +99,10 @@ type OptimizeResponse struct {
 	General      int     `json:"general"`
 	Vectorizable int     `json:"vectorizable"`
 	ModelTimeUs  float64 `json:"model_time_us"`
+	// Collectives names the collective algorithms the cost model
+	// selected for the nest's residual communications (the engine's
+	// summary format, e.g. "broadcast=bisection,shift=direct*3").
+	Collectives string `json:"collectives,omitempty"`
 }
 
 // BatchSpec is the suite specification shared by POST /v1/batch and
@@ -107,14 +111,17 @@ type OptimizeResponse struct {
 // always resolves to the same suite, which is what lets the server
 // cache resolved suites and re-run recorded ones.
 type BatchSpec struct {
-	Seed            int64 `json:"seed,omitempty"`
-	Random          int   `json:"random,omitempty"`
-	Deep            int   `json:"deep,omitempty"`
-	Skew            bool  `json:"skew,omitempty"`
-	NoExamples      bool  `json:"no_examples,omitempty"`
-	M               int   `json:"m,omitempty"`
-	NoMacro         bool  `json:"no_macro,omitempty"`
-	NoDecomposition bool  `json:"no_decomposition,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+	Random int   `json:"random,omitempty"`
+	Deep   int   `json:"deep,omitempty"`
+	Skew   bool  `json:"skew,omitempty"`
+	// BigMeshes adds the tall/flat/square mesh shapes (64×2, 2×64,
+	// 16×16) where collective tree shape matters.
+	BigMeshes       bool `json:"big_meshes,omitempty"`
+	NoExamples      bool `json:"no_examples,omitempty"`
+	M               int  `json:"m,omitempty"`
+	NoMacro         bool `json:"no_macro,omitempty"`
+	NoDecomposition bool `json:"no_decomposition,omitempty"`
 
 	// Snapshot re-runs the suite recorded under this stored snapshot
 	// name instead of generating one from the fields above: the server
@@ -134,7 +141,10 @@ type BatchLine struct {
 	Classes      [4]int  `json:"classes"`
 	Vectorizable int     `json:"vectorizable"`
 	ModelTimeUs  float64 `json:"model_time_us"`
-	Err          string  `json:"err,omitempty"`
+	// Collectives is the scenario's selected-collective summary (see
+	// OptimizeResponse.Collectives).
+	Collectives string `json:"collectives,omitempty"`
+	Err         string `json:"err,omitempty"`
 }
 
 // BatchSummary is the final NDJSON line of the /v1/batch stream.
@@ -234,22 +244,27 @@ type SnapshotList struct {
 
 // CacheStats mirrors the engine's in-memory cache counters.
 type CacheStats struct {
-	KernelHits   uint64 `json:"kernel_hits"`
-	KernelMisses uint64 `json:"kernel_misses"`
-	PlanHits     uint64 `json:"plan_hits"`
-	PlanMisses   uint64 `json:"plan_misses"`
-	DiskHits     uint64 `json:"disk_hits"`
-	DiskMisses   uint64 `json:"disk_misses"`
-	Evictions    uint64 `json:"evictions"`
-	Entries      int    `json:"entries"`
+	KernelHits       uint64 `json:"kernel_hits"`
+	KernelMisses     uint64 `json:"kernel_misses"`
+	KernelDiskHits   uint64 `json:"kernel_disk_hits"`
+	KernelDiskMisses uint64 `json:"kernel_disk_misses"`
+	PlanHits         uint64 `json:"plan_hits"`
+	PlanMisses       uint64 `json:"plan_misses"`
+	DiskHits         uint64 `json:"disk_hits"`
+	DiskMisses       uint64 `json:"disk_misses"`
+	Evictions        uint64 `json:"evictions"`
+	Entries          int    `json:"entries"`
 }
 
-// StoreStats mirrors the plan store's traffic counters.
+// StoreStats mirrors the plan/kernel store's traffic counters.
 type StoreStats struct {
-	PlanPuts      uint64 `json:"plan_puts"`
-	PlanGetHits   uint64 `json:"plan_get_hits"`
-	PlanGetMisses uint64 `json:"plan_get_misses"`
-	Warnings      uint64 `json:"warnings"`
+	PlanPuts        uint64 `json:"plan_puts"`
+	PlanGetHits     uint64 `json:"plan_get_hits"`
+	PlanGetMisses   uint64 `json:"plan_get_misses"`
+	KernelPuts      uint64 `json:"kernel_puts"`
+	KernelGetHits   uint64 `json:"kernel_get_hits"`
+	KernelGetMisses uint64 `json:"kernel_get_misses"`
+	Warnings        uint64 `json:"warnings"`
 }
 
 // SuiteCacheStats counts batch-spec resolutions served from the

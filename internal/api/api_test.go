@@ -71,3 +71,50 @@ func TestBatchSummaryOmitsEmptyExtensions(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchSpecBigMeshes: the new machine-axis field round-trips and
+// stays omitted when unset (specs embedded in old snapshots must
+// decode unchanged).
+func TestBatchSpecBigMeshes(t *testing.T) {
+	var spec BatchSpec
+	if err := json.Unmarshal([]byte(`{"random":2,"big_meshes":true}`), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if !spec.BigMeshes || spec.Random != 2 {
+		t.Errorf("decoded %+v", spec)
+	}
+	data, err := json.Marshal(BatchSpec{Random: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["big_meshes"]; ok {
+		t.Errorf("unset big_meshes leaked into %s", data)
+	}
+}
+
+// TestBatchLineCollectivesOmitEmpty: lines without collective choices
+// keep the legacy shape.
+func TestBatchLineCollectivesOmitEmpty(t *testing.T) {
+	data, err := json.Marshal(BatchLine{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["collectives"]; ok {
+		t.Errorf("empty collectives leaked into %s", data)
+	}
+	var line BatchLine
+	if err := json.Unmarshal([]byte(`{"name":"y","collectives":"broadcast=bisection"}`), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line.Collectives != "broadcast=bisection" {
+		t.Errorf("decoded %+v", line)
+	}
+}

@@ -1,0 +1,58 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// BenchmarkCollectiveSelect measures the selector hot path the engine
+// hits once per macro-communication: build and price every algorithm
+// on a square mesh and pick the cheapest.
+func BenchmarkCollectiveSelect(b *testing.B) {
+	m := machine.DefaultMesh(16, 16)
+	var ch Choice
+	for i := 0; i < b.N; i++ {
+		ch = SelectMesh(m, Broadcast, 0, 4096, "")
+	}
+	b.ReportMetric(ch.Cost, "model-µs")
+}
+
+// BenchmarkCollectiveSelectSkewed covers the tall-mesh shape where
+// the dimension-ordered tree matters.
+func BenchmarkCollectiveSelectSkewed(b *testing.B) {
+	m := machine.DefaultMesh(64, 2)
+	var ch Choice
+	for i := 0; i < b.N; i++ {
+		ch = SelectMesh(m, Broadcast, 0, 4096, "")
+	}
+	b.ReportMetric(ch.Cost, "model-µs")
+}
+
+// BenchmarkCollectiveSelectFatTree prices the fixed-cost fat-tree
+// candidates (no schedules to build; this is the cheap path).
+func BenchmarkCollectiveSelectFatTree(b *testing.B) {
+	f := machine.DefaultFatTree(64)
+	var ch Choice
+	for i := 0; i < b.N; i++ {
+		ch = SelectFatTree(f, Reduction, 4096, "")
+	}
+	b.ReportMetric(ch.Cost, "model-µs")
+}
+
+// BenchmarkPermuteSelect prices the per-phase shift selection used by
+// decomposed plans.
+func BenchmarkPermuteSelect(b *testing.B) {
+	m := machine.DefaultMesh(8, 8)
+	var msgs []machine.Message
+	for x := 0; x < m.P; x++ {
+		for y := 0; y < m.Q; y++ {
+			msgs = append(msgs, machine.Message{Src: m.Rank(x, y), Dst: m.Rank(y, x), Bytes: 256})
+		}
+	}
+	var ch Choice
+	for i := 0; i < b.N; i++ {
+		ch = SelectPermute(m, msgs, "")
+	}
+	b.ReportMetric(ch.Cost, "model-µs")
+}

@@ -1,0 +1,372 @@
+package collective
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// defaultMeshes are the mesh shapes of the scenario generator's
+// default, skewed and big-mesh axes — the concrete machines the
+// acceptance criteria quantify over.
+var defaultMeshes = [][2]int{
+	{4, 4}, {8, 8}, // default suite
+	{2, 16}, {16, 2}, // skew axis
+	{64, 2}, {2, 64}, {16, 16}, // big-mesh axis
+}
+
+var testPayloads = []int64{64, 1024, 65536}
+
+// flatCost reproduces the pre-collective naive root-to-all (or
+// all-to-root) pricing the engine used: one message per non-root
+// processor, contention-scheduled as a single pattern.
+func flatCost(m *machine.Mesh2D, bytes int64, reduction bool) float64 {
+	var msgs []machine.Message
+	for r := 1; r < m.Procs(); r++ {
+		msg := machine.Message{Src: 0, Dst: r, Bytes: bytes}
+		if reduction {
+			msg.Src, msg.Dst = msg.Dst, msg.Src
+		}
+		msgs = append(msgs, msg)
+	}
+	return m.Time(msgs)
+}
+
+// TestFlatMatchesLegacyCost: the "flat" algorithm is the exact
+// degenerate baseline — its cost equals the old root-to-all loop, so
+// selector ≤ flat means the new model never overprices a plan
+// relative to the seed cost model.
+func TestFlatMatchesLegacyCost(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, b := range testPayloads {
+			for _, p := range []Pattern{Broadcast, Reduction} {
+				sched, err := ScheduleMesh(m, p, 0, b, "flat")
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := flatCost(m, b, p == Reduction)
+				if got := MeshCost(m, sched.Rounds); got != want {
+					t.Errorf("mesh%dx%d %s flat cost %.0f, legacy %.0f", pq[0], pq[1], p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBinomialNeverWorseThanFlat: on every default machine the
+// binomial tree is at most as expensive as the flat baseline, for
+// both broadcasts and reductions across payload sizes.
+func TestBinomialNeverWorseThanFlat(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, b := range testPayloads {
+			for _, p := range []Pattern{Broadcast, Reduction} {
+				bin, err := ScheduleMesh(m, p, 0, b, "binomial")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, flat := MeshCost(m, bin.Rounds), flatCost(m, b, p == Reduction); got > flat {
+					t.Errorf("mesh%dx%d %s bytes=%d: binomial %.0f > flat %.0f",
+						pq[0], pq[1], p, b, got, flat)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectorNeverWorseThanFlat is the acceptance bound: on every
+// default mesh spec the selector's choice never costs more than the
+// old flat root-to-all.
+func TestSelectorNeverWorseThanFlat(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, b := range testPayloads {
+			for _, p := range []Pattern{Broadcast, Reduction} {
+				ch := SelectMesh(m, p, 0, b, "")
+				if flat := flatCost(m, b, p == Reduction); ch.Cost > flat {
+					t.Errorf("mesh%dx%d %s bytes=%d: selected %s at %.0f > flat %.0f",
+						pq[0], pq[1], p, b, ch.Algorithm, ch.Cost, flat)
+				}
+			}
+		}
+	}
+}
+
+// TestCostMonotonicInBytes: for every algorithm, a bigger payload is
+// never cheaper on the same machine.
+func TestCostMonotonicInBytes(t *testing.T) {
+	m := machine.DefaultMesh(8, 8)
+	for _, algo := range MeshAlgorithms() {
+		prev := -1.0
+		for _, b := range []int64{16, 64, 256, 1024, 4096, 16384, 65536} {
+			sched, err := ScheduleMesh(m, Broadcast, 0, b, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cost := MeshCost(m, sched.Rounds)
+			if cost < prev {
+				t.Errorf("%s: cost fell from %.1f to %.1f as bytes grew to %d", algo, prev, cost, b)
+			}
+			prev = cost
+		}
+	}
+}
+
+// TestCostMonotonicInProcs: for every algorithm, a bigger (square)
+// machine is never cheaper for the same payload.
+func TestCostMonotonicInProcs(t *testing.T) {
+	for _, algo := range MeshAlgorithms() {
+		prev := -1.0
+		for _, side := range []int{2, 4, 8, 16} {
+			m := machine.DefaultMesh(side, side)
+			sched, err := ScheduleMesh(m, Broadcast, 0, 1024, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cost := MeshCost(m, sched.Rounds)
+			if cost < prev {
+				t.Errorf("%s: cost fell from %.1f to %.1f at %dx%d", algo, prev, cost, side, side)
+			}
+			prev = cost
+		}
+	}
+}
+
+// TestSelectorDeterminism: repeated selections return the identical
+// choice, on every default machine and pattern.
+func TestSelectorDeterminism(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, p := range []Pattern{Broadcast, Reduction} {
+			first := SelectMesh(m, p, 0, 4096, "")
+			for i := 0; i < 3; i++ {
+				if again := SelectMesh(m, p, 0, 4096, ""); again != first {
+					t.Fatalf("mesh%dx%d %s: selection changed: %+v vs %+v", pq[0], pq[1], p, first, again)
+				}
+			}
+			if first.Algorithm == "" {
+				t.Fatalf("mesh%dx%d %s: empty selection", pq[0], pq[1], p)
+			}
+		}
+	}
+}
+
+// TestTopologyAwareness: the same processor count arranged as a tall
+// 64×2 versus a flat 2×64 mesh prices a broadcast differently — tree
+// shape follows topology. The discriminating case is the paper's
+// partial (p=1) axis-parallel macro-communication: along dimension 0
+// a 64×2 mesh runs two 64-deep trees, a 2×64 mesh runs sixty-four
+// 2-deep ones.
+func TestTopologyAwareness(t *testing.T) {
+	for dim := 0; dim <= 1; dim++ {
+		tall := SelectMeshDim(machine.DefaultMesh(64, 2), Broadcast, dim, 4096, "")
+		flat := SelectMeshDim(machine.DefaultMesh(2, 64), Broadcast, dim, 4096, "")
+		if tall.Cost == flat.Cost {
+			t.Errorf("dim %d: mesh64x2 and mesh2x64 broadcasts cost identically (%.1f µs); topology is being ignored",
+				dim, tall.Cost)
+		}
+	}
+}
+
+// TestDimCollectives: partial collectives along either dimension are
+// cheaper than (or equal to) the total flat root-to-all, deliver to
+// every line, and are deterministic.
+func TestDimCollectives(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for dim := 0; dim <= 1; dim++ {
+			for _, p := range []Pattern{Broadcast, Reduction} {
+				ch := SelectMeshDim(m, p, dim, 1024, "")
+				if ch.Algorithm == "" {
+					t.Fatalf("mesh%dx%d dim %d %s: empty selection", pq[0], pq[1], dim, p)
+				}
+				if flat := flatCost(m, 1024, p == Reduction); ch.Cost > flat {
+					t.Errorf("mesh%dx%d dim %d %s: partial %s at %.0f > total flat %.0f",
+						pq[0], pq[1], dim, p, ch.Algorithm, ch.Cost, flat)
+				}
+				if again := SelectMeshDim(m, p, dim, 1024, ""); again != ch {
+					t.Errorf("mesh%dx%d dim %d %s: selection changed", pq[0], pq[1], dim, p)
+				}
+			}
+			// Delivery along each line for the whole-payload trees.
+			for _, algo := range []string{"flat", "bisection", "binomial"} {
+				sched, err := ScheduleMeshDim(m, Broadcast, dim, 64, algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				holds := map[int]bool{}
+				for _, line := range dimLines(m, dim) {
+					holds[line[0]] = true
+				}
+				for ri, r := range sched.Rounds {
+					for _, msg := range r {
+						if !holds[msg.Src] {
+							t.Fatalf("mesh%dx%d dim %d %s: round %d sender %d has no payload",
+								pq[0], pq[1], dim, algo, ri, msg.Src)
+						}
+					}
+					for _, msg := range r {
+						holds[msg.Dst] = true
+					}
+				}
+				if len(holds) != m.Procs() {
+					t.Fatalf("mesh%dx%d dim %d %s: %d of %d processors reached",
+						pq[0], pq[1], dim, algo, len(holds), m.Procs())
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenScheduleBinomial: the exact binomial broadcast rounds on
+// a 2×2 mesh — recursive doubling from rank 0.
+func TestGoldenScheduleBinomial(t *testing.T) {
+	m := machine.DefaultMesh(2, 2)
+	sched, err := ScheduleMesh(m, Broadcast, 0, 100, "binomial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Round{
+		{{Src: 0, Dst: 1, Bytes: 100}},
+		{{Src: 0, Dst: 2, Bytes: 100}, {Src: 1, Dst: 3, Bytes: 100}},
+	}
+	if !reflect.DeepEqual(sched.Rounds, want) {
+		t.Fatalf("golden schedule mismatch:\n got  %v\n want %v", sched.Rounds, want)
+	}
+}
+
+// TestBroadcastDelivery: for the whole-payload tree algorithms, every
+// message is sent by a processor that already holds the payload, and
+// after the last round every processor holds it. (Chain and
+// scatter-allgather move partial payloads and are validated by their
+// construction invariants instead.)
+func TestBroadcastDelivery(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, algo := range []string{"flat", "bisection", "binomial", "dim-tree"} {
+			for _, root := range []int{0, m.Procs() / 2} {
+				sched, err := ScheduleMesh(m, Broadcast, root, 64, algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				holds := map[int]bool{root: true}
+				for ri, r := range sched.Rounds {
+					for _, msg := range r {
+						if !holds[msg.Src] {
+							t.Fatalf("mesh%dx%d %s root=%d: round %d sender %d has no payload",
+								pq[0], pq[1], algo, root, ri, msg.Src)
+						}
+					}
+					for _, msg := range r {
+						holds[msg.Dst] = true
+					}
+				}
+				if len(holds) != m.Procs() {
+					t.Fatalf("mesh%dx%d %s root=%d: %d of %d processors reached",
+						pq[0], pq[1], algo, root, len(holds), m.Procs())
+				}
+			}
+		}
+	}
+}
+
+// TestForcedAlgorithm: forcing an algorithm pins the choice; forcing
+// a name that is not a mesh algorithm falls back to auto-selection.
+func TestForcedAlgorithm(t *testing.T) {
+	m := machine.DefaultMesh(8, 8)
+	forced := SelectMesh(m, Broadcast, 0, 4096, "flat")
+	if forced.Algorithm != "flat" {
+		t.Fatalf("forced flat, got %s", forced.Algorithm)
+	}
+	if want := flatCost(m, 4096, false); forced.Cost != want {
+		t.Errorf("forced flat cost %.1f, want %.1f", forced.Cost, want)
+	}
+	auto := SelectMesh(m, Broadcast, 0, 4096, "")
+	if fallback := SelectMesh(m, Broadcast, 0, 4096, "hardware"); fallback != auto {
+		t.Errorf("non-mesh force did not fall back to auto: %+v vs %+v", fallback, auto)
+	}
+}
+
+// TestFatTreeSelection: at the Table-1 calibration the hardware
+// combining network wins broadcasts and reductions; forcing the
+// software tree prices it above hardware; shifts are a single
+// software translation.
+func TestFatTreeSelection(t *testing.T) {
+	f := machine.DefaultFatTree(32)
+	bc := SelectFatTree(f, Broadcast, 512, "")
+	if bc.Algorithm != "hardware" || bc.Cost != f.Broadcast(512) {
+		t.Errorf("broadcast chose %s at %.1f, want hardware at %.1f", bc.Algorithm, bc.Cost, f.Broadcast(512))
+	}
+	red := SelectFatTree(f, Reduction, 512, "")
+	if red.Algorithm != "hardware" || red.Cost != f.Reduction(512) {
+		t.Errorf("reduction chose %s at %.1f, want hardware at %.1f", red.Algorithm, red.Cost, f.Reduction(512))
+	}
+	sw := SelectFatTree(f, Broadcast, 512, "binomial-sw")
+	if sw.Algorithm != "binomial-sw" || sw.Cost <= bc.Cost {
+		t.Errorf("forced software tree: %+v (hardware %.1f)", sw, bc.Cost)
+	}
+	sh := SelectFatTree(f, Shift, 512, "")
+	if sh.Algorithm != "direct" || sh.Cost != f.Translation(512) {
+		t.Errorf("shift chose %+v, want direct at %.1f", sh, f.Translation(512))
+	}
+}
+
+// TestPermuteSelection: the permute selector never exceeds the direct
+// single-round execution, and is deterministic.
+func TestPermuteSelection(t *testing.T) {
+	m := machine.DefaultMesh(8, 8)
+	// A transpose-like pattern with long crossing paths: rank (x,y) →
+	// rank (y,x).
+	var msgs []machine.Message
+	for x := 0; x < m.P; x++ {
+		for y := 0; y < m.Q; y++ {
+			msgs = append(msgs, machine.Message{Src: m.Rank(x, y), Dst: m.Rank(y, x), Bytes: 256})
+		}
+	}
+	direct := m.Time(msgs)
+	ch := SelectPermute(m, msgs, "")
+	if ch.Cost > direct {
+		t.Errorf("permute selector chose %s at %.1f > direct %.1f", ch.Algorithm, ch.Cost, direct)
+	}
+	if again := SelectPermute(m, msgs, ""); again != ch {
+		t.Errorf("permute selection changed: %+v vs %+v", ch, again)
+	}
+	if forced := SelectPermute(m, msgs, "direct"); forced.Cost != direct {
+		t.Errorf("forced direct cost %.1f, want %.1f", forced.Cost, direct)
+	}
+}
+
+// TestKnownAlgorithm: the registry answers for every published name
+// and rejects junk.
+func TestKnownAlgorithm(t *testing.T) {
+	for _, n := range AllAlgorithms() {
+		if !KnownAlgorithm(n) {
+			t.Errorf("published algorithm %q not known", n)
+		}
+	}
+	for _, n := range []string{"", "bogus", "Binomial", "tree"} {
+		if KnownAlgorithm(n) {
+			t.Errorf("junk name %q accepted", n)
+		}
+	}
+}
+
+// TestScheduleMeshErrors: unknown algorithms and the shift pattern
+// are rejected with errors, not panics.
+func TestScheduleMeshErrors(t *testing.T) {
+	m := machine.DefaultMesh(4, 4)
+	if _, err := ScheduleMesh(m, Broadcast, 0, 64, "bogus"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := ScheduleMesh(m, Shift, 0, 64, "flat"); err == nil {
+		t.Error("shift pattern accepted by ScheduleMesh")
+	}
+	if _, err := ScheduleMeshDim(m, Broadcast, 0, 64, "dim-tree"); err == nil {
+		t.Error("total-only dim-tree accepted for a partial collective")
+	}
+	if _, err := ScheduleMeshDim(m, Broadcast, 5, 64, "flat"); err == nil {
+		t.Error("out-of-range dimension accepted")
+	}
+}

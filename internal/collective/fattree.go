@@ -1,0 +1,71 @@
+package collective
+
+import (
+	"math"
+
+	"repro/internal/machine"
+)
+
+// fatTreeAlgoNames is the registry order for fat-tree selection:
+// the hardware combining network first (it wins ties), then the
+// software trees over the data network.
+var fatTreeAlgoNames = []string{"hardware", "binomial-sw", "flat-sw", "direct"}
+
+// FatTreeAlgorithms lists the fat-tree algorithm names in
+// tie-breaking order.
+func FatTreeAlgorithms() []string { return append([]string(nil), fatTreeAlgoNames...) }
+
+// fatTreeLevels mirrors the fat tree's ⌈log₂ P⌉ depth.
+func fatTreeLevels(p int) float64 {
+	if p <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}
+
+// SelectFatTree evaluates the fat-tree algorithms for the pattern and
+// payload and returns the cheapest. The CM-5-like control network
+// executes broadcasts and reductions in hardware at fixed
+// logarithmic cost; software alternatives over the data network pay
+// the per-message send overhead per tree level ("binomial-sw") or per
+// destination ("flat-sw"). Shifts are a single software message per
+// processor ("direct"). force pins the choice as in SelectMesh.
+func SelectFatTree(f *machine.FatTree, p Pattern, bytes int64, force string) Choice {
+	type cand struct {
+		name   string
+		cost   float64
+		rounds int
+	}
+	levels := fatTreeLevels(f.P)
+	sw := f.SWStartup + float64(bytes)*f.PerByte
+	var cands []cand
+	switch p {
+	case Broadcast:
+		cands = []cand{
+			{"hardware", f.Broadcast(bytes), 0},
+			{"binomial-sw", levels * sw, int(levels)},
+			{"flat-sw", float64(f.P-1) * sw, 1},
+		}
+	case Reduction:
+		cands = []cand{
+			{"hardware", f.Reduction(bytes), 0},
+			{"binomial-sw", levels * sw, int(levels)},
+			{"flat-sw", float64(f.P-1) * sw, 1},
+		}
+	case Shift:
+		cands = []cand{{"direct", f.Translation(bytes), 1}}
+	}
+	best := Choice{Pattern: p, Cost: -1}
+	for _, c := range cands {
+		if force != "" && c.name != force {
+			continue
+		}
+		if best.Cost < 0 || c.cost < best.Cost {
+			best = Choice{Pattern: p, Algorithm: c.name, Cost: c.cost, Rounds: c.rounds}
+		}
+	}
+	if best.Cost < 0 {
+		return SelectFatTree(f, p, bytes, "")
+	}
+	return best
+}

@@ -1,0 +1,410 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// A collective on the mesh spans a set of node lines: ordered
+// processor sequences that each run the same tree concurrently, round
+// by round. A total collective (the whole machine) is one line of all
+// P·Q ranks in row-major order starting at the root; a partial
+// axis-parallel collective — the paper's p=1 macro-communication
+// along one grid dimension — is one line per orthogonal coordinate,
+// rooted at coordinate 0. Partial collectives are where topology
+// bites: broadcasting along the 64-long dimension of a 64×2 mesh is a
+// very different machine problem than along the 2-long dimension of
+// its 2×64 transpose.
+
+// meshAlgo is one software broadcast/reduction algorithm over the
+// mesh. build returns the broadcast schedule for a line set;
+// reductions reuse it mirrored (reversed rounds, swapped endpoints).
+// totalOnly marks algorithms whose structure needs the full 2-D rank
+// space and cannot run per line.
+type meshAlgo struct {
+	name      string
+	totalOnly bool
+	build     func(m *machine.Mesh2D, ls [][]int, bytes int64) []Round
+}
+
+// meshAlgos is the registry, in tie-breaking order: on equal cost the
+// earlier algorithm wins, so trees are preferred over the flat
+// baseline when they cost the same.
+var meshAlgos = []meshAlgo{
+	{"bisection", false, buildBisection},
+	{"binomial", false, buildBinomial},
+	{"dim-tree", true, buildDimTree},
+	{"chain", false, buildChain},
+	{"scatter-allgather", false, buildScatterAllgather},
+	{"flat", false, buildFlat},
+}
+
+// MeshAlgorithms lists the mesh broadcast/reduction algorithm names
+// in registry (tie-breaking) order.
+func MeshAlgorithms() []string {
+	names := make([]string, len(meshAlgos))
+	for i, a := range meshAlgos {
+		names[i] = a.name
+	}
+	return names
+}
+
+// totalLine is the single line of a machine-spanning collective:
+// every rank in row-major order, rotated to start at the root.
+func totalLine(m *machine.Mesh2D, root int) [][]int {
+	P := m.Procs()
+	line := make([]int, P)
+	for i := range line {
+		line[i] = (root + i) % P
+	}
+	return [][]int{line}
+}
+
+// dimLines are the lines of a partial collective along mesh dimension
+// dim (0: within columns, along x; 1: within rows, along y), one per
+// orthogonal coordinate, rooted at coordinate 0.
+func dimLines(m *machine.Mesh2D, dim int) [][]int {
+	var ls [][]int
+	if dim == 0 {
+		for y := 0; y < m.Q; y++ {
+			line := make([]int, m.P)
+			for x := 0; x < m.P; x++ {
+				line[x] = m.Rank(x, y)
+			}
+			ls = append(ls, line)
+		}
+	} else {
+		for x := 0; x < m.P; x++ {
+			line := make([]int, m.Q)
+			for y := 0; y < m.Q; y++ {
+				line[y] = m.Rank(x, y)
+			}
+			ls = append(ls, line)
+		}
+	}
+	return ls
+}
+
+// ScheduleMesh builds the named algorithm's schedule for a total
+// broadcast or reduction on the mesh. Unknown names and the Shift
+// pattern (see SelectPermute) return an error.
+func ScheduleMesh(m *machine.Mesh2D, p Pattern, root int, bytes int64, algo string) (*Schedule, error) {
+	return scheduleLines(m, p, totalLine(m, root), bytes, algo, true)
+}
+
+// ScheduleMeshDim builds the named algorithm's schedule for a partial
+// collective along mesh dimension dim (concurrent per-line trees).
+func ScheduleMeshDim(m *machine.Mesh2D, p Pattern, dim int, bytes int64, algo string) (*Schedule, error) {
+	if dim != 0 && dim != 1 {
+		return nil, fmt.Errorf("collective: mesh dimension %d out of range", dim)
+	}
+	return scheduleLines(m, p, dimLines(m, dim), bytes, algo, false)
+}
+
+func scheduleLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, algo string, total bool) (*Schedule, error) {
+	if p != Broadcast && p != Reduction {
+		return nil, fmt.Errorf("collective: mesh schedules cover broadcast/reduction, not %s", p)
+	}
+	for _, a := range meshAlgos {
+		if a.name != algo {
+			continue
+		}
+		if a.totalOnly && !total {
+			return nil, fmt.Errorf("collective: %s applies only to total collectives", algo)
+		}
+		rounds := a.build(m, ls, bytes)
+		if p == Reduction {
+			rounds = reverseRounds(rounds)
+		}
+		return &Schedule{Algorithm: algo, Pattern: p, Rounds: rounds}, nil
+	}
+	return nil, fmt.Errorf("collective: unknown mesh algorithm %q (have %v)", algo, MeshAlgorithms())
+}
+
+// SelectMesh evaluates every mesh algorithm for a total collective
+// against the concrete mesh instance and returns the cheapest. force
+// pins the selection to one named algorithm; a force that names no
+// applicable mesh algorithm (or "") selects freely. Selection is
+// deterministic: equal costs resolve to the earlier registry entry.
+func SelectMesh(m *machine.Mesh2D, p Pattern, root int, bytes int64, force string) Choice {
+	return selectLines(m, p, totalLine(m, root), bytes, force, true)
+}
+
+// SelectMeshDim selects for a partial collective along mesh dimension
+// dim: every line runs its tree concurrently, and the lines' shape —
+// their length and how their hops map onto the grid — is what the
+// algorithms compete on.
+func SelectMeshDim(m *machine.Mesh2D, p Pattern, dim int, bytes int64, force string) Choice {
+	if dim != 0 && dim != 1 {
+		return SelectMesh(m, p, 0, bytes, force)
+	}
+	return selectLines(m, p, dimLines(m, dim), bytes, force, false)
+}
+
+func selectLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, force string, total bool) Choice {
+	best := Choice{Pattern: p, Cost: -1}
+	for _, a := range meshAlgos {
+		if force != "" && a.name != force {
+			continue
+		}
+		if a.totalOnly && !total {
+			continue
+		}
+		rounds := a.build(m, ls, bytes)
+		if p == Reduction {
+			rounds = reverseRounds(rounds)
+		}
+		cost := MeshCost(m, rounds)
+		if best.Cost < 0 || cost < best.Cost {
+			best = Choice{Pattern: p, Algorithm: a.name, Cost: cost, Rounds: len(rounds)}
+		}
+	}
+	if best.Cost < 0 {
+		// force named an algorithm that cannot run here (a permute or
+		// fat-tree name, or a total-only tree on a partial collective):
+		// fall back to free selection.
+		return selectLines(m, p, ls, bytes, "", total)
+	}
+	return best
+}
+
+// reverseRounds mirrors a broadcast schedule into a reduction: rounds
+// run in reverse order and every message flows leaf-to-root.
+func reverseRounds(rounds []Round) []Round {
+	out := make([]Round, 0, len(rounds))
+	for i := len(rounds) - 1; i >= 0; i-- {
+		r := make(Round, len(rounds[i]))
+		for j, msg := range rounds[i] {
+			r[j] = machine.Message{Src: msg.Dst, Dst: msg.Src, Bytes: msg.Bytes}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// maxLineLen returns the longest line of the set (lines of one set
+// have equal length today, but the builders only assume ≥1).
+func maxLineLen(ls [][]int) int {
+	n := 0
+	for _, l := range ls {
+		if len(l) > n {
+			n = len(l)
+		}
+	}
+	return n
+}
+
+// buildFlat is the degenerate root-to-all baseline: every non-root
+// processor of each line is served by one message from the line root,
+// all posted in a single round (the mesh contention model then
+// serializes them on the root's few outgoing links — exactly the old
+// naive cost for a total collective).
+func buildFlat(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
+	var r Round
+	for _, line := range ls {
+		for _, dst := range line[1:] {
+			r = append(r, machine.Message{Src: line[0], Dst: dst, Bytes: bytes})
+		}
+	}
+	if len(r) == 0 {
+		return nil
+	}
+	return []Round{r}
+}
+
+// buildBisection is the recursive-halving (midpoint) tree: each
+// holder sends to the midpoint of its line segment, splitting the
+// problem in two every round. The segments of one round map to
+// disjoint physical intervals, so — unlike binomial doubling, whose
+// same-round paths overlap and serialize — bisection rounds are
+// conflict-free wherever the grid extents are powers of two, which
+// makes it the cheapest tree on every default mesh.
+func buildBisection(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
+	n := maxLineLen(ls)
+	top := 1
+	for top < n {
+		top *= 2
+	}
+	var rounds []Round
+	for d := top / 2; d >= 1; d /= 2 {
+		var r Round
+		for _, line := range ls {
+			for rel := 0; rel+d < len(line); rel += 2 * d {
+				r = append(r, machine.Message{Src: line[rel], Dst: line[rel+d], Bytes: bytes})
+			}
+		}
+		if len(r) > 0 {
+			rounds = append(rounds, r)
+		}
+	}
+	return rounds
+}
+
+// buildBinomial is the binomial (recursive doubling) tree: in round
+// k every processor that already holds the payload forwards it to
+// the partner 2^k line positions away, so n processors are covered
+// in ⌈log₂ n⌉ rounds. How well the doubling maps onto the physical
+// grid — and how much the round's messages conflict — depends on the
+// mesh shape and the line orientation.
+func buildBinomial(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
+	n := maxLineLen(ls)
+	var rounds []Round
+	for dist := 1; dist < n; dist *= 2 {
+		var r Round
+		for _, line := range ls {
+			for rel := 0; rel < dist && rel+dist < len(line); rel++ {
+				r = append(r, machine.Message{Src: line[rel], Dst: line[rel+dist], Bytes: bytes})
+			}
+		}
+		if len(r) > 0 {
+			rounds = append(rounds, r)
+		}
+	}
+	return rounds
+}
+
+// buildDimTree is the dimension-ordered tree for total collectives: a
+// binomial tree down the root's column first (phase 1, all traffic in
+// the x dimension), then concurrent binomial trees along every row
+// (phase 2, all traffic in the y dimension). Each phase's messages
+// are axis-parallel, so cross-dimension link conflicts never arise.
+func buildDimTree(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
+	root := 0
+	if len(ls) > 0 && len(ls[0]) > 0 {
+		root = ls[0][0]
+	}
+	rx, ry := m.Coords(root)
+	var rounds []Round
+	for dist := 1; dist < m.P; dist *= 2 {
+		var r Round
+		for rel := 0; rel < dist && rel+dist < m.P; rel++ {
+			r = append(r, machine.Message{
+				Src:   m.Rank((rx+rel)%m.P, ry),
+				Dst:   m.Rank((rx+rel+dist)%m.P, ry),
+				Bytes: bytes,
+			})
+		}
+		rounds = append(rounds, r)
+	}
+	for dist := 1; dist < m.Q; dist *= 2 {
+		var r Round
+		for x := 0; x < m.P; x++ {
+			for rel := 0; rel < dist && rel+dist < m.Q; rel++ {
+				r = append(r, machine.Message{
+					Src:   m.Rank(x, (ry+rel)%m.Q),
+					Dst:   m.Rank(x, (ry+rel+dist)%m.Q),
+					Bytes: bytes,
+				})
+			}
+		}
+		rounds = append(rounds, r)
+	}
+	return rounds
+}
+
+// chainSegments are the pipeline depths the chain algorithm
+// considers; the cheapest segmentation for the concrete machine and
+// payload wins. More segments cut the per-hop serialization of large
+// payloads but pay more startups.
+var chainSegments = []int{1, 2, 4, 8, 16}
+
+// buildChain is the pipelined chain: the payload is cut into s
+// segments that stream down each line, so the last processor
+// finishes after n−2+s rounds of neighbor messages instead of
+// waiting for the whole payload to traverse every hop. The segment
+// count is chosen by cost over chainSegments.
+func buildChain(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
+	if maxLineLen(ls) < 2 {
+		return nil
+	}
+	var best []Round
+	bestCost := -1.0
+	for _, s := range chainSegments {
+		if int64(s) > bytes && s > 1 {
+			break // segments below one byte: stop splitting
+		}
+		rounds := buildChainSeg(ls, bytes, s)
+		cost := MeshCost(m, rounds)
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = rounds, cost
+		}
+	}
+	return best
+}
+
+// buildChainSeg builds the chain schedule with exactly s segments:
+// segment j reaches line position i (1-based) in round i−1+j.
+func buildChainSeg(ls [][]int, bytes int64, s int) []Round {
+	n := maxLineLen(ls)
+	segBytes := (bytes + int64(s) - 1) / int64(s)
+	var rounds []Round
+	for t := 0; t < n-1+s-1; t++ {
+		var r Round
+		for _, line := range ls {
+			for i := 1; i < len(line); i++ {
+				j := t - (i - 1)
+				if j < 0 || j >= s {
+					continue
+				}
+				r = append(r, machine.Message{Src: line[i-1], Dst: line[i], Bytes: segBytes})
+			}
+		}
+		if len(r) > 0 {
+			rounds = append(rounds, r)
+		}
+	}
+	return rounds
+}
+
+// buildScatterAllgather is the large-payload broadcast: a binomial
+// scatter distributes 1/n of the payload across each line in
+// ⌈log₂ n⌉ rounds of halving sizes, then a ring allgather circulates
+// the chunks in n−1 rounds of concurrent neighbor messages. Total
+// traffic is ≈2·bytes per link instead of bytes·n, which wins once
+// payloads dwarf startups.
+func buildScatterAllgather(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
+	n := maxLineLen(ls)
+	if n < 2 {
+		return nil
+	}
+	chunk := (bytes + int64(n) - 1) / int64(n)
+	top := 1
+	for top < n {
+		top *= 2
+	}
+	var rounds []Round
+	// Binomial scatter: the sender at line position rel hands the
+	// chunks owned by the positions [rel+dist, rel+2·dist) to its
+	// partner, largest distances first.
+	for dist := top / 2; dist >= 1; dist /= 2 {
+		var r Round
+		for _, line := range ls {
+			for rel := 0; rel < len(line); rel += 2 * dist {
+				if rel+dist >= len(line) {
+					continue
+				}
+				sub := dist
+				if len(line)-(rel+dist) < sub {
+					sub = len(line) - (rel + dist)
+				}
+				r = append(r, machine.Message{Src: line[rel], Dst: line[rel+dist], Bytes: chunk * int64(sub)})
+			}
+		}
+		if len(r) > 0 {
+			rounds = append(rounds, r)
+		}
+	}
+	// Ring allgather: every processor forwards one chunk to its line
+	// successor each round; after n−1 rounds everyone holds all n.
+	for t := 0; t < n-1; t++ {
+		var r Round
+		for _, line := range ls {
+			for i := range line {
+				r = append(r, machine.Message{Src: line[i], Dst: line[(i+1)%len(line)], Bytes: chunk})
+			}
+		}
+		rounds = append(rounds, r)
+	}
+	return rounds
+}

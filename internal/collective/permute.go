@@ -1,0 +1,72 @@
+package collective
+
+import "repro/internal/machine"
+
+// Permute algorithms execute an arbitrary aggregated message pattern
+// (a residual shift/translation phase: typically one destination per
+// sender) on the mesh. "direct" posts every message in one round and
+// lets the link-contention model serialize conflicts; "xy-phased"
+// store-and-forwards every message at its XY corner, so each phase's
+// traffic moves along a single dimension and long crossing paths
+// never collide mid-route.
+var permuteAlgos = []string{"direct", "xy-phased"}
+
+// PermuteAlgorithms lists the shift/translation algorithm names in
+// tie-breaking order.
+func PermuteAlgorithms() []string { return append([]string(nil), permuteAlgos...) }
+
+// PermuteRounds builds the named permute algorithm's schedule for the
+// pattern; unknown names return nil.
+func PermuteRounds(m *machine.Mesh2D, msgs []machine.Message, algo string) []Round {
+	switch algo {
+	case "direct":
+		return []Round{append(Round(nil), msgs...)}
+	case "xy-phased":
+		var phase1, phase2 Round
+		for _, msg := range msgs {
+			if msg.Src == msg.Dst {
+				continue
+			}
+			_, sy := m.Coords(msg.Src)
+			dx, _ := m.Coords(msg.Dst)
+			corner := m.Rank(dx, sy)
+			if corner != msg.Src {
+				phase1 = append(phase1, machine.Message{Src: msg.Src, Dst: corner, Bytes: msg.Bytes})
+			}
+			if corner != msg.Dst {
+				phase2 = append(phase2, machine.Message{Src: corner, Dst: msg.Dst, Bytes: msg.Bytes})
+			}
+		}
+		var rounds []Round
+		if len(phase1) > 0 {
+			rounds = append(rounds, phase1)
+		}
+		if len(phase2) > 0 {
+			rounds = append(rounds, phase2)
+		}
+		return rounds
+	}
+	return nil
+}
+
+// SelectPermute evaluates the permute algorithms on the concrete
+// pattern and returns the cheapest (deterministic tie-breaking as in
+// SelectMesh). force pins the choice to one named permute algorithm;
+// other names (or "") select freely.
+func SelectPermute(m *machine.Mesh2D, msgs []machine.Message, force string) Choice {
+	best := Choice{Pattern: Shift, Cost: -1}
+	for _, name := range permuteAlgos {
+		if force != "" && name != force {
+			continue
+		}
+		rounds := PermuteRounds(m, msgs, name)
+		cost := MeshCost(m, rounds)
+		if best.Cost < 0 || cost < best.Cost {
+			best = Choice{Pattern: Shift, Algorithm: name, Cost: cost, Rounds: len(rounds)}
+		}
+	}
+	if best.Cost < 0 {
+		return SelectPermute(m, msgs, "")
+	}
+	return best
+}

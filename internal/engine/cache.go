@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/intmat"
 )
 
 // Cache is a concurrency-safe memo store shared by every worker of a
@@ -29,10 +31,16 @@ import (
 type Cache struct {
 	shards [cacheShards]cacheShard
 
-	kernelHits, kernelMisses atomic.Uint64
-	planHits, planMisses     atomic.Uint64
-	diskHits, diskMisses     atomic.Uint64
-	evictions                atomic.Uint64
+	// kstore is the optional disk tier behind the kernel tier
+	// (memory → disk → compute, like the plan tier); set once before
+	// the cache is shared.
+	kstore KernelStore
+
+	kernelHits, kernelMisses         atomic.Uint64
+	kernelDiskHits, kernelDiskMisses atomic.Uint64
+	planHits, planMisses             atomic.Uint64
+	diskHits, diskMisses             atomic.Uint64
+	evictions                        atomic.Uint64
 }
 
 const cacheShards = 16
@@ -127,19 +135,39 @@ func (c *Cache) evict(s *cacheShard) {
 	}
 }
 
-// Get implements intmat.KernelCache (kernel tier).
+// Get implements intmat.KernelCache (kernel tier): memory first, then
+// the optional kernel disk store. A disk hit is promoted into memory
+// and counted separately from memory hits; only a full miss sends the
+// caller to recomputation.
 func (c *Cache) Get(key string) (any, bool) {
-	v, ok := c.lookup(key)
-	if ok {
+	if v, ok := c.lookup(key); ok {
 		c.kernelHits.Add(1)
-	} else {
-		c.kernelMisses.Add(1)
+		return v, true
 	}
-	return v, ok
+	if c.kstore != nil {
+		if rec, ok := c.kstore.GetKernel(key); ok {
+			if v, err := intmat.DecodeKernelValue(rec); err == nil {
+				c.store(key, v)
+				c.kernelDiskHits.Add(1)
+				return v, true
+			}
+		}
+		c.kernelDiskMisses.Add(1)
+	}
+	c.kernelMisses.Add(1)
+	return nil, false
 }
 
-// Put implements intmat.KernelCache (kernel tier).
-func (c *Cache) Put(key string, v any) { c.store(key, v) }
+// Put implements intmat.KernelCache (kernel tier); fresh kernels are
+// written through to the disk tier when one is attached.
+func (c *Cache) Put(key string, v any) {
+	c.store(key, v)
+	if c.kstore != nil {
+		if rec, ok := intmat.EncodeKernelValue(v); ok {
+			c.kstore.PutKernel(key, rec)
+		}
+	}
+}
 
 // planSlot is a single-flight cell for one plan-tier key: the first
 // worker to claim the slot computes, every other worker blocks on the
@@ -189,8 +217,15 @@ func (c *Cache) Len() int {
 
 // CacheStats is a snapshot of cache effectiveness after a run.
 type CacheStats struct {
+	// KernelHits counts kernel-tier memory hits; KernelMisses counts
+	// full misses that recomputed.
 	KernelHits, KernelMisses uint64
-	PlanHits, PlanMisses     uint64
+	// KernelDiskHits/KernelDiskMisses count kernel-tier memory misses
+	// served from / not found in the kernel disk store (zero without
+	// one); a disk hit avoids recomputation and is counted here, not
+	// in KernelHits or KernelMisses.
+	KernelDiskHits, KernelDiskMisses uint64
+	PlanHits, PlanMisses             uint64
 	// DiskHits/DiskMisses count plan-tier memory misses that were
 	// served from / not found in the disk store (zero without one).
 	DiskHits, DiskMisses uint64
@@ -205,13 +240,15 @@ func (c *Cache) Stats() CacheStats {
 		return CacheStats{}
 	}
 	return CacheStats{
-		KernelHits:   c.kernelHits.Load(),
-		KernelMisses: c.kernelMisses.Load(),
-		PlanHits:     c.planHits.Load(),
-		PlanMisses:   c.planMisses.Load(),
-		DiskHits:     c.diskHits.Load(),
-		DiskMisses:   c.diskMisses.Load(),
-		Evictions:    c.evictions.Load(),
-		Entries:      c.Len(),
+		KernelHits:       c.kernelHits.Load(),
+		KernelMisses:     c.kernelMisses.Load(),
+		KernelDiskHits:   c.kernelDiskHits.Load(),
+		KernelDiskMisses: c.kernelDiskMisses.Load(),
+		PlanHits:         c.planHits.Load(),
+		PlanMisses:       c.planMisses.Load(),
+		DiskHits:         c.diskHits.Load(),
+		DiskMisses:       c.diskMisses.Load(),
+		Evictions:        c.evictions.Load(),
+		Entries:          c.Len(),
 	}
 }

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/scenarios"
+)
+
+// meshSpecs are the mesh shapes of the default, skew and big-mesh
+// scenario axes.
+var meshSpecs = [][2]int{{4, 4}, {8, 8}, {2, 16}, {16, 2}, {64, 2}, {2, 64}, {16, 16}}
+
+// legacyMeshCollectiveTime reproduces the seed cost model: a software
+// root-to-all (or all-to-root) loop of P−1 messages, scheduled by the
+// link-contention model as one pattern.
+func legacyMeshCollectiveTime(m *machine.Mesh2D, bytes int64, reduction bool) float64 {
+	var msgs []machine.Message
+	for r := 1; r < m.Procs(); r++ {
+		msg := machine.Message{Src: 0, Dst: r, Bytes: bytes}
+		if reduction {
+			msg.Src, msg.Dst = msg.Dst, msg.Src
+		}
+		msgs = append(msgs, msg)
+	}
+	return m.Time(msgs)
+}
+
+func macroScenario(p, q int, algo string) *scenarios.Scenario {
+	return &scenarios.Scenario{
+		Machine:   scenarios.MachineSpec{Kind: scenarios.Mesh, P: p, Q: q, Algo: algo},
+		N:         16,
+		ElemBytes: 64,
+	}
+}
+
+// TestMeshMacroNeverWorseThanLegacy is the acceptance bound at the
+// engine level: on every default mesh spec, for total and axis
+// macro-communications, broadcast and reduction, the selected
+// collective never costs more than the old flat root-to-all.
+func TestMeshMacroNeverWorseThanLegacy(t *testing.T) {
+	for _, pq := range meshSpecs {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, reduction := range []bool{false, true} {
+			legacy := legacyMeshCollectiveTime(m, 16*64, reduction)
+			for _, dim := range []int{-1, 0, 1} {
+				sc := macroScenario(pq[0], pq[1], "")
+				cost, choices := meshPlanTime(sc, planInfo{
+					class: core.MacroComm, macroReduction: reduction, macroDim: dim,
+				})
+				if cost > legacy {
+					t.Errorf("mesh%dx%d dim=%d red=%v: collective cost %.0f > legacy flat %.0f",
+						pq[0], pq[1], dim, reduction, cost, legacy)
+				}
+				if len(choices) != 1 || choices[0].Algorithm == "" {
+					t.Errorf("mesh%dx%d dim=%d: macro plan recorded choices %v", pq[0], pq[1], dim, choices)
+				}
+			}
+		}
+	}
+}
+
+// TestMeshMacroForcedFlatMatchesLegacy: pinning the machine spec to
+// the flat algorithm reproduces the seed cost model exactly.
+func TestMeshMacroForcedFlatMatchesLegacy(t *testing.T) {
+	for _, pq := range meshSpecs {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, reduction := range []bool{false, true} {
+			sc := macroScenario(pq[0], pq[1], "flat")
+			cost, choices := meshPlanTime(sc, planInfo{
+				class: core.MacroComm, macroReduction: reduction, macroDim: -1,
+			})
+			if want := legacyMeshCollectiveTime(m, 16*64, reduction); cost != want {
+				t.Errorf("mesh%dx%d red=%v: forced flat %.2f ≠ legacy %.2f", pq[0], pq[1], reduction, cost, want)
+			}
+			if len(choices) != 1 || choices[0].Algorithm != "flat" {
+				t.Errorf("mesh%dx%d: forced flat chose %v", pq[0], pq[1], choices)
+			}
+		}
+	}
+}
+
+// TestMeshMacroTopologyAware: an axis-parallel macro-communication
+// prices differently on transposed mesh shapes — the tree follows the
+// topology.
+func TestMeshMacroTopologyAware(t *testing.T) {
+	for dim := 0; dim <= 1; dim++ {
+		tall, _ := meshPlanTime(macroScenario(64, 2, ""), planInfo{class: core.MacroComm, macroDim: dim})
+		flat, _ := meshPlanTime(macroScenario(2, 64, ""), planInfo{class: core.MacroComm, macroDim: dim})
+		if tall == flat {
+			t.Errorf("dim %d: mesh64x2 and mesh2x64 macro broadcasts cost identically (%.1f µs)", dim, tall)
+		}
+	}
+}
+
+// TestCollectivesRecorded: scenarios whose plans include residual
+// macro-communications or decomposed phases name their selected
+// algorithms, and the batch report aggregates them.
+func TestCollectivesRecorded(t *testing.T) {
+	b := Run(suite(t), Options{Workers: 4})
+	withMacro, withChoice := 0, 0
+	for _, r := range b.Results {
+		if r.Err != "" {
+			continue
+		}
+		if r.Classes[core.MacroComm] > 0 || r.Classes[core.Decomposed] > 0 {
+			withMacro++
+			if r.Collectives != "" {
+				withChoice++
+				if !strings.Contains(r.Collectives, "=") {
+					t.Errorf("%s: malformed collectives summary %q", r.Name, r.Collectives)
+				}
+			}
+		}
+	}
+	if withMacro == 0 {
+		t.Fatal("default suite has no macro/decomposed scenarios")
+	}
+	if withChoice == 0 {
+		t.Fatal("no scenario recorded a collective choice")
+	}
+	if rep := b.Report(); !strings.Contains(rep, "collectives:") {
+		t.Errorf("report missing the collectives line:\n%s", rep)
+	}
+}
+
+// TestDecomposedPermuteNeverWorseThanDirect: routing decomposed
+// phases through the permute selector can only match or improve on
+// the seed's direct phase execution.
+func TestDecomposedPermuteNeverWorseThanDirect(t *testing.T) {
+	s := scenarios.Generate(scenarios.Config{Seed: 7})
+	direct := make([]scenarios.Scenario, 0, len(s))
+	free := make([]scenarios.Scenario, 0, len(s))
+	for _, sc := range s {
+		if sc.Machine.Kind != scenarios.Mesh {
+			continue
+		}
+		d := sc
+		d.Machine.Algo = "direct"
+		d.Name = "direct/" + sc.Name
+		direct = append(direct, d)
+		free = append(free, sc)
+	}
+	bd := Run(direct, Options{Workers: 4})
+	bf := Run(free, Options{Workers: 4})
+	for i := range bf.Results {
+		rf, rd := bf.Results[i], bd.Results[i]
+		if rf.Err != "" || rd.Err != "" {
+			continue
+		}
+		// The forced-direct run also pins macro collectives to direct,
+		// which is not a mesh tree name, so macros fall back to free
+		// selection there; only decomposed-phase costs can differ, and
+		// only downward.
+		if rf.ModelTime > rd.ModelTime*(1+1e-12) {
+			t.Errorf("%s: free selection %.2f > forced direct %.2f", rf.Name, rf.ModelTime, rd.ModelTime)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/intmat"
 	"repro/internal/machine"
@@ -8,27 +9,40 @@ import (
 )
 
 // planTime costs one communication plan on the scenario's machine
-// model, in model-µs. It reads only the cost-relevant projection of
-// the plan (planInfo), so plans loaded from the disk store cost
+// model, in model-µs, and reports which collective algorithms the
+// cost-driven selector chose for it (empty for plans that involve no
+// collective operation). It reads only the cost-relevant projection
+// of the plan (planInfo), so plans loaded from the disk store cost
 // identically to freshly computed ones.
 //
-// Fat tree (CM-5-like): the four Table-1 primitives. The scenario's
-// per-processor payload is N elements of ElemBytes; a vectorizable
-// plan (Section 4.5) moves it in one operation, a non-vectorizable
-// one pays N element-wise operations.
+// Fat tree (CM-5-like): macro-communications go through the
+// collective selector, which keeps the hardware combining network as
+// a fixed-cost algorithm next to software trees over the data
+// network (at the Table-1 calibration the hardware wins, reproducing
+// the old fixed pricing). The scenario's per-processor payload is N
+// elements of ElemBytes; a vectorizable plan (Section 4.5) moves it
+// in one operation, a non-vectorizable one pays N element-wise
+// operations.
 //
 // Mesh (Paragon-like): plans with a concrete 2×2 data-flow matrix are
 // simulated message-by-message on the N×N virtual grid under the
-// scenario's distribution (AffineComm2D for decomposed factors,
-// GeneralComm2D for direct general execution — the Table-2
-// methodology). Macro-communications, which the mesh has no hardware
-// collective for, are costed as an explicit root-to-all (or
-// all-to-root, for reductions) message pattern. A general plan whose
-// data-flow matrix is unknown is costed with the transpose
+// scenario's distribution; each decomposed phase's aggregated pattern
+// is executed by the cheapest permute algorithm (direct, or XY
+// corner-phased). Macro-communications are scheduled as software
+// collectives: the selector evaluates every tree algorithm
+// (bisection, binomial, dim-tree, pipelined chain,
+// scatter-allgather) against the flat root-to-all baseline on the
+// concrete mesh instance and takes the cheapest; an axis-parallel
+// p=1 macro-communication runs along its grid dimension (concurrent
+// per-line trees), a total one spans the machine. A general plan
+// whose data-flow matrix is unknown is costed with the transpose
 // permutation [[0,1],[1,0]] as a deterministic stand-in pattern.
-func planTime(sc *scenarios.Scenario, pl planInfo) float64 {
+//
+// The scenario's MachineSpec may pin the selection to one named
+// algorithm (the "mesh8x8:flat" spec grammar) for ablations.
+func planTime(sc *scenarios.Scenario, pl planInfo) (float64, []collective.Choice) {
 	if pl.class == core.Local {
-		return 0
+		return 0, nil
 	}
 	if sc.Machine.Kind == scenarios.Mesh {
 		return meshPlanTime(sc, pl)
@@ -36,44 +50,75 @@ func planTime(sc *scenarios.Scenario, pl planInfo) float64 {
 	return fatTreePlanTime(sc, pl)
 }
 
-func fatTreePlanTime(sc *scenarios.Scenario, pl planInfo) float64 {
+func fatTreePlanTime(sc *scenarios.Scenario, pl planInfo) (float64, []collective.Choice) {
 	ft := machine.DefaultFatTree(sc.Machine.P)
-	one := func(bytes int64) float64 {
-		switch pl.class {
-		case core.MacroComm:
-			if pl.macroReduction {
-				return ft.Reduction(bytes)
-			}
-			return ft.Broadcast(bytes)
-		case core.Decomposed:
-			k := len(pl.factors)
-			if k == 0 {
-				k = 1 // pure translation
-			}
-			return float64(k) * ft.Translation(bytes)
-		default:
-			return ft.General(1, bytes)
+	n, eb := sc.N, sc.ElemBytes
+	switch pl.class {
+	case core.MacroComm:
+		pattern := collective.Broadcast
+		if pl.macroReduction {
+			pattern = collective.Reduction
 		}
+		if pl.vectorizable {
+			ch := collective.SelectFatTree(ft, pattern, eb*int64(n), sc.Machine.Algo)
+			return ch.Cost, []collective.Choice{ch}
+		}
+		ch := collective.SelectFatTree(ft, pattern, eb, sc.Machine.Algo)
+		return float64(n) * ch.Cost, []collective.Choice{ch}
+	case core.Decomposed:
+		k := len(pl.factors)
+		if k == 0 {
+			k = 1 // pure translation
+		}
+		one := func(bytes int64) float64 { return float64(k) * ft.Translation(bytes) }
+		if pl.vectorizable {
+			return one(eb * int64(n)), nil
+		}
+		return float64(n) * one(eb), nil
+	default:
+		if pl.vectorizable {
+			return ft.General(1, eb*int64(n)), nil
+		}
+		return float64(n) * ft.General(1, eb), nil
 	}
-	if pl.vectorizable {
-		return one(sc.ElemBytes * int64(sc.N))
-	}
-	return float64(sc.N) * one(sc.ElemBytes)
 }
 
 // standInGeneral is the deterministic pattern used when a general
 // plan has no usable 2×2 data-flow matrix.
 var standInGeneral = intmat.New(2, 2, 0, 1, 1, 0)
 
-func meshPlanTime(sc *scenarios.Scenario, pl planInfo) float64 {
+func meshPlanTime(sc *scenarios.Scenario, pl planInfo) (float64, []collective.Choice) {
 	m := machine.DefaultMesh(sc.Machine.P, sc.Machine.Q)
 	n, eb := sc.N, sc.ElemBytes
+	force := sc.Machine.Algo
 	switch pl.class {
 	case core.MacroComm:
-		return meshCollectiveTime(m, eb*int64(n), pl.macroReduction)
+		pattern := collective.Broadcast
+		if pl.macroReduction {
+			pattern = collective.Reduction
+		}
+		bytes := eb * int64(n)
+		var ch collective.Choice
+		if pl.macroDim >= 0 && pl.macroDim < 2 {
+			ch = collective.SelectMeshDim(m, pattern, pl.macroDim, bytes, force)
+		} else {
+			ch = collective.SelectMesh(m, pattern, 0, bytes, force)
+		}
+		return ch.Cost, []collective.Choice{ch}
 	case core.Decomposed:
 		if len(pl.factors) > 0 && is2x2(pl.factors[0]) {
-			return machine.DecomposedTime(m, sc.Dist, pl.factors, n, n, eb)
+			// Successive phases, right to left as in the matrix
+			// product; each phase's aggregated pattern runs under the
+			// cheapest permute execution.
+			total := 0.0
+			var choices []collective.Choice
+			for idx := len(pl.factors) - 1; idx >= 0; idx-- {
+				msgs := machine.AffineComm2D(m, sc.Dist, pl.factors[idx], nil, n, n, eb)
+				ch := collective.SelectPermute(m, msgs, force)
+				total += ch.Cost
+				choices = append(choices, ch)
+			}
+			return total, choices
 		}
 		// pure translation (T = Id), or factors outside the 2-D
 		// simulator: unit-shift phases
@@ -81,30 +126,20 @@ func meshPlanTime(sc *scenarios.Scenario, pl planInfo) float64 {
 		if k == 0 {
 			k = 1
 		}
-		shift := m.Time(machine.AffineComm2D(m, sc.Dist, intmat.Identity(2), []int64{1, 1}, n, n, eb))
-		return float64(k) * shift
+		shift := machine.AffineComm2D(m, sc.Dist, intmat.Identity(2), []int64{1, 1}, n, n, eb)
+		ch := collective.SelectPermute(m, shift, force)
+		choices := make([]collective.Choice, k)
+		for i := range choices {
+			choices[i] = ch
+		}
+		return float64(k) * ch.Cost, choices
 	default: // General
 		t := pl.dataflow
 		if t == nil || !is2x2(t) {
 			t = standInGeneral
 		}
-		return m.Time(machine.GeneralComm2D(m, sc.Dist, t, nil, n, n, eb))
+		return m.Time(machine.GeneralComm2D(m, sc.Dist, t, nil, n, n, eb)), nil
 	}
 }
 
 func is2x2(m *intmat.Mat) bool { return m != nil && m.Rows() == 2 && m.Cols() == 2 }
-
-// meshCollectiveTime costs a software broadcast (root to all) or
-// reduction (all to root) on the mesh: one point-to-point message per
-// non-root processor, scheduled by the mesh's link-contention model.
-func meshCollectiveTime(m *machine.Mesh2D, bytes int64, reduction bool) float64 {
-	var msgs []machine.Message
-	for r := 1; r < m.Procs(); r++ {
-		msg := machine.Message{Src: 0, Dst: r, Bytes: bytes}
-		if reduction {
-			msg.Src, msg.Dst = msg.Dst, msg.Src
-		}
-		msgs = append(msgs, msg)
-	}
-	return m.Time(msgs)
-}

@@ -67,6 +67,12 @@ type Result struct {
 	ModelTime float64
 	// Vectorizable counts plans satisfying the Section 4.5 condition.
 	Vectorizable int
+	// Collectives summarizes the collective algorithms the cost model
+	// selected for the scenario's residual communications, as
+	// "pattern=algorithm" terms with multiplicities, sorted and
+	// comma-joined (e.g. "broadcast=bisection,shift=direct*3"); empty
+	// when no collective operation was priced.
+	Collectives string
 	// Err is the optimization error, if any ("" on success).
 	Err string
 }
@@ -133,6 +139,11 @@ func NewSession(opts Options) *Session {
 	if !opts.DisableCache {
 		s.cache = NewCache(opts.CacheCap)
 		s.store = opts.Store
+		if ks, ok := opts.Store.(KernelStore); ok {
+			// The plan store also persists kernels: wire it behind the
+			// kernel memo tier so cold starts skip the linear algebra.
+			s.cache.kstore = ks
+		}
 		intmat.SetKernelCache(s.cache)
 	} else {
 		intmat.SetKernelCache(nil)
@@ -291,14 +302,64 @@ func runOne(sc *scenarios.Scenario, cache *Cache, store PlanStore) Result {
 		out.Err = ent.err
 		return out
 	}
+	counts := map[string]int{}
 	for _, pl := range ent.plans {
 		out.Classes[pl.class]++
 		if pl.vectorizable {
 			out.Vectorizable++
 		}
-		out.ModelTime += planTime(sc, pl)
+		t, choices := planTime(sc, pl)
+		out.ModelTime += t
+		for _, ch := range choices {
+			counts[ch.String()]++
+		}
 	}
+	out.Collectives = formatCollectives(counts)
 	return out
+}
+
+// formatCollectives renders selector choices deterministically:
+// sorted "pattern=algorithm" terms, "*n" multiplicities past one.
+func formatCollectives(counts map[string]int) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		if counts[k] > 1 {
+			fmt.Fprintf(&b, "*%d", counts[k])
+		}
+	}
+	return b.String()
+}
+
+// collectiveTotals re-aggregates the per-scenario Collectives
+// summaries of a batch into term → total multiplicity.
+func collectiveTotals(results []Result) map[string]int {
+	totals := map[string]int{}
+	for _, r := range results {
+		if r.Err != "" || r.Collectives == "" {
+			continue
+		}
+		for _, term := range strings.Split(r.Collectives, ",") {
+			n := 1
+			if i := strings.IndexByte(term, '*'); i >= 0 {
+				fmt.Sscanf(term[i+1:], "%d", &n)
+				term = term[:i]
+			}
+			totals[term] += n
+		}
+	}
+	return totals
 }
 
 // computeOrLoad fills a plan-tier memory miss: consult the disk store
@@ -337,6 +398,18 @@ func (b *BatchResult) Report() string {
 		fmt.Fprintf(&s, "   (%d scenarios failed)", b.Errors)
 	}
 	s.WriteByte('\n')
+	if totals := collectiveTotals(b.Results); len(totals) > 0 {
+		terms := make([]string, 0, len(totals))
+		for k := range totals {
+			terms = append(terms, k)
+		}
+		sort.Strings(terms)
+		s.WriteString("collectives:")
+		for _, k := range terms {
+			fmt.Fprintf(&s, " %s×%d", k, totals[k])
+		}
+		s.WriteByte('\n')
+	}
 	if b.Cache != (CacheStats{}) {
 		c := b.Cache
 		fmt.Fprintf(&s, "cache: plan %d/%d hits, kernel %d/%d hits, %d entries",
@@ -349,6 +422,10 @@ func (b *BatchResult) Report() string {
 		if c.DiskHits+c.DiskMisses > 0 {
 			fmt.Fprintf(&s, "store: %d/%d plan loads served from disk\n",
 				c.DiskHits, c.DiskHits+c.DiskMisses)
+		}
+		if c.KernelDiskHits+c.KernelDiskMisses > 0 {
+			fmt.Fprintf(&s, "store: %d/%d kernel loads served from disk\n",
+				c.KernelDiskHits, c.KernelDiskHits+c.KernelDiskMisses)
 		}
 	}
 	top := make([]int, 0, len(b.Results))

@@ -12,11 +12,15 @@ import (
 // unit the disk tier persists, so a plan loaded from a warm store
 // yields byte-identical batch results to a cold recomputation.
 type PlanRecord struct {
-	Class          int          `json:"class"`
-	Vectorizable   bool         `json:"vec,omitempty"`
-	MacroReduction bool         `json:"red,omitempty"`
-	Factors        []intmat.Rec `json:"factors,omitempty"`
-	Dataflow       *intmat.Rec  `json:"dataflow,omitempty"`
+	Class          int  `json:"class"`
+	Vectorizable   bool `json:"vec,omitempty"`
+	MacroReduction bool `json:"red,omitempty"`
+	// MacroDim is the grid axis of a partial (p=1) axis-parallel
+	// macro-communication, or −1 for total/non-axis ones; the mesh
+	// collective selector schedules axis macros along their dimension.
+	MacroDim int          `json:"mdim,omitempty"`
+	Factors  []intmat.Rec `json:"factors,omitempty"`
+	Dataflow *intmat.Rec  `json:"dataflow,omitempty"`
 }
 
 // PlanStore is the disk tier consulted between the in-memory memo
@@ -30,14 +34,29 @@ type PlanStore interface {
 	PutPlan(key string, plans []PlanRecord, errMsg string)
 }
 
+// KernelStore is the optional disk tier behind the kernel memo cache
+// (Hermite forms, unimodular inverses, kernel bases), keyed by the
+// same op:key scheme the intmat memo hooks use. A PlanStore that also
+// implements KernelStore (internal/store does) gets kernel-tier
+// persistence wired in automatically, so cold starts skip the exact
+// linear algebra, not just the plan construction. The same
+// fail-quietly contract as PlanStore applies.
+type KernelStore interface {
+	GetKernel(key string) (rec intmat.KernelRec, ok bool)
+	PutKernel(key string, rec intmat.KernelRec)
+}
+
 // planInfo is the runtime form of one plan inside a planEntry: the
 // cost-relevant projection of core.Plan, whatever tier it came from.
 type planInfo struct {
 	class          core.Class
 	vectorizable   bool
 	macroReduction bool
-	factors        []*intmat.Mat
-	dataflow       *intmat.Mat
+	// macroDim: ≥0 names the grid axis of a partial axis-parallel
+	// macro-communication; −1 means total (or no macro).
+	macroDim int
+	factors  []*intmat.Mat
+	dataflow *intmat.Mat
 }
 
 // planEntry is the plan-tier cache value: the cost-relevant plan
@@ -61,11 +80,31 @@ func optimize(sc *scenarios.Scenario) planEntry {
 			class:          pl.Class,
 			vectorizable:   pl.Vectorizable,
 			macroReduction: pl.Macro != nil && pl.Macro.Kind == macro.Reduction,
+			macroDim:       macroDim(pl.Macro),
 			factors:        pl.Factors,
 			dataflow:       pl.Dataflow,
 		})
 	}
 	return ent
+}
+
+// macroDim extracts the grid axis of a partial (p=1) axis-parallel
+// macro-communication: the one non-zero row of its direction matrix.
+// Total, hidden and non-axis macros report −1 (machine-spanning
+// scheduling).
+func macroDim(mc *macro.Macro) int {
+	if mc == nil || mc.P != 1 || !mc.AxisParallel() {
+		return -1
+	}
+	d := mc.Directions
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			if d.At(i, j) != 0 {
+				return i
+			}
+		}
+	}
+	return -1
 }
 
 // toRecords serializes a plan entry for the disk tier.
@@ -76,6 +115,7 @@ func toRecords(ent planEntry) ([]PlanRecord, string) {
 			Class:          int(p.class),
 			Vectorizable:   p.vectorizable,
 			MacroReduction: p.macroReduction,
+			MacroDim:       p.macroDim,
 		}
 		for _, f := range p.factors {
 			r.Factors = append(r.Factors, f.Rec())
@@ -102,6 +142,7 @@ func fromRecords(recs []PlanRecord, errMsg string) (planEntry, error) {
 			class:          core.Class(r.Class),
 			vectorizable:   r.Vectorizable,
 			macroReduction: r.MacroReduction,
+			macroDim:       r.MacroDim,
 		}
 		for _, fr := range r.Factors {
 			f, err := intmat.FromRec(fr)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/affine"
 	"repro/internal/alignment"
 	"repro/internal/baselines"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/distrib"
 	"repro/internal/engine"
@@ -236,5 +237,72 @@ func FormatExample5(r Example5Result, nSteps int) string {
 	fmt.Fprintf(&b, "Example 5 (Section 7.2), %d time steps:\n", nSteps)
 	fmt.Fprintf(&b, "  local-first (ours):     %d residual comms, %8.0f µs\n", r.OursResiduals, r.OursTime)
 	fmt.Fprintf(&b, "  macro-first (Platonoff): %d residual comms, %8.0f µs\n", r.PlatonoffResiduals, r.PlatonoffTime)
+	return b.String()
+}
+
+// CollectiveRow is one line of the collective-selection experiment:
+// which software collective the cost-driven selector picks on a
+// concrete mesh, against the flat root-to-all baseline.
+type CollectiveRow struct {
+	Machine   string
+	Pattern   string // "broadcast" or "reduction"
+	Scope     string // "total" or "axis0"/"axis1"
+	Bytes     int64
+	Algorithm string
+	Time      float64 // model µs of the selected schedule
+	FlatTime  float64 // model µs of the flat baseline
+	Speedup   float64 // FlatTime / Time
+}
+
+// CollectiveSelection evaluates the collective selector on every
+// default mesh shape (square, skewed and the big tall/flat meshes)
+// for total and axis-parallel broadcasts and reductions: the
+// "how expensive is the residue really" experiment behind the
+// engine's macro-communication pricing.
+func CollectiveSelection(bytes int64) []CollectiveRow {
+	meshes := [][2]int{{4, 4}, {8, 8}, {2, 16}, {16, 2}, {64, 2}, {2, 64}, {16, 16}}
+	var rows []CollectiveRow
+	for _, pq := range meshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, pat := range []collective.Pattern{collective.Broadcast, collective.Reduction} {
+			for _, dim := range []int{-1, 0, 1} {
+				var ch, flat collective.Choice
+				scope := "total"
+				if dim >= 0 {
+					scope = fmt.Sprintf("axis%d", dim)
+					ch = collective.SelectMeshDim(m, pat, dim, bytes, "")
+					flat = collective.SelectMeshDim(m, pat, dim, bytes, "flat")
+				} else {
+					ch = collective.SelectMesh(m, pat, 0, bytes, "")
+					flat = collective.SelectMesh(m, pat, 0, bytes, "flat")
+				}
+				rows = append(rows, CollectiveRow{
+					Machine:   fmt.Sprintf("mesh%dx%d", pq[0], pq[1]),
+					Pattern:   pat.String(),
+					Scope:     scope,
+					Bytes:     bytes,
+					Algorithm: ch.Algorithm,
+					Time:      ch.Cost,
+					FlatTime:  flat.Cost,
+					Speedup:   flat.Cost / ch.Cost,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// FormatCollectiveSelection renders the selection table.
+func FormatCollectiveSelection(rows []CollectiveRow) string {
+	var b strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "Collective selection (%d bytes payload): tree schedules vs flat root-to-all\n", rows[0].Bytes)
+	}
+	fmt.Fprintf(&b, "  %-10s %-9s %-6s %-18s %12s %12s %8s\n",
+		"machine", "pattern", "scope", "selected", "model µs", "flat µs", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %-9s %-6s %-18s %12.0f %12.0f %7.1fx\n",
+			r.Machine, r.Pattern, r.Scope, r.Algorithm, r.Time, r.FlatTime, r.Speedup)
+	}
 	return b.String()
 }

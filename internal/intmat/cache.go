@@ -1,6 +1,9 @@
 package intmat
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // KernelCache is a memo store for the expensive kernels of this
 // package (Hermite normal forms and integer kernel bases).
@@ -39,7 +42,9 @@ func getKernelCache() KernelCache {
 type matPair struct{ a, b *Mat }
 
 // memoPair memoizes a kernel returning two matrices under
-// op+":"+m.Key(), cloning on both store and load.
+// op+":"+m.Key(), cloning on both store and load. A cached value of
+// the wrong shape (possible only if a persistence layer fed back a
+// record under the wrong key) is ignored and recomputed.
 func memoPair(op string, m *Mat, compute func(*Mat) (*Mat, *Mat)) (*Mat, *Mat) {
 	c := getKernelCache()
 	if c == nil {
@@ -47,8 +52,9 @@ func memoPair(op string, m *Mat, compute func(*Mat) (*Mat, *Mat)) (*Mat, *Mat) {
 	}
 	key := op + ":" + m.Key()
 	if v, ok := c.Get(key); ok {
-		p := v.(matPair)
-		return p.a.Clone(), p.b.Clone()
+		if p, ok := v.(matPair); ok {
+			return p.a.Clone(), p.b.Clone()
+		}
 	}
 	a, b := compute(m)
 	c.Put(key, matPair{a.Clone(), b.Clone()})
@@ -63,9 +69,65 @@ func memoOne(op string, m *Mat, compute func(*Mat) *Mat) *Mat {
 	}
 	key := op + ":" + m.Key()
 	if v, ok := c.Get(key); ok {
-		return v.(*Mat).Clone()
+		if r, ok := v.(*Mat); ok {
+			return r.Clone()
+		}
 	}
 	r := compute(m)
 	c.Put(key, r.Clone())
 	return r
+}
+
+// KernelRec is the portable, JSON-serializable form of one kernel
+// memo value — a single matrix or a pair — so a disk tier can persist
+// the kernel cache (Hermite forms, unimodular inverses, kernel bases)
+// under the same op:key scheme the memo hooks use.
+type KernelRec struct {
+	A Rec  `json:"a"`
+	B *Rec `json:"b,omitempty"`
+}
+
+// EncodeKernelValue serializes a value produced by the kernel memo
+// hooks; ok is false for foreign values (which a persistence layer
+// must simply skip).
+func EncodeKernelValue(v any) (KernelRec, bool) {
+	switch t := v.(type) {
+	case *Mat:
+		return KernelRec{A: t.Rec()}, true
+	case matPair:
+		b := t.b.Rec()
+		return KernelRec{A: t.a.Rec(), B: &b}, true
+	}
+	return KernelRec{}, false
+}
+
+// DecodeKernelValue rebuilds a kernel memo value from its serialized
+// form, validating the matrices on the way in. Unlike plan matrices,
+// kernel results may legitimately be empty (a trivial kernel has a
+// 0-column basis), so zero dimensions are accepted here.
+func DecodeKernelValue(r KernelRec) (any, error) {
+	a, err := fromRecAllowEmpty(r.A)
+	if err != nil {
+		return nil, err
+	}
+	if r.B == nil {
+		return a, nil
+	}
+	b, err := fromRecAllowEmpty(*r.B)
+	if err != nil {
+		return nil, err
+	}
+	return matPair{a: a, b: b}, nil
+}
+
+// fromRecAllowEmpty is FromRec minus the positive-dimension
+// requirement.
+func fromRecAllowEmpty(r Rec) (*Mat, error) {
+	if r.R < 0 || r.C < 0 {
+		return nil, fmt.Errorf("intmat: invalid record dimensions %d×%d", r.R, r.C)
+	}
+	if len(r.V) != r.R*r.C {
+		return nil, fmt.Errorf("intmat: record %d×%d has %d entries, want %d", r.R, r.C, len(r.V), r.R*r.C)
+	}
+	return New(r.R, r.C, r.V...), nil
 }

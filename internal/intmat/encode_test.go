@@ -40,3 +40,53 @@ func TestFromRecValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestKernelValueRoundTrip: kernel memo values — single matrices,
+// pairs, and empty (trivial-kernel) bases — survive serialization.
+func TestKernelValueRoundTrip(t *testing.T) {
+	single := New(2, 3, 1, 2, 3, 4, 5, 6)
+	rec, ok := EncodeKernelValue(single)
+	if !ok {
+		t.Fatal("single matrix not encodable")
+	}
+	v, err := DecodeKernelValue(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.(*Mat); !got.Equal(single) {
+		t.Errorf("single round trip: %v", got)
+	}
+
+	pair := matPair{a: Identity(2), b: New(2, 2, 0, 1, 1, 0)}
+	rec, ok = EncodeKernelValue(pair)
+	if !ok {
+		t.Fatal("pair not encodable")
+	}
+	v, err = DecodeKernelValue(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.(matPair); !got.a.Equal(pair.a) || !got.b.Equal(pair.b) {
+		t.Errorf("pair round trip: %+v", got)
+	}
+
+	empty := New(3, 0)
+	rec, ok = EncodeKernelValue(empty)
+	if !ok {
+		t.Fatal("empty kernel basis not encodable")
+	}
+	v, err = DecodeKernelValue(rec)
+	if err != nil {
+		t.Fatalf("empty kernel basis: %v", err)
+	}
+	if got := v.(*Mat); got.Rows() != 3 || got.Cols() != 0 {
+		t.Errorf("empty round trip: %dx%d", got.Rows(), got.Cols())
+	}
+
+	if _, ok := EncodeKernelValue("junk"); ok {
+		t.Error("foreign value encoded")
+	}
+	if _, err := DecodeKernelValue(KernelRec{A: Rec{R: 2, C: 2, V: []int64{1}}}); err == nil {
+		t.Error("mismatched record decoded")
+	}
+}

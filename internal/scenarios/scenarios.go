@@ -11,8 +11,10 @@ package scenarios
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/affine"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/distrib"
 	"repro/internal/intmat"
@@ -30,35 +32,54 @@ const (
 )
 
 // MachineSpec names a concrete machine configuration: P processors
-// for a fat tree, a P×Q grid for a mesh.
+// for a fat tree, a P×Q grid for a mesh. Algo optionally pins the
+// collective-algorithm selection on this machine to one named
+// algorithm (see internal/collective), the ablation knob of the
+// extended spec grammar: "mesh8x8:flat" prices every residual
+// macro-communication with the naive root-to-all loop,
+// "fattree32:binomial-sw" forbids the hardware combining network.
 type MachineSpec struct {
 	Kind MachineKind
 	P, Q int
+	Algo string
 }
 
 func (s MachineSpec) String() string {
+	base := fmt.Sprintf("fattree%d", s.P)
 	if s.Kind == Mesh {
-		return fmt.Sprintf("mesh%dx%d", s.P, s.Q)
+		base = fmt.Sprintf("mesh%dx%d", s.P, s.Q)
 	}
-	return fmt.Sprintf("fattree%d", s.P)
+	if s.Algo != "" {
+		return base + ":" + s.Algo
+	}
+	return base
 }
 
 // ParseMachineSpec parses the String form back into a spec:
-// "fattreeP" or "meshPxQ" with positive extents.
+// "fattreeP" or "meshPxQ" with positive extents, optionally followed
+// by ":algorithm" to pin the collective algorithm.
 func ParseMachineSpec(s string) (MachineSpec, error) {
-	var spec MachineSpec
-	if n, err := fmt.Sscanf(s, "fattree%d", &spec.P); err == nil && n == 1 && spec.P > 0 {
-		if s == spec.String() {
+	base, algo := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		base, algo = s[:i], s[i+1:]
+		if !collective.KnownAlgorithm(algo) {
+			return MachineSpec{}, fmt.Errorf("scenarios: unknown collective algorithm %q in machine spec %q (have %v)",
+				algo, s, collective.AllAlgorithms())
+		}
+	}
+	spec := MachineSpec{Algo: algo}
+	if n, err := fmt.Sscanf(base, "fattree%d", &spec.P); err == nil && n == 1 && spec.P > 0 {
+		if base == fmt.Sprintf("fattree%d", spec.P) {
 			return spec, nil
 		}
 	}
-	spec = MachineSpec{Kind: Mesh}
-	if n, err := fmt.Sscanf(s, "mesh%dx%d", &spec.P, &spec.Q); err == nil && n == 2 && spec.P > 0 && spec.Q > 0 {
-		if s == spec.String() {
+	spec = MachineSpec{Kind: Mesh, Algo: algo}
+	if n, err := fmt.Sscanf(base, "mesh%dx%d", &spec.P, &spec.Q); err == nil && n == 2 && spec.P > 0 && spec.Q > 0 {
+		if base == fmt.Sprintf("mesh%dx%d", spec.P, spec.Q) {
 			return spec, nil
 		}
 	}
-	return MachineSpec{}, fmt.Errorf(`scenarios: bad machine spec %q (want "fattreeP" or "meshPxQ")`, s)
+	return MachineSpec{}, fmt.Errorf(`scenarios: bad machine spec %q (want "fattreeP" or "meshPxQ", optionally ":algorithm")`, s)
 }
 
 // Procs returns the processor count of the machine.
@@ -112,6 +133,10 @@ type Config struct {
 	// 128-node fat tree) to the machine list, so suites also cover
 	// far-from-square processor arrangements.
 	Skew bool
+	// BigMeshes appends the large mesh shapes where collective tree
+	// shape matters — a tall 64×2, a flat 2×64 and a square 16×16 —
+	// so suites exercise the topology-aware algorithm selection.
+	BigMeshes bool
 	// NoExamples drops the built-in example nests from the suite.
 	NoExamples bool
 	// Machines lists the machine configurations to cross programs
@@ -152,6 +177,13 @@ func (c Config) withDefaults() Config {
 			MachineSpec{Kind: Mesh, P: 2, Q: 16},
 			MachineSpec{Kind: Mesh, P: 16, Q: 2},
 			MachineSpec{Kind: FatTree, P: 128},
+		)
+	}
+	if c.BigMeshes {
+		c.Machines = append(append([]MachineSpec{}, c.Machines...),
+			MachineSpec{Kind: Mesh, P: 64, Q: 2},
+			MachineSpec{Kind: Mesh, P: 2, Q: 64},
+			MachineSpec{Kind: Mesh, P: 16, Q: 16},
 		)
 	}
 	if c.ElemBytes == 0 {

@@ -200,3 +200,49 @@ func TestDistributionCoverage(t *testing.T) {
 		}
 	}
 }
+
+// TestParseMachineSpecAlgo: the extended grammar accepts a pinned
+// collective algorithm and rejects unknown names.
+func TestParseMachineSpecAlgo(t *testing.T) {
+	for _, spec := range []MachineSpec{
+		{Kind: Mesh, P: 8, Q: 8, Algo: "flat"},
+		{Kind: Mesh, P: 64, Q: 2, Algo: "bisection"},
+		{Kind: FatTree, P: 32, Algo: "binomial-sw"},
+	} {
+		got, err := ParseMachineSpec(spec.String())
+		if err != nil || got != spec {
+			t.Errorf("ParseMachineSpec(%q) = %v, %v", spec.String(), got, err)
+		}
+	}
+	if s := (MachineSpec{Kind: Mesh, P: 8, Q: 8, Algo: "flat"}).String(); s != "mesh8x8:flat" {
+		t.Errorf("pinned spec renders as %q", s)
+	}
+	for _, bad := range []string{"mesh8x8:", "mesh8x8:bogus", "fattree32:Binomial", ":flat", "mesh8x8:flat:flat"} {
+		if _, err := ParseMachineSpec(bad); err == nil {
+			t.Errorf("ParseMachineSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestBigMeshes: the big-mesh axis appends the three tree-shape
+// machines without disturbing the rest of the suite.
+func TestBigMeshes(t *testing.T) {
+	cfg := Config{Seed: 11, Random: 2, BigMeshes: true, NoExamples: true}
+	s := Generate(cfg)
+	// 2 nests × (4 default + 3 big) machines.
+	if len(s) != 2*7 {
+		t.Fatalf("big-mesh suite has %d scenarios, want %d", len(s), 2*7)
+	}
+	big := map[string]int{}
+	for _, sc := range s {
+		switch sc.Machine.String() {
+		case "mesh64x2", "mesh2x64", "mesh16x16":
+			big[sc.Machine.String()]++
+		}
+	}
+	for _, name := range []string{"mesh64x2", "mesh2x64", "mesh16x16"} {
+		if big[name] != 2 {
+			t.Errorf("%s appears %d times, want 2", name, big[name])
+		}
+	}
+}

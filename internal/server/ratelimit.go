@@ -1,8 +1,10 @@
 package server
 
 import (
+	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -89,9 +91,63 @@ func (l *rateLimiter) pruneLocked(now time.Time) {
 	}
 }
 
-// clientKey identifies the client for rate limiting: the remote host
-// without the ephemeral port.
-func clientKey(r *http.Request) string {
+// Rate-limiter client-key modes (Options.RateKey).
+//
+// The header-keyed modes trust the header: a client that can reach
+// the daemon directly and mint arbitrary header values mints
+// arbitrary buckets, so they only bound *well-behaved* clients
+// unless a fronting proxy authenticates X-Api-Key or overwrites
+// X-Forwarded-For. Deploy them behind such a proxy (the scenario
+// they exist for — without them, everyone behind it shares one IP
+// bucket); keep the default IP keying for directly exposed daemons.
+const (
+	// RateKeyIP keys buckets on the remote host (the default). Behind
+	// one proxy every client shares a bucket.
+	RateKeyIP = "ip"
+	// RateKeyAPIKey keys buckets on the X-Api-Key request header,
+	// falling back to the remote host for anonymous requests.
+	RateKeyAPIKey = "api-key"
+	// RateKeyForwarded keys buckets on the first (client) hop of
+	// X-Forwarded-For, falling back to the remote host when absent.
+	RateKeyForwarded = "forwarded"
+)
+
+// RateKeyModes lists the accepted Options.RateKey values.
+func RateKeyModes() []string { return []string{RateKeyIP, RateKeyAPIKey, RateKeyForwarded} }
+
+// rateKeyFunc maps a mode name to its client-key extractor.
+func rateKeyFunc(mode string) (func(*http.Request) string, error) {
+	switch mode {
+	case "", RateKeyIP:
+		return clientIP, nil
+	case RateKeyAPIKey:
+		return func(r *http.Request) string {
+			if k := r.Header.Get("X-Api-Key"); k != "" {
+				// Prefixed so a key can never collide with an address.
+				return "key:" + k
+			}
+			return clientIP(r)
+		}, nil
+	case RateKeyForwarded:
+		return func(r *http.Request) string {
+			if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+				first := xff
+				if i := strings.IndexByte(xff, ','); i >= 0 {
+					first = xff[:i]
+				}
+				if hop := strings.TrimSpace(first); hop != "" {
+					return "fwd:" + hop
+				}
+			}
+			return clientIP(r)
+		}, nil
+	}
+	return nil, fmt.Errorf("server: unknown rate-key mode %q (have %v)", mode, RateKeyModes())
+}
+
+// clientIP identifies the client by remote host without the
+// ephemeral port.
+func clientIP(r *http.Request) string {
 	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
 		return host
 	}

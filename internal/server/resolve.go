@@ -147,6 +147,7 @@ func SpecConfig(spec api.BatchSpec) scenarios.Config {
 		Random:     spec.Random,
 		Deep:       spec.Deep,
 		Skew:       spec.Skew,
+		BigMeshes:  spec.BigMeshes,
 		NoExamples: spec.NoExamples,
 		M:          spec.M,
 		Opts:       core.Options{NoMacro: spec.NoMacro, NoDecomposition: spec.NoDecomposition},

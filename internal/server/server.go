@@ -61,6 +61,12 @@ type Options struct {
 	RatePerSec float64
 	// RateBurst is the bucket depth (0: twice the rate, minimum 1).
 	RateBurst int
+	// RateKey selects what identifies a client for rate limiting:
+	// RateKeyIP (the default), RateKeyAPIKey (X-Api-Key header) or
+	// RateKeyForwarded (first X-Forwarded-For hop, for daemons behind
+	// a trusted proxy). Unknown modes panic in New; resoptd validates
+	// its -rate-key flag first.
+	RateKey string
 	// JobsCap bounds retained finished jobs (0: DefaultJobsCap).
 	JobsCap int
 }
@@ -72,6 +78,7 @@ type Server struct {
 	store    *store.Store
 	mux      *http.ServeMux
 	limiter  *rateLimiter
+	rateKey  func(*http.Request) string
 	resolver *suiteResolver
 	jobs     *jobManager
 	jobWG    sync.WaitGroup
@@ -93,7 +100,12 @@ func New(opts Options) *Server {
 		jobs:     newJobManager(opts.JobsCap),
 	}
 	if opts.RatePerSec > 0 {
+		keyFn, err := rateKeyFunc(opts.RateKey)
+		if err != nil {
+			panic(err) // invalid enum is a programmer error; flags validate first
+		}
 		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst)
+		s.rateKey = keyFn
 	}
 
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
@@ -136,7 +148,7 @@ func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(api.VersionHeader, api.Version)
 		if s.limiter != nil {
-			if retry, ok := s.limiter.allow(clientKey(r), time.Now()); !ok {
+			if retry, ok := s.limiter.allow(s.rateKey(r), time.Now()); !ok {
 				s.rateLimited.Add(1)
 				w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())+1))
 				writeError(w, api.Errorf(http.StatusTooManyRequests, api.CodeRateLimited,
@@ -192,6 +204,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		General:      res.Classes[core.General],
 		Vectorizable: res.Vectorizable,
 		ModelTimeUs:  res.ModelTime,
+		Collectives:  res.Collectives,
 	})
 }
 
@@ -235,6 +248,7 @@ func (s *Server) runBatch(ctx context.Context, rb *resolvedBatch, emit func(api.
 			Classes:      res.Classes,
 			Vectorizable: res.Vectorizable,
 			ModelTimeUs:  res.ModelTime,
+			Collectives:  res.Collectives,
 			Err:          res.Err,
 		})
 	})
@@ -311,14 +325,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Version: api.Version,
 		Workers: s.session.Workers(),
 		Cache: api.CacheStats{
-			KernelHits:   c.KernelHits,
-			KernelMisses: c.KernelMisses,
-			PlanHits:     c.PlanHits,
-			PlanMisses:   c.PlanMisses,
-			DiskHits:     c.DiskHits,
-			DiskMisses:   c.DiskMisses,
-			Evictions:    c.Evictions,
-			Entries:      c.Entries,
+			KernelHits:       c.KernelHits,
+			KernelMisses:     c.KernelMisses,
+			KernelDiskHits:   c.KernelDiskHits,
+			KernelDiskMisses: c.KernelDiskMisses,
+			PlanHits:         c.PlanHits,
+			PlanMisses:       c.PlanMisses,
+			DiskHits:         c.DiskHits,
+			DiskMisses:       c.DiskMisses,
+			Evictions:        c.Evictions,
+			Entries:          c.Entries,
 		},
 		SuiteCache: s.resolver.stats(),
 		Jobs:       s.jobs.stats(),
@@ -326,10 +342,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &api.StoreStats{
-			PlanPuts:      st.PlanPuts,
-			PlanGetHits:   st.PlanGetHits,
-			PlanGetMisses: st.PlanGetMisses,
-			Warnings:      st.Warnings,
+			PlanPuts:        st.PlanPuts,
+			PlanGetHits:     st.PlanGetHits,
+			PlanGetMisses:   st.PlanGetMisses,
+			KernelPuts:      st.KernelPuts,
+			KernelGetHits:   st.KernelGetHits,
+			KernelGetMisses: st.KernelGetMisses,
+			Warnings:        st.Warnings,
 		}
 	}
 	resp.Requests = api.RequestStats{

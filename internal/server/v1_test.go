@@ -394,3 +394,111 @@ func TestRateLimit(t *testing.T) {
 		t.Error("rate-limited requests not counted")
 	}
 }
+
+// TestRateKeyModes: the api-key and forwarded modes give distinct
+// clients distinct buckets (all test traffic shares one source IP),
+// while unknown header values fall back to the shared IP bucket.
+func TestRateKeyModes(t *testing.T) {
+	headerGet := func(ts *httptest.Server, header, value string) int {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if value != "" {
+			req.Header.Set(header, value)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	t.Run("api-key", func(t *testing.T) {
+		_, ts := newTestServer(t, Options{RatePerSec: 0.001, RateBurst: 2, RateKey: RateKeyAPIKey})
+		// Two clients, two keys: each gets its own burst of 2.
+		for i := 0; i < 2; i++ {
+			if code := headerGet(ts, "X-Api-Key", "alpha"); code != http.StatusOK {
+				t.Fatalf("alpha request %d: %d", i, code)
+			}
+			if code := headerGet(ts, "X-Api-Key", "beta"); code != http.StatusOK {
+				t.Fatalf("beta request %d: %d", i, code)
+			}
+		}
+		// Both buckets are now empty; a third request per key is limited.
+		if code := headerGet(ts, "X-Api-Key", "alpha"); code != http.StatusTooManyRequests {
+			t.Errorf("alpha over burst: %d, want 429", code)
+		}
+		// A keyless request falls back to the (untouched) IP bucket.
+		if code := headerGet(ts, "X-Api-Key", ""); code != http.StatusOK {
+			t.Errorf("anonymous fallback: %d, want 200", code)
+		}
+	})
+
+	t.Run("forwarded", func(t *testing.T) {
+		_, ts := newTestServer(t, Options{RatePerSec: 0.001, RateBurst: 2, RateKey: RateKeyForwarded})
+		// Distinct first hops get distinct buckets; later hops are the
+		// proxy chain and must not matter.
+		for i := 0; i < 2; i++ {
+			if code := headerGet(ts, "X-Forwarded-For", "10.0.0.1, 192.168.0.9"); code != http.StatusOK {
+				t.Fatalf("hop1 request %d: %d", i, code)
+			}
+			if code := headerGet(ts, "X-Forwarded-For", "10.0.0.2, 192.168.0.9"); code != http.StatusOK {
+				t.Fatalf("hop2 request %d: %d", i, code)
+			}
+		}
+		if code := headerGet(ts, "X-Forwarded-For", "10.0.0.1, 172.16.0.1"); code != http.StatusTooManyRequests {
+			t.Errorf("same first hop via another proxy: %d, want 429", code)
+		}
+		if code := headerGet(ts, "X-Forwarded-For", ""); code != http.StatusOK {
+			t.Errorf("headerless fallback: %d, want 200", code)
+		}
+	})
+
+	t.Run("ip-default", func(t *testing.T) {
+		_, ts := newTestServer(t, Options{RatePerSec: 0.001, RateBurst: 2})
+		// In the default mode every header is ignored: all traffic
+		// shares the loopback bucket.
+		headerGet(ts, "X-Api-Key", "alpha")
+		headerGet(ts, "X-Api-Key", "beta")
+		if code := headerGet(ts, "X-Api-Key", "gamma"); code != http.StatusTooManyRequests {
+			t.Errorf("ip mode over burst: %d, want 429", code)
+		}
+	})
+}
+
+// TestV1BatchCollectives: a mesh-bearing suite reports selected
+// collective algorithms on its result lines, and the big_meshes axis
+// resolves server-side.
+func TestV1BatchCollectives(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	lines, sum := batchNDJSON(t, ts, api.BatchSpec{Random: 2, NoExamples: true, BigMeshes: true, Seed: 9})
+	// 2 nests × (4 default + 3 big) machines.
+	if sum.Summary.Scenarios != 14 {
+		t.Fatalf("big_meshes suite ran %d scenarios, want 14", sum.Summary.Scenarios)
+	}
+	withColl, bigMesh := 0, 0
+	for _, raw := range lines {
+		var l api.BatchLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatal(err)
+		}
+		if l.Collectives != "" {
+			withColl++
+			if !strings.Contains(l.Collectives, "=") {
+				t.Errorf("%s: malformed collectives %q", l.Name, l.Collectives)
+			}
+		}
+		if strings.Contains(l.Name, "mesh64x2") || strings.Contains(l.Name, "mesh2x64") || strings.Contains(l.Name, "mesh16x16") {
+			bigMesh++
+		}
+	}
+	if bigMesh != 6 {
+		t.Errorf("%d big-mesh scenarios, want 6", bigMesh)
+	}
+	if withColl == 0 {
+		t.Error("no batch line reported collectives")
+	}
+}

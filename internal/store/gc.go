@@ -13,12 +13,14 @@ import (
 // nothing but stale temp files; set MaxAge and/or MaxPlans to enable
 // the age and LRU criteria.
 type GCOptions struct {
-	// MaxAge removes plan files not used (mtime; GetPlan touches hits)
-	// for longer than this. 0 disables the age criterion.
+	// MaxAge removes plan and kernel files not used (mtime; GetPlan
+	// and GetKernel touch hits) for longer than this. 0 disables the
+	// age criterion.
 	MaxAge time.Duration
-	// MaxPlans bounds the surviving plan-file count: after the age
-	// sweep, the least recently used files beyond this many are
-	// removed. 0 disables the count criterion.
+	// MaxPlans bounds the surviving file count of each tier (plans
+	// and kernels independently): after the age sweep, the least
+	// recently used files beyond this many are removed. 0 disables
+	// the count criterion.
 	MaxPlans int
 	// DryRun reports what would be removed without removing it.
 	DryRun bool
@@ -26,16 +28,16 @@ type GCOptions struct {
 
 // GCResult summarizes a sweep.
 type GCResult struct {
-	// Scanned is the number of plan files examined.
+	// Scanned is the number of plan and kernel files examined.
 	Scanned int `json:"scanned"`
 	// RemovedAge / RemovedLRU count removals per criterion; stale
 	// temp files from interrupted writes are counted separately.
 	RemovedAge  int `json:"removed_age"`
 	RemovedLRU  int `json:"removed_lru"`
 	RemovedTemp int `json:"removed_temp"`
-	// Kept is the number of plan files surviving the sweep.
+	// Kept is the number of plan and kernel files surviving the sweep.
 	Kept int `json:"kept"`
-	// BytesFreed sums the sizes of removed plan files.
+	// BytesFreed sums the sizes of removed files.
 	BytesFreed int64 `json:"bytes_freed"`
 }
 
@@ -47,26 +49,50 @@ func (r GCResult) Removed() int { return r.RemovedAge + r.RemovedLRU + r.Removed
 // mid-write in another process.
 const staleTempAge = time.Hour
 
-// GC sweeps the plan tier: age-expired files first, then the least
-// recently used files beyond MaxPlans (mtime is the recency signal —
-// GetPlan touches files it serves). Snapshots are never collected;
-// they are few, named, and referenced by re-run specs. Removing a
-// live plan is always safe — the engine recomputes and rewrites it —
-// so GC can run concurrently with serving traffic. Unremovable files
-// are recorded as store warnings and kept in the Kept count.
+// GC sweeps the plan and kernel tiers: age-expired files first, then
+// the least recently used files beyond MaxPlans (mtime is the
+// recency signal — GetPlan and GetKernel touch files they serve; the
+// cap applies to each tier independently). Snapshots are never
+// collected; they are few, named, and referenced by re-run specs.
+// Removing a live plan or kernel is always safe — the engine
+// recomputes and rewrites it — so GC can run concurrently with
+// serving traffic. Unremovable files are recorded as store warnings
+// and kept in the Kept count.
 func (s *Store) GC(opts GCOptions) (GCResult, error) {
-	type planFileInfo struct {
+	var res GCResult
+	now := time.Now()
+	for _, tier := range []string{"plans", "kernels"} {
+		if err := s.gcTier(filepath.Join(s.root, tier), now, opts, &res); err != nil {
+			return res, err
+		}
+	}
+	// writeAtomic also stages temps under snapshots/; reclaim stale
+	// ones there too. Snapshots themselves are never collected.
+	if ents, err := os.ReadDir(filepath.Join(s.root, "snapshots")); err == nil {
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+				continue
+			}
+			if info, err := e.Info(); err == nil && now.Sub(info.ModTime()) > staleTempAge {
+				if s.gcRemove(filepath.Join(s.root, "snapshots", e.Name()), opts.DryRun) {
+					res.RemovedTemp++
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// gcTier sweeps one content-addressed tier directory (plans or
+// kernels) with the age and LRU criteria.
+func (s *Store) gcTier(dir string, now time.Time, opts GCOptions, res *GCResult) error {
+	type gcFileInfo struct {
 		path  string
 		mtime time.Time
 		size  int64
 	}
-	var (
-		res   GCResult
-		files []planFileInfo
-	)
-	plansDir := filepath.Join(s.root, "plans")
-	now := time.Now()
-	err := filepath.WalkDir(plansDir, func(path string, d fs.DirEntry, err error) error {
+	var files []gcFileInfo
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
 		}
@@ -83,25 +109,11 @@ func (s *Store) GC(opts GCOptions) (GCResult, error) {
 			return nil
 		}
 		res.Scanned++
-		files = append(files, planFileInfo{path: path, mtime: info.ModTime(), size: info.Size()})
+		files = append(files, gcFileInfo{path: path, mtime: info.ModTime(), size: info.Size()})
 		return nil
 	})
 	if err != nil {
-		return res, err
-	}
-	// writeAtomic also stages temps under snapshots/; reclaim stale
-	// ones there too. Snapshots themselves are never collected.
-	if ents, err := os.ReadDir(filepath.Join(s.root, "snapshots")); err == nil {
-		for _, e := range ents {
-			if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
-				continue
-			}
-			if info, err := e.Info(); err == nil && now.Sub(info.ModTime()) > staleTempAge {
-				if s.gcRemove(filepath.Join(s.root, "snapshots", e.Name()), opts.DryRun) {
-					res.RemovedTemp++
-				}
-			}
-		}
+		return err
 	}
 
 	// Age sweep.
@@ -135,12 +147,12 @@ func (s *Store) GC(opts GCOptions) (GCResult, error) {
 		}
 		files = kept
 	}
-	res.Kept = len(files)
+	res.Kept += len(files)
 
 	if !opts.DryRun {
-		s.pruneEmptyShards(plansDir)
+		s.pruneEmptyShards(dir)
 	}
-	return res, nil
+	return nil
 }
 
 // gcRemove deletes one file (or pretends to, under DryRun) and

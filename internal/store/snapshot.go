@@ -63,7 +63,7 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 // WriteCSV emits one row per scenario (the -emit csv format).
 func (s *Snapshot) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"name", "local", "macro", "decomposed", "general", "vectorizable", "model_time_us", "err"}); err != nil {
+	if err := cw.Write([]string{"name", "local", "macro", "decomposed", "general", "vectorizable", "model_time_us", "collectives", "err"}); err != nil {
 		return err
 	}
 	for _, r := range s.Results {
@@ -73,6 +73,7 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Classes[2]), strconv.Itoa(r.Classes[3]),
 			strconv.Itoa(r.Vectorizable),
 			strconv.FormatFloat(r.ModelTime, 'f', -1, 64),
+			r.Collectives,
 			r.Err,
 		}
 		if err := cw.Write(row); err != nil {

@@ -8,6 +8,11 @@
 //     engine consults this tier between its in-memory memo cache and
 //     a fresh computation, so repeated CLI sweeps and daemon restarts
 //     are compile-once/reuse-many across processes;
+//   - kernel memo values (Hermite forms, unimodular inverses, kernel
+//     bases), keyed by the intmat memo hooks' op:key scheme, under
+//     kernels/<hh>/<hash>.json, so cold starts skip the exact linear
+//     algebra too — a suite of fresh nests on a warm store recomputes
+//     nothing it has ever factored before;
 //   - batch-result snapshots (see Snapshot), under snapshots/, which
 //     Compare diffs scenario-by-scenario for cross-commit regression
 //     tracking.
@@ -33,11 +38,15 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/intmat"
 )
 
 // Version is the on-disk layout version; bumping it orphans (but does
-// not delete) artifacts written by older layouts.
-const Version = "v1"
+// not delete) artifacts written by older layouts. v2: plan records
+// carry the macro-communication axis (the collective cost model
+// schedules axis macros along their grid dimension), and the kernel
+// tier (Hermite forms, kernel bases) persists under kernels/.
+const Version = "v2"
 
 // Store is a disk-backed plan and snapshot store rooted at one
 // directory. It implements engine.PlanStore.
@@ -48,15 +57,23 @@ type Store struct {
 	mu       sync.Mutex
 	warnings []string
 
-	puts, getHits, getMisses, corrupt atomic.Uint64
+	puts, getHits, getMisses, corrupt          atomic.Uint64
+	kernelPuts, kernelGetHits, kernelGetMisses atomic.Uint64
 }
 
-var _ engine.PlanStore = (*Store)(nil)
+var (
+	_ engine.PlanStore   = (*Store)(nil)
+	_ engine.KernelStore = (*Store)(nil)
+)
 
 // Open creates (if needed) and opens a store rooted at dir.
 func Open(dir string) (*Store, error) {
 	root := filepath.Join(dir, Version)
-	for _, d := range []string{filepath.Join(root, "plans"), filepath.Join(root, "snapshots")} {
+	for _, d := range []string{
+		filepath.Join(root, "plans"),
+		filepath.Join(root, "kernels"),
+		filepath.Join(root, "snapshots"),
+	} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
@@ -132,6 +149,67 @@ func (s *Store) PutPlan(key string, plans []engine.PlanRecord, errMsg string) {
 	s.puts.Add(1)
 }
 
+// kernelPath is the content address of a kernel key:
+// kernels/<hh>/<sha256>.json.
+func (s *Store) kernelPath(key string) string {
+	h := sha256.Sum256([]byte(key))
+	hx := hex.EncodeToString(h[:])
+	return filepath.Join(s.root, "kernels", hx[:2], hx+".json")
+}
+
+// kernelFile is the on-disk kernel format; the full op:key is stored
+// for verification, like planFile.
+type kernelFile struct {
+	Key string           `json:"key"`
+	Val intmat.KernelRec `json:"val"`
+}
+
+// GetKernel implements engine.KernelStore: load the kernel value
+// persisted for key (an op-prefixed canonical matrix key), or
+// ok == false when absent or unreadable.
+func (s *Store) GetKernel(key string) (intmat.KernelRec, bool) {
+	path := s.kernelPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.warnf("skipping unreadable kernel file %s: %v", path, err)
+		}
+		s.kernelGetMisses.Add(1)
+		return intmat.KernelRec{}, false
+	}
+	var f kernelFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		s.warnf("skipping corrupt kernel file %s: %v", path, err)
+		s.kernelGetMisses.Add(1)
+		return intmat.KernelRec{}, false
+	}
+	if f.Key != key {
+		s.warnf("skipping kernel file %s: stored key does not match request", path)
+		s.kernelGetMisses.Add(1)
+		return intmat.KernelRec{}, false
+	}
+	s.kernelGetHits.Add(1)
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // recency for the GC LRU, like GetPlan
+	return f.Val, true
+}
+
+// PutKernel implements engine.KernelStore: persist the kernel value
+// for key. Failures degrade to recompute-next-time, like PutPlan.
+func (s *Store) PutKernel(key string, rec intmat.KernelRec) {
+	path := s.kernelPath(key)
+	data, err := json.Marshal(kernelFile{Key: key, Val: rec})
+	if err != nil {
+		s.warnf("encoding kernel for %s: %v", path, err)
+		return
+	}
+	if err := s.writeAtomic(path, data); err != nil {
+		s.warnf("writing kernel file %s: %v", path, err)
+		return
+	}
+	s.kernelPuts.Add(1)
+}
+
 // writeAtomic writes data to path via a temp file in the same
 // directory plus rename, so concurrent readers never observe a
 // truncated file.
@@ -182,18 +260,24 @@ func (s *Store) Warnings() []string {
 
 // Stats is a snapshot of store traffic.
 type Stats struct {
-	PlanPuts      uint64 `json:"plan_puts"`
-	PlanGetHits   uint64 `json:"plan_get_hits"`
-	PlanGetMisses uint64 `json:"plan_get_misses"`
-	Warnings      uint64 `json:"warnings"`
+	PlanPuts        uint64 `json:"plan_puts"`
+	PlanGetHits     uint64 `json:"plan_get_hits"`
+	PlanGetMisses   uint64 `json:"plan_get_misses"`
+	KernelPuts      uint64 `json:"kernel_puts"`
+	KernelGetHits   uint64 `json:"kernel_get_hits"`
+	KernelGetMisses uint64 `json:"kernel_get_misses"`
+	Warnings        uint64 `json:"warnings"`
 }
 
 // Stats snapshots the counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		PlanPuts:      s.puts.Load(),
-		PlanGetHits:   s.getHits.Load(),
-		PlanGetMisses: s.getMisses.Load(),
-		Warnings:      s.corrupt.Load(),
+		PlanPuts:        s.puts.Load(),
+		PlanGetHits:     s.getHits.Load(),
+		PlanGetMisses:   s.getMisses.Load(),
+		KernelPuts:      s.kernelPuts.Load(),
+		KernelGetHits:   s.kernelGetHits.Load(),
+		KernelGetMisses: s.kernelGetMisses.Load(),
+		Warnings:        s.corrupt.Load(),
 	}
 }

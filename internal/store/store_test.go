@@ -7,8 +7,10 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/intmat"
 	"repro/internal/scenarios"
 )
 
@@ -253,5 +255,110 @@ func TestCompare(t *testing.T) {
 	same := Compare(base, base)
 	if same.Regressions != 0 || len(same.Changed) != 0 || same.Unchanged != 4 {
 		t.Errorf("self-diff: %+v", same)
+	}
+}
+
+// TestKernelRoundTrip: kernel records persist and reload under their
+// op:key, with key verification and corrupt-file tolerance.
+func TestKernelRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	rec := intmat.KernelRec{A: intmat.Rec{R: 2, C: 2, V: []int64{1, 2, 3, 4}}}
+	s.PutKernel("hermiteL:2x2:1,2,3,4", rec)
+	got, ok := s.GetKernel("hermiteL:2x2:1,2,3,4")
+	if !ok || !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round trip: got %+v ok=%v", got, ok)
+	}
+	if _, ok := s.GetKernel("hermiteL:absent"); ok {
+		t.Error("absent kernel key reported present")
+	}
+	// A moved/colliding file (stored key ≠ requested) is a miss.
+	src := s.kernelPath("hermiteL:2x2:1,2,3,4")
+	dst := s.kernelPath("kernel:other")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetKernel("kernel:other"); ok {
+		t.Error("key-mismatched kernel file served")
+	}
+	// Corrupt JSON is a miss with a warning, never a panic.
+	if err := os.WriteFile(dst, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetKernel("kernel:other"); ok {
+		t.Error("corrupt kernel file served")
+	}
+	if len(s.Warnings()) == 0 {
+		t.Error("no warnings recorded for bad kernel files")
+	}
+	st := s.Stats()
+	if st.KernelPuts != 1 || st.KernelGetHits != 1 || st.KernelGetMisses < 2 {
+		t.Errorf("kernel stats %+v", st)
+	}
+}
+
+// TestKernelTierWarmStart: after the plan tier is wiped (GC, version
+// bump, new scenarios), a warm store still serves the expensive
+// linear-algebra kernels from disk — and the results are identical.
+func TestKernelTierWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := scenarios.Generate(scenarios.Config{Seed: 5, Random: 3, NoExamples: true})
+	cold := engine.Run(suite, engine.Options{Workers: 2, Store: quiet(s1)})
+	if s1.Stats().KernelPuts == 0 {
+		t.Fatal("cold run persisted no kernels")
+	}
+	if cold.Cache.KernelDiskHits != 0 {
+		t.Errorf("cold run had %d kernel disk hits", cold.Cache.KernelDiskHits)
+	}
+
+	// Wipe the plan tier so the warm run has to rebuild plans — but
+	// the kernels it needs are all on disk.
+	if err := os.RemoveAll(filepath.Join(s1.Dir(), "plans")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := engine.Run(suite, engine.Options{Workers: 2, Store: quiet(s2)})
+	if !reflect.DeepEqual(cold.Results, warm.Results) {
+		t.Fatal("kernel-warm results differ from cold results")
+	}
+	if warm.Cache.KernelDiskHits == 0 {
+		t.Error("plan-wiped warm run served no kernels from disk")
+	}
+	if warm.Cache.KernelMisses != 0 {
+		t.Errorf("plan-wiped warm run recomputed %d kernels", warm.Cache.KernelMisses)
+	}
+}
+
+// TestGCSweepsKernels: the age criterion collects kernel files like
+// plan files.
+func TestGCSweepsKernels(t *testing.T) {
+	s := openTemp(t)
+	for i, key := range []string{"k:a", "k:b", "k:c"} {
+		s.PutKernel(key, intmat.KernelRec{A: intmat.Rec{R: 1, C: 1, V: []int64{int64(i)}}})
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	for _, key := range []string{"k:a", "k:b"} {
+		if err := os.Chtimes(s.kernelPath(key), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.GC(GCOptions{MaxAge: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedAge != 2 || res.Kept != 1 {
+		t.Fatalf("gc removed %d aged, kept %d; want 2/1 (%+v)", res.RemovedAge, res.Kept, res)
+	}
+	if _, ok := s.GetKernel("k:c"); !ok {
+		t.Error("survivor kernel unreadable after gc")
 	}
 }
