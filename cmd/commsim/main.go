@@ -9,6 +9,7 @@
 //	commsim -pattern uk -k 4 -dist grouped
 //	commsim -pattern collective -op broadcast -p 64 -q 2 -bytes 4096
 //	commsim -pattern collective -op reduction -cdim 0     # along axis 0
+//	commsim -pattern collective -cdim 0,1 -schedule       # p≥2: per-plane
 //	commsim -pattern collective -algo chain -schedule     # rounds, one by one
 package main
 
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -36,7 +38,7 @@ func main() {
 	n := flag.Int("n", 64, "virtual grid extent (n x n)")
 	bytes := flag.Int64("bytes", 64, "bytes per virtual processor")
 	op := flag.String("op", "broadcast", "collective: broadcast | reduction")
-	cdim := flag.Int("cdim", -1, "collective: grid axis of a partial collective (-1: total)")
+	cdim := flag.String("cdim", "", "collective: grid axes of a partial collective — \"0\" or \"1\" for per-line, \"0,1\" for per-plane (empty or -1: total)")
 	root := flag.Int("root", 0, "collective: root rank of a total collective")
 	algo := flag.String("algo", "", "collective: pin one algorithm instead of cost-driven selection")
 	schedule := flag.Bool("schedule", false, "collective: print the chosen schedule round by round")
@@ -75,16 +77,44 @@ func main() {
 		msgs := machine.ElementaryRowComm(mesh, d, int64(*k), *n, *n, *bytes)
 		report(mesh, fmt.Sprintf("U_%d under %s", *k, d.Name()), msgs)
 	case "collective":
-		runCollective(mesh, *op, *cdim, *root, *bytes, *algo, *schedule)
+		dims, err := parseDims(*cdim)
+		if err != nil {
+			fatal(err)
+		}
+		runCollective(mesh, *op, dims, *root, *bytes, *algo, *schedule)
 	default:
 		fatal(fmt.Errorf("unknown pattern %q", *pattern))
 	}
 }
 
+// parseDims parses the -cdim flag: "" or "-1" is a total collective
+// (nil), otherwise a comma-separated list of grid axes (0 and/or 1).
+func parseDims(spec string) ([]int, error) {
+	if spec == "" || spec == "-1" {
+		return nil, nil
+	}
+	var dims []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 0 || d > 1 {
+			return nil, fmt.Errorf("bad -cdim %q (want 0, 1 or 0,1)", spec)
+		}
+		if !seen[d] {
+			seen[d] = true
+			dims = append(dims, d)
+		}
+	}
+	sort.Ints(dims)
+	return dims, nil
+}
+
 // runCollective prints the per-algorithm cost table for the
 // collective, the selector's choice, and (with -schedule) the chosen
-// schedule round by round.
-func runCollective(mesh *machine.Mesh2D, op string, dim, root int, bytes int64, algo string, schedule bool) {
+// schedule round by round. A two-axis -cdim prints the per-plane
+// candidates (both phase orders) against the machine-spanning
+// execution instead of the single-algorithm table.
+func runCollective(mesh *machine.Mesh2D, op string, dims []int, root int, bytes int64, algo string, schedule bool) {
 	var pat collective.Pattern
 	switch op {
 	case "broadcast":
@@ -98,44 +128,82 @@ func runCollective(mesh *machine.Mesh2D, op string, dim, root int, bytes int64, 
 		fatal(fmt.Errorf("unknown algorithm %q (have %v)", algo, collective.AllAlgorithms()))
 	}
 	where := fmt.Sprintf("root %d", root)
-	if dim >= 0 {
-		where = fmt.Sprintf("along axis %d", dim)
+	switch len(dims) {
+	case 1:
+		where = fmt.Sprintf("along axis %d", dims[0])
+	case 2:
+		where = "per plane (axes 0,1)"
 	}
 	fmt.Printf("%s of %d bytes on %dx%d mesh (%s):\n", op, bytes, mesh.P, mesh.Q, where)
 
-	build := func(name string) (*collective.Schedule, error) {
-		if dim >= 0 {
-			return collective.ScheduleMeshDim(mesh, pat, dim, bytes, name)
-		}
-		return collective.ScheduleMesh(mesh, pat, root, bytes, name)
-	}
-	for _, name := range collective.MeshAlgorithms() {
-		sched, err := build(name)
-		if err != nil {
-			fmt.Printf("  %-18s %15s\n", name, "n/a")
-			continue
-		}
-		fmt.Printf("  %-18s %12.0f µs  (%d rounds)\n", name, collective.MeshCost(mesh, sched.Rounds), len(sched.Rounds))
-	}
 	var choice collective.Choice
-	if dim >= 0 {
-		choice = collective.SelectMeshDim(mesh, pat, dim, bytes, algo)
+	if len(dims) == 2 {
+		// Per-plane: the interesting comparison is scope versus scope,
+		// not algorithm versus algorithm within one scope.
+		for _, cand := range []collective.Choice{
+			collective.SelectMeshPlanes(mesh, pat, []collective.Plane{collective.FullPlane(mesh)}, bytes, algo),
+			collective.SelectMesh(mesh, pat, 0, bytes, algo),
+		} {
+			scope := cand.Scope
+			if scope == "" {
+				scope = "total"
+			}
+			fmt.Printf("  %-8s %-22s %12.0f µs  (%d rounds)\n", scope, cand.Algorithm, cand.Cost, cand.Rounds)
+		}
+		choice = collective.SelectMeshMacro(mesh, pat, dims, bytes, algo)
+		if algo != "" && choice.Algorithm != algo && choice.Algorithm != algo+"+"+algo {
+			// Same fail-loud rule as the single-scope path below: a
+			// pinned algorithm the selector fell back from would corrupt
+			// an ablation. A plane composition counts as pinned when both
+			// phases run the forced algorithm.
+			fatal(fmt.Errorf("algorithm %q is not applicable here (selector would use %s)", algo, choice.Algorithm))
+		}
 	} else {
-		choice = collective.SelectMesh(mesh, pat, root, bytes, algo)
+		build := func(name string) (*collective.Schedule, error) {
+			if len(dims) == 1 {
+				return collective.ScheduleMeshDim(mesh, pat, dims[0], bytes, name)
+			}
+			return collective.ScheduleMesh(mesh, pat, root, bytes, name)
+		}
+		for _, name := range collective.MeshAlgorithms() {
+			sched, err := build(name)
+			if err != nil {
+				fmt.Printf("  %-18s %15s\n", name, "n/a")
+				continue
+			}
+			fmt.Printf("  %-18s %12.0f µs  (%d rounds)\n", name, sched.Cost, len(sched.Rounds))
+		}
+		if len(dims) == 1 {
+			choice = collective.SelectMeshDim(mesh, pat, dims[0], bytes, algo)
+		} else {
+			choice = collective.SelectMesh(mesh, pat, root, bytes, algo)
+		}
+		if algo != "" && choice.Algorithm != algo {
+			// The selector silently falls back when a pinned algorithm
+			// cannot run here (a fat-tree name, or dim-tree on a partial
+			// collective); for an explicit -algo that would corrupt an
+			// ablation, so fail loudly instead.
+			fatal(fmt.Errorf("algorithm %q is not applicable here (selector would use %s)", algo, choice.Algorithm))
+		}
 	}
-	if algo != "" && choice.Algorithm != algo {
-		// The selector silently falls back when a pinned algorithm
-		// cannot run here (a fat-tree name, or dim-tree on a partial
-		// collective); for an explicit -algo that would corrupt an
-		// ablation, so fail loudly instead.
-		fatal(fmt.Errorf("algorithm %q is not applicable here (selector would use %s)", algo, choice.Algorithm))
+	scope := ""
+	if choice.Scope != "" {
+		scope = " [" + choice.Scope + "]"
 	}
-	fmt.Printf("selected: %s at %.0f µs\n", choice.Algorithm, choice.Cost)
+	fmt.Printf("selected: %s%s at %.0f µs\n", choice.Algorithm, scope, choice.Cost)
 
 	if !schedule {
 		return
 	}
-	sched, err := build(choice.Algorithm)
+	var sched *collective.Schedule
+	var err error
+	if len(dims) == 2 {
+		sched, err = collective.MacroSchedule(mesh, pat, dims, bytes, algo)
+	} else if len(dims) == 1 {
+		sched, err = collective.ScheduleMeshDim(mesh, pat, dims[0], bytes, choice.Algorithm)
+	} else {
+		sched, err = collective.ScheduleMesh(mesh, pat, root, bytes, choice.Algorithm)
+	}
 	if err != nil {
 		fatal(err)
 	}

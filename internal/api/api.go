@@ -243,6 +243,9 @@ type SnapshotList struct {
 }
 
 // CacheStats mirrors the engine's in-memory cache counters.
+// SelectHits/SelectMisses are the collective-selection memo: a hit
+// served a (machine, pattern, dims, bytes) choice without rebuilding
+// any schedule.
 type CacheStats struct {
 	KernelHits       uint64 `json:"kernel_hits"`
 	KernelMisses     uint64 `json:"kernel_misses"`
@@ -252,6 +255,8 @@ type CacheStats struct {
 	PlanMisses       uint64 `json:"plan_misses"`
 	DiskHits         uint64 `json:"disk_hits"`
 	DiskMisses       uint64 `json:"disk_misses"`
+	SelectHits       uint64 `json:"select_hits"`
+	SelectMisses     uint64 `json:"select_misses"`
 	Evictions        uint64 `json:"evictions"`
 	Entries          int    `json:"entries"`
 }

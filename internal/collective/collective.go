@@ -70,17 +70,46 @@ func (p Pattern) String() string {
 // model charges that serialization.
 type Round []machine.Message
 
-// Schedule is one algorithm's concrete message plan for a pattern.
+// Schedule is a concrete message plan for a pattern: rounds of
+// machine.Message plus the priced model cost, independent of which
+// algorithm or composition built it. Everything the engine charges
+// for a collective flows through a Schedule (or, for the fixed-cost
+// fat-tree hardware algorithms, a Choice with no software rounds):
+// per-line trees, per-plane compositions and machine-spanning totals
+// are all just Schedules whose rounds were assembled differently.
 type Schedule struct {
 	Algorithm string
 	Pattern   Pattern
-	Rounds    []Round
+	// Scope names what the schedule spans: "" for a machine-spanning
+	// total collective, "axis0"/"axis1" for concurrent per-line trees
+	// along one grid dimension, "plane01"/"plane10" for a two-phase
+	// per-plane composition (digits give the phase order).
+	Scope  string
+	Rounds []Round
+	// Cost is the model time (µs) of the rounds on the machine the
+	// schedule was built for, priced once at construction.
+	Cost float64
+}
+
+// Choice projects the schedule down to the selector's decision.
+func (s *Schedule) Choice() Choice {
+	return Choice{Pattern: s.Pattern, Algorithm: s.Algorithm, Scope: s.Scope,
+		Cost: s.Cost, Rounds: len(s.Rounds)}
+}
+
+// newSchedule assembles and prices a mesh schedule.
+func newSchedule(m *machine.Mesh2D, algo string, p Pattern, scope string, rounds []Round) *Schedule {
+	return &Schedule{Algorithm: algo, Pattern: p, Scope: scope, Rounds: rounds,
+		Cost: MeshCost(m, rounds)}
 }
 
 // Choice is the selector's decision for one collective operation.
 type Choice struct {
 	Pattern   Pattern
 	Algorithm string
+	// Scope is the schedule scope (see Schedule.Scope; "" for total
+	// collectives and the fixed-cost fat-tree algorithms).
+	Scope string
 	// Cost is the model time (µs) of the chosen schedule.
 	Cost float64
 	// Rounds is the schedule length (0 for fixed-cost hardware
@@ -88,8 +117,14 @@ type Choice struct {
 	Rounds int
 }
 
-// String renders the choice as "pattern=algorithm".
-func (c Choice) String() string { return c.Pattern.String() + "=" + c.Algorithm }
+// String renders the choice as "pattern=algorithm", or
+// "pattern@scope=algorithm" for per-line and per-plane schedules.
+func (c Choice) String() string {
+	if c.Scope == "" {
+		return c.Pattern.String() + "=" + c.Algorithm
+	}
+	return c.Pattern.String() + "@" + c.Scope + "=" + c.Algorithm
+}
 
 // MeshCost prices a schedule on the mesh: each round is one
 // contention-scheduled pattern, rounds execute back to back.

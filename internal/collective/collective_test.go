@@ -370,3 +370,216 @@ func TestScheduleMeshErrors(t *testing.T) {
 		t.Error("out-of-range dimension accepted")
 	}
 }
+
+// TestPlaneScheduleBound: on every default mesh the per-plane
+// composition over the full mesh never costs more than the flat
+// root-to-all, for both patterns across payloads — the plane-level
+// half of the acceptance bound (SelectMeshMacro additionally keeps
+// the total candidates in the pool).
+func TestPlaneScheduleBound(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, b := range testPayloads {
+			for _, p := range []Pattern{Broadcast, Reduction} {
+				ch := SelectMeshPlanes(m, p, []Plane{FullPlane(m)}, b, "")
+				if flat := flatCost(m, b, p == Reduction); ch.Cost > flat {
+					t.Errorf("mesh%dx%d %s bytes=%d: plane %s at %.0f > flat %.0f",
+						pq[0], pq[1], p, b, ch.Algorithm, ch.Cost, flat)
+				}
+				macro := SelectMeshMacro(m, p, []int{0, 1}, b, "")
+				if total := SelectMesh(m, p, 0, b, ""); macro.Cost > total.Cost {
+					t.Errorf("mesh%dx%d %s bytes=%d: macro %s at %.0f > total %s at %.0f",
+						pq[0], pq[1], p, b, macro.Algorithm, macro.Cost, total.Algorithm, total.Cost)
+				}
+			}
+		}
+	}
+}
+
+// TestPlaneCostMonotonicInBytes: the per-plane selection never gets
+// cheaper as the payload grows.
+func TestPlaneCostMonotonicInBytes(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		prev := -1.0
+		for _, b := range []int64{16, 64, 256, 1024, 4096, 16384, 65536} {
+			ch := SelectMeshPlanes(m, Broadcast, []Plane{FullPlane(m)}, b, "")
+			if ch.Cost < prev {
+				t.Errorf("mesh%dx%d: plane cost fell from %.1f to %.1f as bytes grew to %d",
+					pq[0], pq[1], prev, ch.Cost, b)
+			}
+			prev = ch.Cost
+		}
+	}
+}
+
+// quadrants splits a 2k×2k mesh into its four k×k planes.
+func quadrants(m *machine.Mesh2D) []Plane {
+	hw, hh := m.P/2, m.Q/2
+	return []Plane{
+		{X0: 0, Y0: 0, W: hw, H: hh},
+		{X0: hw, Y0: 0, W: m.P - hw, H: hh},
+		{X0: 0, Y0: hh, W: hw, H: m.Q - hh},
+		{X0: hw, Y0: hh, W: m.P - hw, H: m.Q - hh},
+	}
+}
+
+// TestPlaneCostMonotonicInPlaneCount: scheduling more planes of the
+// same shape concurrently never gets cheaper — every added plane can
+// only add messages to the merged rounds.
+func TestPlaneCostMonotonicInPlaneCount(t *testing.T) {
+	m := machine.DefaultMesh(16, 16)
+	qs := quadrants(m)
+	for _, algo := range []string{"flat", "bisection", "binomial", "chain"} {
+		prev := -1.0
+		for k := 1; k <= len(qs); k++ {
+			sched, err := SchedulePlanes(m, Broadcast, qs[:k], 0, 1024, algo, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sched.Cost < prev {
+				t.Errorf("%s: cost fell from %.1f to %.1f at %d planes", algo, prev, sched.Cost, k)
+			}
+			prev = sched.Cost
+		}
+	}
+}
+
+// TestPlaneDelivery: the per-plane composition delivers the payload
+// to every processor of every plane, for the whole-payload tree
+// phases, in both dimension orders.
+func TestPlaneDelivery(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, planes := range [][]Plane{{FullPlane(m)}} {
+			for dimFirst := 0; dimFirst <= 1; dimFirst++ {
+				for _, algo := range []string{"flat", "bisection", "binomial"} {
+					sched, err := SchedulePlanes(m, Broadcast, planes, dimFirst, 64, algo, algo)
+					if err != nil {
+						t.Fatal(err)
+					}
+					holds := map[int]bool{}
+					for _, pl := range planes {
+						holds[m.Rank(pl.X0, pl.Y0)] = true
+					}
+					for ri, r := range sched.Rounds {
+						for _, msg := range r {
+							if !holds[msg.Src] {
+								t.Fatalf("mesh%dx%d dimFirst=%d %s: round %d sender %d has no payload",
+									pq[0], pq[1], dimFirst, algo, ri, msg.Src)
+							}
+						}
+						for _, msg := range r {
+							holds[msg.Dst] = true
+						}
+					}
+					want := 0
+					for _, pl := range planes {
+						want += pl.W * pl.H
+					}
+					if len(holds) != want {
+						t.Fatalf("mesh%dx%d dimFirst=%d %s: %d of %d processors reached",
+							pq[0], pq[1], dimFirst, algo, len(holds), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSelectMeshMacroDeterminism: repeated macro selections return
+// the identical choice for every dims shape, and the schedule behind
+// the choice reprices to exactly the selected cost.
+func TestSelectMeshMacroDeterminism(t *testing.T) {
+	for _, pq := range defaultMeshes {
+		m := machine.DefaultMesh(pq[0], pq[1])
+		for _, dims := range [][]int{nil, {0}, {1}, {0, 1}} {
+			for _, p := range []Pattern{Broadcast, Reduction} {
+				first := SelectMeshMacro(m, p, dims, 4096, "")
+				for i := 0; i < 3; i++ {
+					if again := SelectMeshMacro(m, p, dims, 4096, ""); again != first {
+						t.Fatalf("mesh%dx%d dims=%v %s: selection changed: %+v vs %+v",
+							pq[0], pq[1], dims, p, first, again)
+					}
+				}
+				sched, err := MacroSchedule(m, p, dims, 4096, "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sched.Cost != first.Cost || sched.Choice() != first {
+					t.Fatalf("mesh%dx%d dims=%v %s: schedule %+v does not reprice to choice %+v",
+						pq[0], pq[1], dims, p, sched.Choice(), first)
+				}
+			}
+		}
+	}
+}
+
+// TestChoiceScopeString: scopes render into the summary grammar the
+// snapshots and /v1 responses carry.
+func TestChoiceScopeString(t *testing.T) {
+	cases := []struct {
+		ch   Choice
+		want string
+	}{
+		{Choice{Pattern: Broadcast, Algorithm: "bisection"}, "broadcast=bisection"},
+		{Choice{Pattern: Reduction, Algorithm: "binomial", Scope: "axis0"}, "reduction@axis0=binomial"},
+		{Choice{Pattern: Broadcast, Algorithm: "bisection+flat", Scope: "plane01"}, "broadcast@plane01=bisection+flat"},
+	}
+	for _, c := range cases {
+		if got := c.ch.String(); got != c.want {
+			t.Errorf("Choice.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestStaggeredGoldenSchedule: the exact two staggered phases of a
+// transpose-like pattern on a 2×2 mesh — even diagonals route
+// x-first, odd diagonals y-first.
+func TestStaggeredGoldenSchedule(t *testing.T) {
+	m := machine.DefaultMesh(2, 2)
+	msgs := []machine.Message{
+		{Src: m.Rank(0, 1), Dst: m.Rank(1, 0), Bytes: 100}, // diag 1 → y-first via (0,0)
+		{Src: m.Rank(1, 0), Dst: m.Rank(0, 1), Bytes: 100}, // diag 1 → y-first via (1,1)
+		{Src: m.Rank(0, 0), Dst: m.Rank(1, 1), Bytes: 100}, // diag 0 → x-first via (1,0)
+	}
+	rounds := PermuteRounds(m, msgs, "staggered")
+	want := []Round{
+		{
+			{Src: m.Rank(0, 1), Dst: m.Rank(0, 0), Bytes: 100},
+			{Src: m.Rank(1, 0), Dst: m.Rank(1, 1), Bytes: 100},
+			{Src: m.Rank(0, 0), Dst: m.Rank(1, 0), Bytes: 100},
+		},
+		{
+			{Src: m.Rank(0, 0), Dst: m.Rank(1, 0), Bytes: 100},
+			{Src: m.Rank(1, 1), Dst: m.Rank(0, 1), Bytes: 100},
+			{Src: m.Rank(1, 0), Dst: m.Rank(1, 1), Bytes: 100},
+		},
+	}
+	if !reflect.DeepEqual(rounds, want) {
+		t.Fatalf("staggered golden schedule mismatch:\n got  %v\n want %v", rounds, want)
+	}
+}
+
+// TestStaggeredSelectable: the permute selector knows the staggered
+// algorithm, forcing it pins the choice, and free selection never
+// exceeds it.
+func TestStaggeredSelectable(t *testing.T) {
+	if !KnownAlgorithm("staggered") {
+		t.Fatal("staggered not in the algorithm registry")
+	}
+	m := machine.DefaultMesh(8, 8)
+	var msgs []machine.Message
+	for x := 0; x < m.P; x++ {
+		for y := 0; y < m.Q; y++ {
+			msgs = append(msgs, machine.Message{Src: m.Rank(x, y), Dst: m.Rank(y, x), Bytes: 256})
+		}
+	}
+	forced := SelectPermute(m, msgs, "staggered")
+	if forced.Algorithm != "staggered" {
+		t.Fatalf("forced staggered, got %s", forced.Algorithm)
+	}
+	if free := SelectPermute(m, msgs, ""); free.Cost > forced.Cost {
+		t.Errorf("free selection %s at %.1f > staggered %.1f", free.Algorithm, free.Cost, forced.Cost)
+	}
+}

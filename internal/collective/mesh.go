@@ -90,7 +90,7 @@ func dimLines(m *machine.Mesh2D, dim int) [][]int {
 // broadcast or reduction on the mesh. Unknown names and the Shift
 // pattern (see SelectPermute) return an error.
 func ScheduleMesh(m *machine.Mesh2D, p Pattern, root int, bytes int64, algo string) (*Schedule, error) {
-	return scheduleLines(m, p, totalLine(m, root), bytes, algo, true)
+	return scheduleLines(m, p, totalLine(m, root), bytes, algo, "")
 }
 
 // ScheduleMeshDim builds the named algorithm's schedule for a partial
@@ -99,10 +99,16 @@ func ScheduleMeshDim(m *machine.Mesh2D, p Pattern, dim int, bytes int64, algo st
 	if dim != 0 && dim != 1 {
 		return nil, fmt.Errorf("collective: mesh dimension %d out of range", dim)
 	}
-	return scheduleLines(m, p, dimLines(m, dim), bytes, algo, false)
+	return scheduleLines(m, p, dimLines(m, dim), bytes, algo, axisScope(dim))
 }
 
-func scheduleLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, algo string, total bool) (*Schedule, error) {
+// axisScope names the scope of a per-line collective along dim.
+func axisScope(dim int) string { return fmt.Sprintf("axis%d", dim) }
+
+// scheduleLines builds and prices the named algorithm's schedule over
+// a line set; scope "" marks a machine-spanning total collective
+// (the only place the total-only algorithms may run).
+func scheduleLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, algo, scope string) (*Schedule, error) {
 	if p != Broadcast && p != Reduction {
 		return nil, fmt.Errorf("collective: mesh schedules cover broadcast/reduction, not %s", p)
 	}
@@ -110,14 +116,14 @@ func scheduleLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, algo s
 		if a.name != algo {
 			continue
 		}
-		if a.totalOnly && !total {
+		if a.totalOnly && scope != "" {
 			return nil, fmt.Errorf("collective: %s applies only to total collectives", algo)
 		}
 		rounds := a.build(m, ls, bytes)
 		if p == Reduction {
 			rounds = reverseRounds(rounds)
 		}
-		return &Schedule{Algorithm: algo, Pattern: p, Rounds: rounds}, nil
+		return newSchedule(m, algo, p, scope, rounds), nil
 	}
 	return nil, fmt.Errorf("collective: unknown mesh algorithm %q (have %v)", algo, MeshAlgorithms())
 }
@@ -128,7 +134,7 @@ func scheduleLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, algo s
 // applicable mesh algorithm (or "") selects freely. Selection is
 // deterministic: equal costs resolve to the earlier registry entry.
 func SelectMesh(m *machine.Mesh2D, p Pattern, root int, bytes int64, force string) Choice {
-	return selectLines(m, p, totalLine(m, root), bytes, force, true)
+	return selectLines(m, p, totalLine(m, root), bytes, force, "")
 }
 
 // SelectMeshDim selects for a partial collective along mesh dimension
@@ -139,32 +145,34 @@ func SelectMeshDim(m *machine.Mesh2D, p Pattern, dim int, bytes int64, force str
 	if dim != 0 && dim != 1 {
 		return SelectMesh(m, p, 0, bytes, force)
 	}
-	return selectLines(m, p, dimLines(m, dim), bytes, force, false)
+	return selectLines(m, p, dimLines(m, dim), bytes, force, axisScope(dim))
 }
 
-func selectLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, force string, total bool) Choice {
+// selectLines builds every applicable algorithm's schedule for the
+// line set and returns the cheapest as a Choice; scope "" admits the
+// total-only algorithms.
+func selectLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, force, scope string) Choice {
 	best := Choice{Pattern: p, Cost: -1}
 	for _, a := range meshAlgos {
 		if force != "" && a.name != force {
 			continue
 		}
-		if a.totalOnly && !total {
+		if a.totalOnly && scope != "" {
 			continue
 		}
-		rounds := a.build(m, ls, bytes)
-		if p == Reduction {
-			rounds = reverseRounds(rounds)
+		sched, err := scheduleLines(m, p, ls, bytes, a.name, scope)
+		if err != nil {
+			continue
 		}
-		cost := MeshCost(m, rounds)
-		if best.Cost < 0 || cost < best.Cost {
-			best = Choice{Pattern: p, Algorithm: a.name, Cost: cost, Rounds: len(rounds)}
+		if ch := sched.Choice(); best.Cost < 0 || ch.Cost < best.Cost {
+			best = ch
 		}
 	}
 	if best.Cost < 0 {
 		// force named an algorithm that cannot run here (a permute or
 		// fat-tree name, or a total-only tree on a partial collective):
 		// fall back to free selection.
-		return selectLines(m, p, ls, bytes, "", total)
+		return selectLines(m, p, ls, bytes, "", scope)
 	}
 	return best
 }

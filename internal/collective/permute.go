@@ -8,8 +8,12 @@ import "repro/internal/machine"
 // lets the link-contention model serialize conflicts; "xy-phased"
 // store-and-forwards every message at its XY corner, so each phase's
 // traffic moves along a single dimension and long crossing paths
-// never collide mid-route.
-var permuteAlgos = []string{"direct", "xy-phased"}
+// never collide mid-route; "staggered" is the coloring variant for
+// high-contention affine phases: messages are 2-colored by source
+// diagonal and the colors route through opposite corners (x-first vs
+// y-first), so each phase splits its traffic across both dimensions
+// instead of funnelling everything through one corner set.
+var permuteAlgos = []string{"direct", "xy-phased", "staggered"}
 
 // PermuteAlgorithms lists the shift/translation algorithm names in
 // tie-breaking order.
@@ -30,6 +34,39 @@ func PermuteRounds(m *machine.Mesh2D, msgs []machine.Message, algo string) []Rou
 			_, sy := m.Coords(msg.Src)
 			dx, _ := m.Coords(msg.Dst)
 			corner := m.Rank(dx, sy)
+			if corner != msg.Src {
+				phase1 = append(phase1, machine.Message{Src: msg.Src, Dst: corner, Bytes: msg.Bytes})
+			}
+			if corner != msg.Dst {
+				phase2 = append(phase2, machine.Message{Src: corner, Dst: msg.Dst, Bytes: msg.Bytes})
+			}
+		}
+		var rounds []Round
+		if len(phase1) > 0 {
+			rounds = append(rounds, phase1)
+		}
+		if len(phase2) > 0 {
+			rounds = append(rounds, phase2)
+		}
+		return rounds
+	case "staggered":
+		// Checkerboard coloring: sources on even diagonals (x+y) route
+		// x-first through the (dx, sy) corner, odd diagonals y-first
+		// through the (sx, dy) corner. Both phases therefore carry a
+		// mix of x- and y-traffic from disjoint source sets, which is
+		// what breaks up the single-corner hot spots of xy-phased on
+		// dense affine patterns.
+		var phase1, phase2 Round
+		for _, msg := range msgs {
+			if msg.Src == msg.Dst {
+				continue
+			}
+			sx, sy := m.Coords(msg.Src)
+			dx, dy := m.Coords(msg.Dst)
+			corner := m.Rank(dx, sy) // x-first
+			if (sx+sy)%2 == 1 {
+				corner = m.Rank(sx, dy) // y-first
+			}
 			if corner != msg.Src {
 				phase1 = append(phase1, machine.Message{Src: msg.Src, Dst: corner, Bytes: msg.Bytes})
 			}

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenarios"
+)
+
+// benchMacroPlan is the hot planInfo shape: a p≥2 broadcast macro on
+// the square big mesh, the most schedule-construction-heavy selection.
+var benchMacroPlan = planInfo{class: core.MacroComm, macroDims: []int{0, 1}}
+
+func benchMacroScenario() *scenarios.Scenario {
+	return &scenarios.Scenario{
+		Machine:   scenarios.MachineSpec{Kind: scenarios.Mesh, P: 16, Q: 16},
+		N:         16,
+		ElemBytes: 64,
+	}
+}
+
+// BenchmarkCollectiveMemoCold measures the unmemoized selector path
+// the engine pays without a session cache: every iteration rebuilds
+// and reprices every candidate schedule.
+func BenchmarkCollectiveMemoCold(b *testing.B) {
+	sc := benchMacroScenario()
+	var cost float64
+	for i := 0; i < b.N; i++ {
+		cost, _ = meshPlanTime(sc, benchMacroPlan, nil)
+	}
+	b.ReportMetric(cost, "model-µs")
+}
+
+// BenchmarkCollectiveMemoWarm measures the memoized path of a
+// repeated suite: after the first selection, every iteration is one
+// memo lookup. Compare against BenchmarkCollectiveMemoCold — the gap
+// is what the session memo saves per macro-communication.
+func BenchmarkCollectiveMemoWarm(b *testing.B) {
+	sc := benchMacroScenario()
+	cache := NewCache(0)
+	meshPlanTime(sc, benchMacroPlan, cache) // populate
+	b.ResetTimer()
+	var cost float64
+	for i := 0; i < b.N; i++ {
+		cost, _ = meshPlanTime(sc, benchMacroPlan, cache)
+	}
+	b.ReportMetric(cost, "model-µs")
+}

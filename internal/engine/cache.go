@@ -17,7 +17,11 @@ import (
 //   - plan tier: the complete two-step heuristic result per distinct
 //     optimization problem (canonical program + target dimension +
 //     options), which subsumes the access-graph construction and its
-//     maximum branching.
+//     maximum branching;
+//   - selection tier: the collective selector's choice per distinct
+//     (machine, pattern, dims, bytes) key (see macroChoice in
+//     cost.go), so repeated suites stop rebuilding and repricing
+//     candidate schedules — the BenchmarkCollectiveSelect hot path.
 //
 // Every memoized computation is a pure function of its canonical
 // key, so a hit always returns exactly what recomputation would.
@@ -40,6 +44,7 @@ type Cache struct {
 	kernelDiskHits, kernelDiskMisses atomic.Uint64
 	planHits, planMisses             atomic.Uint64
 	diskHits, diskMisses             atomic.Uint64
+	selectHits, selectMisses         atomic.Uint64
 	evictions                        atomic.Uint64
 }
 
@@ -229,6 +234,10 @@ type CacheStats struct {
 	// DiskHits/DiskMisses count plan-tier memory misses that were
 	// served from / not found in the disk store (zero without one).
 	DiskHits, DiskMisses uint64
+	// SelectHits/SelectMisses count collective-selection memo lookups:
+	// a hit returns a previously selected (machine, pattern, dims,
+	// bytes) choice without rebuilding any schedule.
+	SelectHits, SelectMisses uint64
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions uint64
 	Entries   int
@@ -248,6 +257,8 @@ func (c *Cache) Stats() CacheStats {
 		PlanMisses:       c.planMisses.Load(),
 		DiskHits:         c.diskHits.Load(),
 		DiskMisses:       c.diskMisses.Load(),
+		SelectHits:       c.selectHits.Load(),
+		SelectMisses:     c.selectMisses.Load(),
 		Evictions:        c.evictions.Load(),
 		Entries:          c.Len(),
 	}

@@ -36,26 +36,32 @@ func macroScenario(p, q int, algo string) *scenarios.Scenario {
 	}
 }
 
+// macroDimCases are the macroDims shapes the cost model schedules
+// differently: total (nil), the two p=1 axes, and the p≥2 multi-axis
+// combinations (including the virtual axis 2 of m=3 grids, which has
+// no physical extent on the 2-D mesh).
+var macroDimCases = [][]int{nil, {0}, {1}, {0, 1}, {0, 2}, {1, 2}, {2}}
+
 // TestMeshMacroNeverWorseThanLegacy is the acceptance bound at the
-// engine level: on every default mesh spec, for total and axis
-// macro-communications, broadcast and reduction, the selected
-// collective never costs more than the old flat root-to-all.
+// engine level: on every default mesh spec, for total, axis and
+// per-plane macro-communications, broadcast and reduction, the
+// selected collective never costs more than the old flat root-to-all.
 func TestMeshMacroNeverWorseThanLegacy(t *testing.T) {
 	for _, pq := range meshSpecs {
 		m := machine.DefaultMesh(pq[0], pq[1])
 		for _, reduction := range []bool{false, true} {
 			legacy := legacyMeshCollectiveTime(m, 16*64, reduction)
-			for _, dim := range []int{-1, 0, 1} {
+			for _, dims := range macroDimCases {
 				sc := macroScenario(pq[0], pq[1], "")
 				cost, choices := meshPlanTime(sc, planInfo{
-					class: core.MacroComm, macroReduction: reduction, macroDim: dim,
-				})
+					class: core.MacroComm, macroReduction: reduction, macroDims: dims,
+				}, nil)
 				if cost > legacy {
-					t.Errorf("mesh%dx%d dim=%d red=%v: collective cost %.0f > legacy flat %.0f",
-						pq[0], pq[1], dim, reduction, cost, legacy)
+					t.Errorf("mesh%dx%d dims=%v red=%v: collective cost %.0f > legacy flat %.0f",
+						pq[0], pq[1], dims, reduction, cost, legacy)
 				}
 				if len(choices) != 1 || choices[0].Algorithm == "" {
-					t.Errorf("mesh%dx%d dim=%d: macro plan recorded choices %v", pq[0], pq[1], dim, choices)
+					t.Errorf("mesh%dx%d dims=%v: macro plan recorded choices %v", pq[0], pq[1], dims, choices)
 				}
 			}
 		}
@@ -70,8 +76,8 @@ func TestMeshMacroForcedFlatMatchesLegacy(t *testing.T) {
 		for _, reduction := range []bool{false, true} {
 			sc := macroScenario(pq[0], pq[1], "flat")
 			cost, choices := meshPlanTime(sc, planInfo{
-				class: core.MacroComm, macroReduction: reduction, macroDim: -1,
-			})
+				class: core.MacroComm, macroReduction: reduction, macroDims: nil,
+			}, nil)
 			if want := legacyMeshCollectiveTime(m, 16*64, reduction); cost != want {
 				t.Errorf("mesh%dx%d red=%v: forced flat %.2f ≠ legacy %.2f", pq[0], pq[1], reduction, cost, want)
 			}
@@ -82,16 +88,81 @@ func TestMeshMacroForcedFlatMatchesLegacy(t *testing.T) {
 	}
 }
 
-// TestMeshMacroTopologyAware: an axis-parallel macro-communication
-// prices differently on transposed mesh shapes — the tree follows the
-// topology.
+// TestMeshMacroTopologyAware: axis-parallel and per-plane
+// macro-communications price differently on transposed mesh shapes —
+// the schedule follows the topology. The p≥2 divergence is the
+// acceptance case of the per-plane refactor: a {0,1} macro on a tall
+// 64×2 mesh runs a long phase and 64 short ones, its 2×64 transpose
+// the opposite.
 func TestMeshMacroTopologyAware(t *testing.T) {
-	for dim := 0; dim <= 1; dim++ {
-		tall, _ := meshPlanTime(macroScenario(64, 2, ""), planInfo{class: core.MacroComm, macroDim: dim})
-		flat, _ := meshPlanTime(macroScenario(2, 64, ""), planInfo{class: core.MacroComm, macroDim: dim})
+	for _, dims := range [][]int{{0}, {1}, {0, 2}, {1, 2}} {
+		tall, _ := meshPlanTime(macroScenario(64, 2, ""), planInfo{class: core.MacroComm, macroDims: dims}, nil)
+		flat, _ := meshPlanTime(macroScenario(2, 64, ""), planInfo{class: core.MacroComm, macroDims: dims}, nil)
 		if tall == flat {
-			t.Errorf("dim %d: mesh64x2 and mesh2x64 macro broadcasts cost identically (%.1f µs)", dim, tall)
+			t.Errorf("dims %v: mesh64x2 and mesh2x64 macro broadcasts cost identically (%.1f µs)", dims, tall)
 		}
+	}
+	// A {0,1} macro spans the whole plane, and the per-plane selector
+	// tries both phase orders — so transposing the mesh transposes the
+	// winning schedule and the costs coincide exactly. That symmetry is
+	// the correct physics (the machines are transposes); pin it so a
+	// regression in either phase order shows up.
+	tall, _ := meshPlanTime(macroScenario(64, 2, ""), planInfo{class: core.MacroComm, macroDims: []int{0, 1}}, nil)
+	flat, _ := meshPlanTime(macroScenario(2, 64, ""), planInfo{class: core.MacroComm, macroDims: []int{0, 1}}, nil)
+	if tall != flat {
+		t.Errorf("dims [0 1]: transposed meshes with both phase orders should price identically (%.1f vs %.1f µs)", tall, flat)
+	}
+}
+
+// TestMeshMacroPerPlaneBound: for every default mesh spec, payload
+// and pattern, a p≥2 macro under per-plane scheduling costs at most
+// its machine-spanning total-collective execution (the acceptance
+// criterion of the per-plane refactor — totals stay in the candidate
+// pool, so the bound holds by construction and this test pins it).
+func TestMeshMacroPerPlaneBound(t *testing.T) {
+	for _, pq := range meshSpecs {
+		for _, reduction := range []bool{false, true} {
+			for _, n := range []int{4, 16, 64} {
+				for _, dims := range [][]int{{0, 1}, {0, 2}, {1, 2}} {
+					sc := macroScenario(pq[0], pq[1], "")
+					sc.N = n
+					pi := planInfo{class: core.MacroComm, macroReduction: reduction}
+					pi.macroDims = dims
+					plane, _ := meshPlanTime(sc, pi, nil)
+					pi.macroDims = nil
+					total, _ := meshPlanTime(sc, pi, nil)
+					if plane > total {
+						t.Errorf("mesh%dx%d dims=%v red=%v n=%d: per-plane %.2f > total %.2f",
+							pq[0], pq[1], dims, reduction, n, plane, total)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMacroChoiceMemoDeterminism: memoized selection is byte-identical
+// to cold selection for every scheduling mode, and repeated lookups
+// hit the memo.
+func TestMacroChoiceMemoDeterminism(t *testing.T) {
+	cache := NewCache(0)
+	for _, pq := range meshSpecs {
+		for _, dims := range macroDimCases {
+			sc := macroScenario(pq[0], pq[1], "")
+			pi := planInfo{class: core.MacroComm, macroDims: dims}
+			coldCost, coldCh := meshPlanTime(sc, pi, nil)
+			for i := 0; i < 3; i++ {
+				warmCost, warmCh := meshPlanTime(sc, pi, cache)
+				if warmCost != coldCost || len(warmCh) != 1 || warmCh[0] != coldCh[0] {
+					t.Fatalf("mesh%dx%d dims=%v: memoized selection %v (%.2f) ≠ cold %v (%.2f)",
+						pq[0], pq[1], dims, warmCh, warmCost, coldCh, coldCost)
+				}
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.SelectMisses == 0 || st.SelectHits < 2*st.SelectMisses {
+		t.Errorf("memo counters off: %d hits, %d misses", st.SelectHits, st.SelectMisses)
 	}
 }
 

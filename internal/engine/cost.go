@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/intmat"
@@ -27,30 +30,76 @@ import (
 // Mesh (Paragon-like): plans with a concrete 2×2 data-flow matrix are
 // simulated message-by-message on the N×N virtual grid under the
 // scenario's distribution; each decomposed phase's aggregated pattern
-// is executed by the cheapest permute algorithm (direct, or XY
-// corner-phased). Macro-communications are scheduled as software
-// collectives: the selector evaluates every tree algorithm
+// is executed by the cheapest permute algorithm (direct, XY
+// corner-phased, or staggered). Macro-communications are built
+// exclusively through the collective package's priced Schedule
+// abstraction: the selector evaluates every tree algorithm
 // (bisection, binomial, dim-tree, pipelined chain,
 // scatter-allgather) against the flat root-to-all baseline on the
 // concrete mesh instance and takes the cheapest; an axis-parallel
 // p=1 macro-communication runs along its grid dimension (concurrent
-// per-line trees), a total one spans the machine. A general plan
-// whose data-flow matrix is unknown is costed with the transpose
-// permutation [[0,1],[1,0]] as a deterministic stand-in pattern.
+// per-line trees), a p ≥ 2 one decomposes into per-plane two-phase
+// schedules that compete with the machine-spanning execution (so it
+// never prices above the old total collective), and a total one
+// spans the machine. A general plan whose data-flow matrix is
+// unknown is costed with the transpose permutation [[0,1],[1,0]] as
+// a deterministic stand-in pattern.
+//
+// Collective selections are memoized in the session cache per
+// (machine, pattern, dims, bytes) — see macroChoice — so repeated
+// suites pay the schedule construction once per distinct key.
 //
 // The scenario's MachineSpec may pin the selection to one named
 // algorithm (the "mesh8x8:flat" spec grammar) for ablations.
-func planTime(sc *scenarios.Scenario, pl planInfo) (float64, []collective.Choice) {
+func planTime(sc *scenarios.Scenario, pl planInfo, cache *Cache) (float64, []collective.Choice) {
 	if pl.class == core.Local {
 		return 0, nil
 	}
 	if sc.Machine.Kind == scenarios.Mesh {
-		return meshPlanTime(sc, pl)
+		return meshPlanTime(sc, pl, cache)
 	}
-	return fatTreePlanTime(sc, pl)
+	return fatTreePlanTime(sc, pl, cache)
 }
 
-func fatTreePlanTime(sc *scenarios.Scenario, pl planInfo) (float64, []collective.Choice) {
+// selKey is the selection-memo identity of one collective choice: the
+// machine spec (including any pinned algorithm), the pattern, the
+// macro's grid axes and the payload. Everything the selector reads is
+// in the key, so a memo hit returns exactly what cold selection would.
+func selKey(spec scenarios.MachineSpec, p collective.Pattern, dims []int, bytes int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sel:%s|%s|", spec, p)
+	for i, d := range dims {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	fmt.Fprintf(&b, "|%d", bytes)
+	return b.String()
+}
+
+// macroChoice runs the collective selector for a macro-communication,
+// memoized in the session cache per (machine, pattern, dims, bytes).
+// Selection is a pure function of the key, so memoized and cold
+// selections are byte-identical; with a nil cache it always selects
+// cold (the -no-cache ablation).
+func macroChoice(cache *Cache, spec scenarios.MachineSpec, p collective.Pattern, dims []int, bytes int64,
+	sel func() collective.Choice) collective.Choice {
+	if cache == nil {
+		return sel()
+	}
+	key := selKey(spec, p, dims, bytes)
+	if v, ok := cache.lookup(key); ok {
+		cache.selectHits.Add(1)
+		return v.(collective.Choice)
+	}
+	cache.selectMisses.Add(1)
+	ch := sel()
+	cache.store(key, ch)
+	return ch
+}
+
+func fatTreePlanTime(sc *scenarios.Scenario, pl planInfo, cache *Cache) (float64, []collective.Choice) {
 	ft := machine.DefaultFatTree(sc.Machine.P)
 	n, eb := sc.N, sc.ElemBytes
 	switch pl.class {
@@ -59,11 +108,16 @@ func fatTreePlanTime(sc *scenarios.Scenario, pl planInfo) (float64, []collective
 		if pl.macroReduction {
 			pattern = collective.Reduction
 		}
+		select1 := func(bytes int64) collective.Choice {
+			return macroChoice(cache, sc.Machine, pattern, nil, bytes, func() collective.Choice {
+				return collective.SelectFatTree(ft, pattern, bytes, sc.Machine.Algo)
+			})
+		}
 		if pl.vectorizable {
-			ch := collective.SelectFatTree(ft, pattern, eb*int64(n), sc.Machine.Algo)
+			ch := select1(eb * int64(n))
 			return ch.Cost, []collective.Choice{ch}
 		}
-		ch := collective.SelectFatTree(ft, pattern, eb, sc.Machine.Algo)
+		ch := select1(eb)
 		return float64(n) * ch.Cost, []collective.Choice{ch}
 	case core.Decomposed:
 		k := len(pl.factors)
@@ -87,7 +141,23 @@ func fatTreePlanTime(sc *scenarios.Scenario, pl planInfo) (float64, []collective
 // plan has no usable 2×2 data-flow matrix.
 var standInGeneral = intmat.New(2, 2, 0, 1, 1, 0)
 
-func meshPlanTime(sc *scenarios.Scenario, pl planInfo) (float64, []collective.Choice) {
+// physMacroDims projects a macro's virtual grid axes onto the 2-D
+// mesh: axes ≥ 2 have no physical extent in the mesh model and are
+// dropped. A one-axis (p=1) macro keeps PR 4's pure per-line
+// scheduling; multi-axis (p ≥ 2) macros go per-plane — but if every
+// axis projects away, nothing pins the macro to a sub-grid and it is
+// scheduled machine-spanning (nil), as before.
+func physMacroDims(vdims []int) []int {
+	var dims []int
+	for _, d := range vdims {
+		if d == 0 || d == 1 {
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}
+
+func meshPlanTime(sc *scenarios.Scenario, pl planInfo, cache *Cache) (float64, []collective.Choice) {
 	m := machine.DefaultMesh(sc.Machine.P, sc.Machine.Q)
 	n, eb := sc.N, sc.ElemBytes
 	force := sc.Machine.Algo
@@ -98,11 +168,28 @@ func meshPlanTime(sc *scenarios.Scenario, pl planInfo) (float64, []collective.Ch
 			pattern = collective.Reduction
 		}
 		bytes := eb * int64(n)
+		dims := physMacroDims(pl.macroDims)
 		var ch collective.Choice
-		if pl.macroDim >= 0 && pl.macroDim < 2 {
-			ch = collective.SelectMeshDim(m, pattern, pl.macroDim, bytes, force)
-		} else {
-			ch = collective.SelectMesh(m, pattern, 0, bytes, force)
+		switch {
+		case len(pl.macroDims) == 1 && len(dims) == 1:
+			// p=1 axis macro: concurrent per-line trees along its axis.
+			// The memo is keyed by the virtual axes, which determine the
+			// scheduling mode (a p=1 axis-0 macro and a p≥2 {0,2} macro
+			// both project to physical axis 0 but select differently).
+			ch = macroChoice(cache, sc.Machine, pattern, pl.macroDims, bytes, func() collective.Choice {
+				return collective.SelectMeshDim(m, pattern, dims[0], bytes, force)
+			})
+		case len(pl.macroDims) >= 2 && len(dims) >= 1:
+			// p≥2 macro: per-plane (or per-line, if only one axis is
+			// physical) scheduling competing with the machine-spanning
+			// execution.
+			ch = macroChoice(cache, sc.Machine, pattern, pl.macroDims, bytes, func() collective.Choice {
+				return collective.SelectMeshMacro(m, pattern, dims, bytes, force)
+			})
+		default:
+			ch = macroChoice(cache, sc.Machine, pattern, nil, bytes, func() collective.Choice {
+				return collective.SelectMesh(m, pattern, 0, bytes, force)
+			})
 		}
 		return ch.Cost, []collective.Choice{ch}
 	case core.Decomposed:

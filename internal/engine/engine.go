@@ -308,7 +308,7 @@ func runOne(sc *scenarios.Scenario, cache *Cache, store PlanStore) Result {
 		if pl.vectorizable {
 			out.Vectorizable++
 		}
-		t, choices := planTime(sc, pl)
+		t, choices := planTime(sc, pl, cache)
 		out.ModelTime += t
 		for _, ch := range choices {
 			counts[ch.String()]++
@@ -412,9 +412,10 @@ func (b *BatchResult) Report() string {
 	}
 	if b.Cache != (CacheStats{}) {
 		c := b.Cache
-		fmt.Fprintf(&s, "cache: plan %d/%d hits, kernel %d/%d hits, %d entries",
+		fmt.Fprintf(&s, "cache: plan %d/%d hits, kernel %d/%d hits, select %d/%d hits, %d entries",
 			c.PlanHits, c.PlanHits+c.PlanMisses,
-			c.KernelHits, c.KernelHits+c.KernelMisses, c.Entries)
+			c.KernelHits, c.KernelHits+c.KernelMisses,
+			c.SelectHits, c.SelectHits+c.SelectMisses, c.Entries)
 		if c.Evictions > 0 {
 			fmt.Fprintf(&s, ", %d evicted", c.Evictions)
 		}

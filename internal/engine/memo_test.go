@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+// bigSweepConfig is the generating configuration of the published
+// big-sweep baseline (baselines/big-sweep.json): the m=3 suite whose
+// deep nests produce the p≥2 macro-communications the per-plane
+// scheduler refines.
+var bigSweepConfig = scenarios.Config{Seed: 42, Random: 6, Deep: 4, Skew: true, BigMeshes: true, M: 3}
+
+// TestMemoDeterminismBigSweep: re-running the full big-sweep suite in
+// one session serves collective selections from the memo, and the
+// memoized results are byte-identical to both the first (cold) run
+// and a run with the cache — and therefore the memo — disabled.
+func TestMemoDeterminismBigSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full big-sweep re-run")
+	}
+	suite := scenarios.Generate(bigSweepConfig)
+	s := NewSession(Options{Workers: 4})
+	cold, err := s.Run(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterCold := s.CacheStats()
+	warm, err := s.Run(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterWarm := s.CacheStats()
+	s.Close()
+
+	if !reflect.DeepEqual(cold.Results, warm.Results) {
+		for i := range cold.Results {
+			if !reflect.DeepEqual(cold.Results[i], warm.Results[i]) {
+				t.Fatalf("scenario %d (%s):\n cold %+v\n warm %+v", i, suite[i].Name, cold.Results[i], warm.Results[i])
+			}
+		}
+		t.Fatal("results differ")
+	}
+	if afterCold.SelectMisses == 0 {
+		t.Error("cold run recorded no selection-memo misses")
+	}
+	if hits := afterWarm.SelectHits - afterCold.SelectHits; hits == 0 {
+		t.Error("warm re-run recorded no selection-memo hits")
+	}
+	if misses := afterWarm.SelectMisses - afterCold.SelectMisses; misses != 0 {
+		t.Errorf("warm re-run recorded %d selection-memo misses, want 0", misses)
+	}
+
+	uncached := Run(suite, Options{Workers: 4, DisableCache: true})
+	if !reflect.DeepEqual(cold.Results, uncached.Results) {
+		for i := range cold.Results {
+			if !reflect.DeepEqual(cold.Results[i], uncached.Results[i]) {
+				t.Fatalf("scenario %d (%s):\n memoized %+v\n unmemoized %+v", i, suite[i].Name, cold.Results[i], uncached.Results[i])
+			}
+		}
+		t.Fatal("results differ")
+	}
+}
+
+// TestBigSweepPerPlaneMacros: the big-sweep suite actually exercises
+// the per-plane path — at least one scenario records a plane- or
+// axis-scoped macro choice — and totals aggregate in the report.
+func TestBigSweepPerPlaneMacros(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full big-sweep run")
+	}
+	suite := scenarios.Generate(bigSweepConfig)
+	b := Run(suite, Options{Workers: 4})
+	scoped := 0
+	for _, r := range b.Results {
+		if r.Err != "" {
+			continue
+		}
+		if strings.Contains(r.Collectives, "@plane") || strings.Contains(r.Collectives, "@axis") {
+			scoped++
+		}
+	}
+	if scoped == 0 {
+		t.Error("no big-sweep scenario recorded a per-plane or per-line macro choice")
+	}
+}

@@ -15,12 +15,15 @@ type PlanRecord struct {
 	Class          int  `json:"class"`
 	Vectorizable   bool `json:"vec,omitempty"`
 	MacroReduction bool `json:"red,omitempty"`
-	// MacroDim is the grid axis of a partial (p=1) axis-parallel
-	// macro-communication, or −1 for total/non-axis ones; the mesh
-	// collective selector schedules axis macros along their dimension.
-	MacroDim int          `json:"mdim,omitempty"`
-	Factors  []intmat.Rec `json:"factors,omitempty"`
-	Dataflow *intmat.Rec  `json:"dataflow,omitempty"`
+	// MacroDims lists the virtual grid axes a partial axis-parallel
+	// macro-communication spans (sorted; one axis for p=1, several for
+	// p ≥ 2), or is empty for total/hidden/non-axis macros. The mesh
+	// collective selector schedules one-axis macros along their lines
+	// and multi-axis ones per plane (store layout v3; v2 recorded a
+	// single MacroDim).
+	MacroDims []int        `json:"mdims,omitempty"`
+	Factors   []intmat.Rec `json:"factors,omitempty"`
+	Dataflow  *intmat.Rec  `json:"dataflow,omitempty"`
 }
 
 // PlanStore is the disk tier consulted between the in-memory memo
@@ -52,11 +55,12 @@ type planInfo struct {
 	class          core.Class
 	vectorizable   bool
 	macroReduction bool
-	// macroDim: ≥0 names the grid axis of a partial axis-parallel
-	// macro-communication; −1 means total (or no macro).
-	macroDim int
-	factors  []*intmat.Mat
-	dataflow *intmat.Mat
+	// macroDims: the virtual grid axes of a partial axis-parallel
+	// macro-communication (nil means total, hidden or non-axis — a
+	// machine-spanning collective).
+	macroDims []int
+	factors   []*intmat.Mat
+	dataflow  *intmat.Mat
 }
 
 // planEntry is the plan-tier cache value: the cost-relevant plan
@@ -80,7 +84,7 @@ func optimize(sc *scenarios.Scenario) planEntry {
 			class:          pl.Class,
 			vectorizable:   pl.Vectorizable,
 			macroReduction: pl.Macro != nil && pl.Macro.Kind == macro.Reduction,
-			macroDim:       macroDim(pl.Macro),
+			macroDims:      macroDims(pl.Macro),
 			factors:        pl.Factors,
 			dataflow:       pl.Dataflow,
 		})
@@ -88,23 +92,25 @@ func optimize(sc *scenarios.Scenario) planEntry {
 	return ent
 }
 
-// macroDim extracts the grid axis of a partial (p=1) axis-parallel
-// macro-communication: the one non-zero row of its direction matrix.
-// Total, hidden and non-axis macros report −1 (machine-spanning
-// scheduling).
-func macroDim(mc *macro.Macro) int {
-	if mc == nil || mc.P != 1 || !mc.AxisParallel() {
-		return -1
+// macroDims extracts the grid axes of a partial axis-parallel
+// macro-communication: the non-zero rows of its direction matrix, in
+// row order (sorted by construction). Total, hidden and non-axis
+// macros report nil (machine-spanning scheduling).
+func macroDims(mc *macro.Macro) []int {
+	if mc == nil || !mc.Partial() || !mc.AxisParallel() {
+		return nil
 	}
 	d := mc.Directions
+	var dims []int
 	for i := 0; i < d.Rows(); i++ {
 		for j := 0; j < d.Cols(); j++ {
 			if d.At(i, j) != 0 {
-				return i
+				dims = append(dims, i)
+				break
 			}
 		}
 	}
-	return -1
+	return dims
 }
 
 // toRecords serializes a plan entry for the disk tier.
@@ -115,7 +121,7 @@ func toRecords(ent planEntry) ([]PlanRecord, string) {
 			Class:          int(p.class),
 			Vectorizable:   p.vectorizable,
 			MacroReduction: p.macroReduction,
-			MacroDim:       p.macroDim,
+			MacroDims:      p.macroDims,
 		}
 		for _, f := range p.factors {
 			r.Factors = append(r.Factors, f.Rec())
@@ -142,7 +148,7 @@ func fromRecords(recs []PlanRecord, errMsg string) (planEntry, error) {
 			class:          core.Class(r.Class),
 			vectorizable:   r.Vectorizable,
 			macroReduction: r.MacroReduction,
-			macroDim:       r.MacroDim,
+			macroDims:      r.MacroDims,
 		}
 		for _, fr := range r.Factors {
 			f, err := intmat.FromRec(fr)

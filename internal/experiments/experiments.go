@@ -246,7 +246,7 @@ func FormatExample5(r Example5Result, nSteps int) string {
 type CollectiveRow struct {
 	Machine   string
 	Pattern   string // "broadcast" or "reduction"
-	Scope     string // "total" or "axis0"/"axis1"
+	Scope     string // "total", "axis0"/"axis1", or "plane" (p≥2 macros)
 	Bytes     int64
 	Algorithm string
 	Time      float64 // model µs of the selected schedule
@@ -256,25 +256,34 @@ type CollectiveRow struct {
 
 // CollectiveSelection evaluates the collective selector on every
 // default mesh shape (square, skewed and the big tall/flat meshes)
-// for total and axis-parallel broadcasts and reductions: the
-// "how expensive is the residue really" experiment behind the
-// engine's macro-communication pricing.
+// for total, axis-parallel and per-plane broadcasts and reductions:
+// the "how expensive is the residue really" experiment behind the
+// engine's macro-communication pricing. The "plane" scope is the
+// p ≥ 2 macro ablation — its flat baseline is the machine-spanning
+// root-to-all those macros used to be priced as, so the speedup
+// column is exactly what per-plane scheduling recovered.
 func CollectiveSelection(bytes int64) []CollectiveRow {
 	meshes := [][2]int{{4, 4}, {8, 8}, {2, 16}, {16, 2}, {64, 2}, {2, 64}, {16, 16}}
 	var rows []CollectiveRow
 	for _, pq := range meshes {
 		m := machine.DefaultMesh(pq[0], pq[1])
 		for _, pat := range []collective.Pattern{collective.Broadcast, collective.Reduction} {
-			for _, dim := range []int{-1, 0, 1} {
+			for _, dim := range []int{-1, 0, 1, 2} {
 				var ch, flat collective.Choice
-				scope := "total"
-				if dim >= 0 {
+				var scope string
+				switch dim {
+				case -1:
+					scope = "total"
+					ch = collective.SelectMesh(m, pat, 0, bytes, "")
+					flat = collective.SelectMesh(m, pat, 0, bytes, "flat")
+				case 2:
+					scope = "plane"
+					ch = collective.SelectMeshMacro(m, pat, []int{0, 1}, bytes, "")
+					flat = collective.SelectMesh(m, pat, 0, bytes, "flat")
+				default:
 					scope = fmt.Sprintf("axis%d", dim)
 					ch = collective.SelectMeshDim(m, pat, dim, bytes, "")
 					flat = collective.SelectMeshDim(m, pat, dim, bytes, "flat")
-				} else {
-					ch = collective.SelectMesh(m, pat, 0, bytes, "")
-					flat = collective.SelectMesh(m, pat, 0, bytes, "flat")
 				}
 				rows = append(rows, CollectiveRow{
 					Machine:   fmt.Sprintf("mesh%dx%d", pq[0], pq[1]),
@@ -298,10 +307,10 @@ func FormatCollectiveSelection(rows []CollectiveRow) string {
 	if len(rows) > 0 {
 		fmt.Fprintf(&b, "Collective selection (%d bytes payload): tree schedules vs flat root-to-all\n", rows[0].Bytes)
 	}
-	fmt.Fprintf(&b, "  %-10s %-9s %-6s %-18s %12s %12s %8s\n",
+	fmt.Fprintf(&b, "  %-10s %-9s %-6s %-24s %12s %12s %8s\n",
 		"machine", "pattern", "scope", "selected", "model µs", "flat µs", "speedup")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "  %-10s %-9s %-6s %-18s %12.0f %12.0f %7.1fx\n",
+		fmt.Fprintf(&b, "  %-10s %-9s %-6s %-24s %12.0f %12.0f %7.1fx\n",
 			r.Machine, r.Pattern, r.Scope, r.Algorithm, r.Time, r.FlatTime, r.Speedup)
 	}
 	return b.String()

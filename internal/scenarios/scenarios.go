@@ -36,8 +36,11 @@ const (
 // collective-algorithm selection on this machine to one named
 // algorithm (see internal/collective), the ablation knob of the
 // extended spec grammar: "mesh8x8:flat" prices every residual
-// macro-communication with the naive root-to-all loop,
-// "fattree32:binomial-sw" forbids the hardware combining network.
+// macro-communication with the flat root-to-all schedule at its
+// scope — machine-spanning for total macros (the seed cost model,
+// exactly), one root-to-all loop per line or per plane phase for
+// partial ones — and "fattree32:binomial-sw" forbids the hardware
+// combining network.
 type MachineSpec struct {
 	Kind MachineKind
 	P, Q int

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/store"
 )
 
 // DefaultJobsCap bounds retained finished jobs; running jobs are
@@ -17,13 +19,18 @@ import (
 const DefaultJobsCap = 64
 
 // jobManager owns the async batch jobs of one server: submission,
-// polling, cancellation, results, and bounded retention.
+// polling, cancellation, results, bounded retention, and — when the
+// daemon has a store — persistence. Finished jobs are written to the
+// store's jobs/ tier and reloaded at startup, so completed work
+// survives restarts; the ttl/keep retention policy of GET /v1/jobs
+// prunes both the in-memory map and the persisted tier.
 type jobManager struct {
 	mu    sync.Mutex
 	seq   int
 	jobs  map[string]*jobState
 	order []string // submission order, oldest first (for listing + eviction)
 	cap   int
+	store *store.Store // nil: memory only
 }
 
 // jobState is one job: the wire-visible Job plus the run machinery.
@@ -37,11 +44,69 @@ type jobState struct {
 	summary api.BatchSummaryBody
 }
 
-func newJobManager(capJobs int) *jobManager {
+func newJobManager(capJobs int, st *store.Store) *jobManager {
 	if capJobs <= 0 {
 		capJobs = DefaultJobsCap
 	}
-	return &jobManager{jobs: make(map[string]*jobState), cap: capJobs}
+	m := &jobManager{jobs: make(map[string]*jobState), cap: capJobs, store: st}
+	m.reload()
+	return m
+}
+
+// reload restores persisted finished jobs from the store, oldest
+// first, and advances the id sequence past them so new submissions
+// never collide with reloaded ids. Unreadable records are skipped
+// (the store logs them); reloading never fails the daemon.
+func (m *jobManager) reload() {
+	if m.store == nil {
+		return
+	}
+	ids, err := m.store.ListJobs()
+	if err != nil {
+		return
+	}
+	for _, id := range ids {
+		rec, err := m.store.LoadJob(id)
+		if err != nil || !rec.Job.Status.Finished() {
+			continue
+		}
+		js := &jobState{
+			job:     rec.Job,
+			cancel:  func() {}, // nothing to cancel: the run is long gone
+			lines:   rec.Results,
+			summary: rec.Summary,
+		}
+		m.jobs[id] = js
+		m.order = append(m.order, id)
+		var n int
+		if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+	m.evictLocked()
+}
+
+// persist writes a finished job through to the store (no-op without
+// one). The write happens under the manager lock, after re-checking
+// membership: a job becomes visibly Finished before it is persisted,
+// so a concurrent retention prune (or cap eviction) may have already
+// retired it — writing the file afterwards would resurrect a
+// deliberately deleted job at the next restart. Failures degrade to
+// memory-only retention; the store records a warning visible in
+// /v1/stats.
+func (m *jobManager) persist(js *jobState) {
+	if m.store == nil {
+		return
+	}
+	js.mu.Lock()
+	rec := store.JobRecord{Job: js.job, Results: js.lines, Summary: js.summary}
+	js.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[rec.Job.ID]; !ok {
+		return // retired while finishing: stay deleted
+	}
+	_ = m.store.SaveJob(&rec)
 }
 
 // create registers a queued job for spec over a suite of total
@@ -69,7 +134,9 @@ func (m *jobManager) create(spec api.BatchSpec, total int) (*jobState, context.C
 	return js, ctx
 }
 
-// evictLocked drops the oldest finished jobs beyond the cap.
+// evictLocked drops the oldest finished jobs beyond the cap, from
+// memory and from the persisted tier (the cap is the retention bound;
+// a job evicted here is gone, not merely cold).
 func (m *jobManager) evictLocked() {
 	if len(m.jobs) <= m.cap {
 		return
@@ -78,12 +145,69 @@ func (m *jobManager) evictLocked() {
 	for _, id := range m.order {
 		js := m.jobs[id]
 		if len(m.jobs) > m.cap && js.snapshot().Status.Finished() {
-			delete(m.jobs, id)
+			m.dropLocked(id)
 			continue
 		}
 		kept = append(kept, id)
 	}
 	m.order = kept
+}
+
+// dropLocked removes one job from the map and the persisted tier
+// (the caller maintains m.order).
+func (m *jobManager) dropLocked(id string) {
+	delete(m.jobs, id)
+	if m.store != nil {
+		_ = m.store.DeleteJob(id)
+	}
+}
+
+// prune applies the ttl/keep retention policy: finished jobs whose
+// completion is older than ttl are dropped (0: no age bound), then
+// all but the newest keep finished jobs are dropped (0: no count
+// bound). The two criteria run as separate passes in that order —
+// otherwise an expired job later in submission order would inflate
+// the finished count and push a non-expired older job over the count
+// bound. Queued and running jobs are never pruned. Dropping removes
+// the job from memory and from the persisted tier.
+func (m *jobManager) prune(ttl time.Duration, keep int, now time.Time) {
+	if ttl <= 0 && keep <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ttl > 0 {
+		kept := m.order[:0]
+		for _, id := range m.order {
+			job := m.jobs[id].snapshot()
+			if job.Status.Finished() && job.Finished != nil && now.Sub(*job.Finished) > ttl {
+				m.dropLocked(id)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		m.order = kept
+	}
+	if keep > 0 {
+		finished := 0
+		for _, id := range m.order {
+			if m.jobs[id].snapshot().Status.Finished() {
+				finished++
+			}
+		}
+		kept := m.order[:0]
+		for _, id := range m.order {
+			// m.order is oldest first, so dropping while more than keep
+			// finished jobs remain keeps exactly the newest keep.
+			if m.jobs[id].snapshot().Status.Finished() && finished > keep {
+				m.dropLocked(id)
+				finished--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		m.order = kept
+	}
 }
 
 func (m *jobManager) get(id string) (*jobState, bool) {
@@ -181,16 +305,19 @@ func (s *Server) runJob(ctx context.Context, js *jobState, rb *resolvedBatch) {
 	})
 
 	js.mu.Lock()
-	defer js.mu.Unlock()
 	done := time.Now().UTC()
 	js.job.Finished = &done
 	js.summary = sum
 	if runErr != nil {
 		js.job.Status = api.JobCancelled
 		js.job.Error = runErr.Error()
-		return
+	} else {
+		js.job.Status = api.JobDone
 	}
-	js.job.Status = api.JobDone
+	js.mu.Unlock()
+	// Persist the terminal state so the job survives a daemon restart
+	// (cancelled jobs too: their completed prefix is real work).
+	s.jobs.persist(js)
 }
 
 func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*jobState, bool) {
@@ -209,7 +336,33 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJobList lists jobs, most recent first. The optional ttl and
+// keep query parameters apply the retention policy before listing:
+// ?ttl=1h drops finished jobs that completed more than an hour ago,
+// ?keep=10 drops all but the 10 newest finished jobs. Both prune the
+// persisted tier too, so retention survives restarts; queued and
+// running jobs are never pruned.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var ttl time.Duration
+	var keep int
+	if v := q.Get("ttl"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad ttl %q (want a positive Go duration like 30m)", v))
+			return
+		}
+		ttl = d
+	}
+	if v := q.Get("keep"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad keep %q (want a non-negative integer)", v))
+			return
+		}
+		keep = n
+	}
+	s.jobs.prune(ttl, keep, time.Now().UTC())
 	writeJSON(w, http.StatusOK, api.JobList{Jobs: s.jobs.list()})
 }
 

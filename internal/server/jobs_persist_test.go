@@ -1,0 +1,223 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/store"
+)
+
+// waitJobFinished polls a job until it reaches a terminal state.
+func waitJobFinished(t *testing.T, ts *httptest.Server, id string) api.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body := get(t, ts, "/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d: %s", resp.StatusCode, body)
+		}
+		var job api.Job
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.Status.Finished() {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", id, job)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJobsSurviveRestart: a finished job persists into the store and
+// a fresh daemon over the same store serves it — listing, polling and
+// results are byte-identical to the run that produced it, and new
+// submissions never reuse a persisted id.
+func TestJobsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First daemon: run one job to completion.
+	srv1 := New(Options{Workers: 2, Store: st})
+	ts1 := httptest.NewServer(srv1.Handler())
+	spec := api.BatchSpec{Seed: 4, Random: 2, NoExamples: true}
+	resp, body := postJSON(t, ts1.Client(), ts1.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var job api.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	job = waitJobFinished(t, ts1, job.ID)
+	_, body = get(t, ts1, "/v1/jobs/"+job.ID+"/results")
+	var before api.JobResults
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	srv1.Close() // sessions serialize; close before starting the next daemon
+
+	// Second daemon over the same store: the job is still there.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Options{Workers: 2, Store: st2})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() { ts2.Close(); srv2.Close() }()
+
+	resp, body = get(t, ts2, "/v1/jobs")
+	var list api.JobList
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &list) != nil {
+		t.Fatalf("job list after restart: status %d body %s", resp.StatusCode, body)
+	}
+	found := false
+	for _, j := range list.Jobs {
+		if j.ID == job.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("job %s missing after restart: %+v", job.ID, list.Jobs)
+	}
+
+	resp, body = get(t, ts2, "/v1/jobs/"+job.ID+"/results")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results after restart: status %d: %s", resp.StatusCode, body)
+	}
+	var after api.JobResults
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Results) != len(before.Results) || after.Summary != before.Summary {
+		t.Errorf("results changed across restart:\n before %+v\n after  %+v", before.Summary, after.Summary)
+	}
+	for i := range before.Results {
+		if after.Results[i] != before.Results[i] {
+			t.Errorf("line %d changed across restart: %+v vs %+v", i, before.Results[i], after.Results[i])
+		}
+	}
+
+	// A new submission on the fresh daemon takes the next id, not the
+	// persisted one.
+	resp, body = postJSON(t, ts2.Client(), ts2.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit status %d: %s", resp.StatusCode, body)
+	}
+	var job2 api.Job
+	if err := json.Unmarshal(body, &job2); err != nil {
+		t.Fatal(err)
+	}
+	if job2.ID == job.ID {
+		t.Fatalf("restarted daemon reused persisted job id %s", job.ID)
+	}
+	waitJobFinished(t, ts2, job2.ID)
+}
+
+// TestJobListRetention: GET /v1/jobs honors the ttl and keep query
+// parameters — expired and over-count finished jobs disappear from
+// the listing, from memory and from the persisted tier; bad values
+// are typed 400s.
+func TestJobListRetention(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Options{Workers: 2, Store: st})
+
+	spec := api.BatchSpec{Seed: 4, Random: 1, NoExamples: true}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/jobs", spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+		}
+		var job api.Job
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+		waitJobFinished(t, ts, job.ID)
+		ids = append(ids, job.ID)
+	}
+
+	for _, bad := range []string{"/v1/jobs?ttl=banana", "/v1/jobs?keep=-1"} {
+		if resp, _ := get(t, ts, bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// keep=2 drops the oldest finished job everywhere.
+	resp, body := get(t, ts, "/v1/jobs?keep=2")
+	var list api.JobList
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &list) != nil {
+		t.Fatalf("keep listing: status %d body %s", resp.StatusCode, body)
+	}
+	if len(list.Jobs) != 2 {
+		t.Fatalf("keep=2 left %d jobs: %+v", len(list.Jobs), list.Jobs)
+	}
+	for _, j := range list.Jobs {
+		if j.ID == ids[0] {
+			t.Errorf("oldest job %s survived keep=2", ids[0])
+		}
+	}
+	if resp, _ := get(t, ts, "/v1/jobs/"+ids[0]); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pruned job still polls: status %d", resp.StatusCode)
+	}
+	if stored, err := st.ListJobs(); err != nil || len(stored) != 2 {
+		t.Errorf("persisted tier after keep=2: %v (err %v)", stored, err)
+	}
+
+	// A generous ttl keeps everything; a zero-duration-ago ttl is not
+	// expressible (ttl must be positive), so age out with a tiny ttl
+	// after the jobs' finish timestamps have passed.
+	if resp, _ := get(t, ts, "/v1/jobs?ttl=24h"); resp.StatusCode != http.StatusOK {
+		t.Errorf("ttl listing: status %d", resp.StatusCode)
+	}
+	time.Sleep(20 * time.Millisecond)
+	resp, body = get(t, ts, "/v1/jobs?ttl=1ms")
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &list) != nil {
+		t.Fatalf("ttl listing: status %d body %s", resp.StatusCode, body)
+	}
+	if len(list.Jobs) != 0 {
+		t.Errorf("ttl=1ms left %d jobs", len(list.Jobs))
+	}
+	if stored, err := st.ListJobs(); err != nil || len(stored) != 0 {
+		t.Errorf("persisted tier after ttl sweep: %v (err %v)", stored, err)
+	}
+	_ = srv
+}
+
+// TestPruneTTLBeforeKeep: the two retention criteria are separate
+// passes, ttl first — an expired job later in submission order must
+// not inflate the finished count and push a non-expired older job
+// over the count bound.
+func TestPruneTTLBeforeKeep(t *testing.T) {
+	now := time.Now().UTC()
+	recent := now.Add(-time.Minute)  // job A: submitted first, finished recently
+	stale := now.Add(-2 * time.Hour) // job B: submitted later, finished long ago
+	m := newJobManager(8, nil)
+	for _, j := range []struct {
+		id       string
+		finished time.Time
+	}{{"job-000001", recent}, {"job-000002", stale}} {
+		fin := j.finished
+		m.jobs[j.id] = &jobState{
+			job:    api.Job{ID: j.id, Status: api.JobDone, Finished: &fin},
+			cancel: func() {},
+		}
+		m.order = append(m.order, j.id)
+	}
+	m.prune(time.Hour, 1, now)
+	if len(m.order) != 1 || m.order[0] != "job-000001" {
+		t.Fatalf("prune(ttl=1h, keep=1) kept %v, want [job-000001]: the stale job must age out before the count bound applies", m.order)
+	}
+}

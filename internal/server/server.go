@@ -97,7 +97,7 @@ func New(opts Options) *Server {
 		store:    opts.Store,
 		mux:      http.NewServeMux(),
 		resolver: newSuiteResolver(suiteCacheCap),
-		jobs:     newJobManager(opts.JobsCap),
+		jobs:     newJobManager(opts.JobsCap, opts.Store),
 	}
 	if opts.RatePerSec > 0 {
 		keyFn, err := rateKeyFunc(opts.RateKey)
@@ -333,6 +333,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PlanMisses:       c.PlanMisses,
 			DiskHits:         c.DiskHits,
 			DiskMisses:       c.DiskMisses,
+			SelectHits:       c.SelectHits,
+			SelectMisses:     c.SelectMisses,
 			Evictions:        c.Evictions,
 			Entries:          c.Entries,
 		},

@@ -66,15 +66,21 @@ func (s *Store) GC(opts GCOptions) (GCResult, error) {
 			return res, err
 		}
 	}
-	// writeAtomic also stages temps under snapshots/; reclaim stale
-	// ones there too. Snapshots themselves are never collected.
-	if ents, err := os.ReadDir(filepath.Join(s.root, "snapshots")); err == nil {
+	// writeAtomic also stages temps under snapshots/ and jobs/;
+	// reclaim stale ones there too. Snapshots and jobs themselves are
+	// never collected here (jobs are retired by the server's ttl/keep
+	// retention policy instead).
+	for _, tier := range []string{"snapshots", "jobs"} {
+		ents, err := os.ReadDir(filepath.Join(s.root, tier))
+		if err != nil {
+			continue
+		}
 		for _, e := range ents {
 			if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
 				continue
 			}
 			if info, err := e.Info(); err == nil && now.Sub(info.ModTime()) > staleTempAge {
-				if s.gcRemove(filepath.Join(s.root, "snapshots", e.Name()), opts.DryRun) {
+				if s.gcRemove(filepath.Join(s.root, tier, e.Name()), opts.DryRun) {
 					res.RemovedTemp++
 				}
 			}

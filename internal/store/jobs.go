@@ -1,0 +1,115 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"repro/internal/api"
+)
+
+// JobRecord is the persisted form of one finished async batch job:
+// the wire-visible Job plus its per-scenario results and summary —
+// exactly the JSON shape GET /v1/jobs/{id}/results serves, so a
+// reloaded job answers that endpoint byte-identically to the run that
+// produced it.
+type JobRecord struct {
+	Job     api.Job              `json:"job"`
+	Results []api.BatchLine      `json:"results"`
+	Summary api.BatchSummaryBody `json:"summary"`
+}
+
+// jobID restricts persisted job ids to the server's job-%06d scheme
+// (and keeps arbitrary ids from escaping the jobs/ directory).
+var jobID = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+func (s *Store) jobPath(id string) (string, error) {
+	if !jobID.MatchString(id) {
+		return "", fmt.Errorf("store: bad job id %q", id)
+	}
+	return filepath.Join(s.root, "jobs", id+".json"), nil
+}
+
+// SaveJob persists a finished job under its id. Unfinished jobs are
+// rejected: a running job's results are still growing, and reloading
+// one after a restart would resurrect work no goroutine owns.
+func (s *Store) SaveJob(rec *JobRecord) error {
+	if !rec.Job.Status.Finished() {
+		return fmt.Errorf("store: job %s is %s; only finished jobs persist", rec.Job.ID, rec.Job.Status)
+	}
+	path, err := s.jobPath(rec.Job.ID)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := s.writeAtomic(path, append(data, '\n')); err != nil {
+		s.warnf("writing job %s: %v", path, err)
+		return err
+	}
+	return nil
+}
+
+// LoadJob loads one persisted job by id. Corrupt or unreadable
+// records are recorded as store warnings (visible in /v1/stats), like
+// the plan and kernel tiers; a missing file is a plain error.
+func (s *Store) LoadJob(id string) (*JobRecord, error) {
+	path, err := s.jobPath(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.warnf("skipping unreadable job file %s: %v", path, err)
+		}
+		return nil, err
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		s.warnf("skipping corrupt job file %s: %v", path, err)
+		return nil, fmt.Errorf("store: job %s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// ListJobs returns the persisted job ids, sorted (the server's
+// job-%06d scheme sorts oldest first).
+func (s *Store) ListJobs() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if n := e.Name(); filepath.Ext(n) == ".json" {
+			ids = append(ids, n[:len(n)-len(".json")])
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// DeleteJob removes a persisted job; deleting an absent job is a
+// no-op (retention sweeps race with restarts).
+func (s *Store) DeleteJob(id string) error {
+	path, err := s.jobPath(id)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		s.warnf("removing job %s: %v", path, err)
+		return err
+	}
+	return nil
+}

@@ -15,7 +15,11 @@
 //     nothing it has ever factored before;
 //   - batch-result snapshots (see Snapshot), under snapshots/, which
 //     Compare diffs scenario-by-scenario for cross-commit regression
-//     tracking.
+//     tracking;
+//   - finished async jobs (see JobRecord), under jobs/, in the same
+//     JSON shape the /v1/jobs results endpoint serves, so a daemon
+//     restart does not lose completed work — the server reloads them
+//     at startup and applies its ttl/keep retention policy.
 //
 // The store is safe for concurrent use; writes are atomic
 // (temp-file + rename). Bad data never panics: a corrupt, truncated
@@ -42,11 +46,12 @@ import (
 )
 
 // Version is the on-disk layout version; bumping it orphans (but does
-// not delete) artifacts written by older layouts. v2: plan records
-// carry the macro-communication axis (the collective cost model
-// schedules axis macros along their grid dimension), and the kernel
-// tier (Hermite forms, kernel bases) persists under kernels/.
-const Version = "v2"
+// not delete) artifacts written by older layouts. v3: plan records
+// carry the full set of macro-communication axes (the collective cost
+// model schedules one-axis macros per line and multi-axis ones per
+// plane; v2 recorded a single axis), and finished async jobs persist
+// under jobs/ so they survive daemon restarts.
+const Version = "v3"
 
 // Store is a disk-backed plan and snapshot store rooted at one
 // directory. It implements engine.PlanStore.
@@ -73,6 +78,7 @@ func Open(dir string) (*Store, error) {
 		filepath.Join(root, "plans"),
 		filepath.Join(root, "kernels"),
 		filepath.Join(root, "snapshots"),
+		filepath.Join(root, "jobs"),
 	} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)

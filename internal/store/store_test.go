@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/engine"
 	"repro/internal/intmat"
 	"repro/internal/scenarios"
@@ -360,5 +361,50 @@ func TestGCSweepsKernels(t *testing.T) {
 	}
 	if _, ok := s.GetKernel("k:c"); !ok {
 		t.Error("survivor kernel unreadable after gc")
+	}
+}
+
+// TestJobRoundTrip: the jobs tier persists finished jobs and refuses
+// unfinished ones and bad ids.
+func TestJobRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := time.Now().UTC().Truncate(time.Second)
+	rec := &JobRecord{
+		Job: api.Job{ID: "job-000007", Status: api.JobDone, Created: done, Finished: &done,
+			Progress: api.JobProgress{Done: 1, Total: 1}},
+		Results: []api.BatchLine{{Name: "x", ModelTimeUs: 42}},
+		Summary: api.BatchSummaryBody{Scenarios: 1, TotalModelTime: 42},
+	}
+	if err := s.SaveJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadJob("job-000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round trip:\n got  %+v\n want %+v", got, rec)
+	}
+	ids, err := s.ListJobs()
+	if err != nil || !reflect.DeepEqual(ids, []string{"job-000007"}) {
+		t.Fatalf("ListJobs = %v (err %v)", ids, err)
+	}
+	if err := s.SaveJob(&JobRecord{Job: api.Job{ID: "job-000008", Status: api.JobRunning}}); err == nil {
+		t.Error("running job accepted by SaveJob")
+	}
+	if err := s.SaveJob(&JobRecord{Job: api.Job{ID: "../escape", Status: api.JobDone}}); err == nil {
+		t.Error("path-escaping job id accepted")
+	}
+	if err := s.DeleteJob("job-000007"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteJob("job-000007"); err != nil {
+		t.Errorf("deleting an absent job should be a no-op, got %v", err)
+	}
+	if ids, _ := s.ListJobs(); len(ids) != 0 {
+		t.Errorf("jobs remain after delete: %v", ids)
 	}
 }
