@@ -13,12 +13,27 @@
 //	resoptd -rate 50 -rate-key api-key   # buckets per X-Api-Key header
 //	resoptd -rate 50 -rate-key forwarded # buckets per X-Forwarded-For hop
 //
+// The ops listener (-ops-addr, default off) serves the operational
+// endpoints away from API clients: GET /metrics (Prometheus text
+// format), GET /healthz, and GET /debug/pprof/*. The background
+// sweeper (-sweep-interval, default off) ages finished jobs and GCs
+// the store tiers on a ticker, without a client asking:
+//
+//	resoptd -store ./plans -ops-addr 127.0.0.1:9090 \
+//	        -sweep-interval 10m -job-ttl 24h -job-keep 500 \
+//	        -gc-age 168h -gc-keep 100000
+//
+//	curl -s localhost:9090/metrics
+//	curl -s localhost:9090/healthz
+//	go tool pprof localhost:9090/debug/pprof/heap
+//
 //	curl -s localhost:8080/v1/stats
 //	curl -s -X POST localhost:8080/v1/optimize -d '{"example":"matmul"}'
 //	curl -s -X POST localhost:8080/v1/batch -d '{"random":2,"no_examples":true}'
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"deep":50,"m":3}'
 //
-// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+// SIGINT/SIGTERM drain in-flight requests, stop the sweeper and exit
+// cleanly.
 package main
 
 import (
@@ -37,6 +52,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	opsAddr := flag.String("ops-addr", "", "ops listener address serving /metrics, /healthz and /debug/pprof (empty: disabled; bind it to localhost or an internal interface — it is not rate limited)")
 	storeDir := flag.String("store", "", "directory of the persistent plan store (empty: none)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0: GOMAXPROCS)")
 	cacheCap := flag.Int("cache-cap", 0, "in-memory cache entry cap (0: default, <0: unbounded)")
@@ -44,6 +60,11 @@ func main() {
 	burst := flag.Int("burst", 0, "per-client burst above -rate (0: twice the rate)")
 	rateKey := flag.String("rate-key", "ip", "rate-limiter client identity: ip | api-key (X-Api-Key header) | forwarded (first X-Forwarded-For hop); header modes trust the header — use behind a proxy that validates it")
 	jobsCap := flag.Int("jobs-cap", 0, "retained finished async jobs (0: default)")
+	sweepInterval := flag.Duration("sweep-interval", 0, "background sweeper tick period (0: disabled)")
+	jobTTL := flag.Duration("job-ttl", 0, "sweeper: retire finished jobs older than this (0: no age bound)")
+	jobKeep := flag.Int("job-keep", 0, "sweeper: keep at most this many finished jobs (0: no count bound)")
+	gcAge := flag.Duration("gc-age", 0, "sweeper: GC store files unused for longer than this (0: no age criterion)")
+	gcKeep := flag.Int("gc-keep", 0, "sweeper: GC store files beyond this many per tier, least recently used first (0: no count criterion)")
 	flag.Parse()
 	log.SetPrefix("resoptd: ")
 	log.SetFlags(0)
@@ -78,13 +99,47 @@ func main() {
 	}
 	srv := server.New(opts)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sweep := server.SweepOptions{
+		Interval: *sweepInterval,
+		JobTTL:   *jobTTL,
+		JobKeep:  *jobKeep,
+		GCAge:    *gcAge,
+		GCKeep:   *gcKeep,
+	}
+	switch {
+	case *sweepInterval < 0:
+		log.Fatalf("bad -sweep-interval %s (want a positive duration)", *sweepInterval)
+	case *sweepInterval > 0:
+		if *jobTTL == 0 && *jobKeep == 0 && *gcAge == 0 && *gcKeep == 0 {
+			log.Print("warning: -sweep-interval set but no -job-ttl/-job-keep/-gc-age/-gc-keep criteria; the sweeper will tick and do nothing")
+		}
+		if (*gcAge > 0 || *gcKeep > 0) && *storeDir == "" {
+			log.Print("warning: -gc-age/-gc-keep need -store; the sweeper will only prune jobs")
+		}
+		srv.StartSweeper(ctx, sweep)
+		log.Printf("sweeping every %s (job-ttl %s, job-keep %d, gc-age %s, gc-keep %d)",
+			*sweepInterval, *jobTTL, *jobKeep, *gcAge, *gcKeep)
+	default:
+		if *jobTTL != 0 || *jobKeep != 0 || *gcAge != 0 || *gcKeep != 0 {
+			log.Print("warning: -job-ttl/-job-keep/-gc-age/-gc-keep have no effect without -sweep-interval")
+		}
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("serving on %s", *addr)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	var ops *http.Server
+	if *opsAddr != "" {
+		ops = &http.Server{Addr: *opsAddr, Handler: srv.OpsHandler()}
+		go func() { errc <- ops.ListenAndServe() }()
+		log.Printf("ops (metrics, healthz, pprof) on %s", *opsAddr)
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatal(err)
@@ -93,6 +148,13 @@ func main() {
 	log.Print("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if ops != nil {
+		// The ops listener has no long-lived requests worth draining;
+		// a failed shutdown must not block the API drain below.
+		opsCtx, opsCancel := context.WithTimeout(shutdownCtx, 2*time.Second)
+		ops.Shutdown(opsCtx)
+		opsCancel()
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		// Handlers may still be mid-request and submitting work to the
 		// shared session; closing it now would race them. The process

@@ -296,6 +296,20 @@ type JobStats struct {
 	Cancelled int `json:"cancelled"`
 }
 
+// SweeperStats reports the daemon's background sweeper: how often it
+// has ticked and what it has retired. Present in StatsResponse only
+// when the daemon runs with a sweep interval (resoptd
+// -sweep-interval). The GC totals are store-wide — they include
+// sweeps triggered manually through the same store handle.
+type SweeperStats struct {
+	IntervalSeconds float64 `json:"interval_seconds"`
+	Runs            uint64  `json:"runs"`
+	JobsPruned      uint64  `json:"jobs_pruned"`
+	GCSweeps        uint64  `json:"gc_sweeps"`
+	GCRemoved       uint64  `json:"gc_removed"`
+	GCBytesFreed    int64   `json:"gc_bytes_freed"`
+}
+
 // StatsResponse is the GET /v1/stats body.
 type StatsResponse struct {
 	Version    string          `json:"api_version"`
@@ -305,4 +319,6 @@ type StatsResponse struct {
 	SuiteCache SuiteCacheStats `json:"suite_cache"`
 	Requests   RequestStats    `json:"requests"`
 	Jobs       JobStats        `json:"jobs"`
+	// Sweeper is present when the daemon runs its background sweeper.
+	Sweeper *SweeperStats `json:"sweeper,omitempty"`
 }

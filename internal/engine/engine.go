@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/intmat"
@@ -113,6 +114,11 @@ type Session struct {
 	workers int
 	tasks   chan task
 	wg      sync.WaitGroup
+
+	// Pool instrumentation (see PoolStats). busy and queued are
+	// instantaneous; the totals are cumulative over the session.
+	busy, queued                atomic.Int64
+	scenariosDone, scenarioErrs atomic.Uint64
 }
 
 type task struct {
@@ -158,10 +164,19 @@ func NewSession(opts Options) *Session {
 				// already dead, but one mid-optimization runs to
 				// completion (its plan stays cached for the retry).
 				if err := t.ctx.Err(); err != nil {
+					s.scenariosDone.Add(1)
+					s.scenarioErrs.Add(1)
 					t.reply <- indexedResult{t.idx, Result{Name: t.sc.Name, Err: err.Error()}}
 					continue
 				}
-				t.reply <- indexedResult{t.idx, runOne(t.sc, s.cache, s.store)}
+				s.busy.Add(1)
+				res := runOne(t.sc, s.cache, s.store)
+				s.busy.Add(-1)
+				s.scenariosDone.Add(1)
+				if res.Err != "" {
+					s.scenarioErrs.Add(1)
+				}
+				t.reply <- indexedResult{t.idx, res}
 			}
 		}()
 	}
@@ -184,6 +199,36 @@ func (s *Session) Workers() int { return s.workers }
 // cache is disabled).
 func (s *Session) CacheStats() CacheStats { return s.cache.Stats() }
 
+// PoolStats is an observability snapshot of the worker pool: the
+// instantaneous load (busy workers, tasks queued waiting for one) and
+// cumulative throughput over the session's lifetime.
+type PoolStats struct {
+	// Workers is the pool size; Busy of them are mid-optimization
+	// right now.
+	Workers, Busy int
+	// Queued counts submitted tasks not yet picked up by a worker
+	// (including the one currently in hand-off).
+	Queued int
+	// ScenariosDone counts tasks processed by workers, including
+	// scenarios refused because their context was already cancelled;
+	// ScenarioErrors counts results that carried a non-empty Err
+	// (refusals included). Done − Errors is successful throughput.
+	ScenariosDone, ScenarioErrors uint64
+}
+
+// PoolStats snapshots the pool instrumentation. The instantaneous
+// fields are racy by nature (read without stopping the pool) — fine
+// for the gauges they feed.
+func (s *Session) PoolStats() PoolStats {
+	return PoolStats{
+		Workers:        s.workers,
+		Busy:           int(s.busy.Load()),
+		Queued:         int(s.queued.Load()),
+		ScenariosDone:  s.scenariosDone.Load(),
+		ScenarioErrors: s.scenarioErrs.Load(),
+	}
+}
+
 // Optimize runs one scenario through the shared pool and cache
 // tiers. It returns ctx.Err() if the context dies before a worker
 // picks the scenario up; a cancellation after pickup is reported in
@@ -191,9 +236,12 @@ func (s *Session) CacheStats() CacheStats { return s.cache.Stats() }
 // boundary).
 func (s *Session) Optimize(ctx context.Context, sc *scenarios.Scenario) (Result, error) {
 	reply := make(chan indexedResult, 1)
+	s.queued.Add(1)
 	select {
 	case s.tasks <- task{ctx: ctx, sc: sc, reply: reply}:
+		s.queued.Add(-1)
 	case <-ctx.Done():
+		s.queued.Add(-1)
 		return Result{Name: sc.Name, Err: ctx.Err().Error()}, ctx.Err()
 	}
 	return (<-reply).res, nil
@@ -230,10 +278,13 @@ func (s *Session) RunStream(ctx context.Context, batch []scenarios.Scenario, emi
 		n := 0
 		defer func() { submitted <- n }()
 		for i := range batch {
+			s.queued.Add(1)
 			select {
 			case s.tasks <- task{ctx: ctx, sc: &batch[i], idx: i, reply: reply}:
+				s.queued.Add(-1)
 				n++
 			case <-ctx.Done():
+				s.queued.Add(-1)
 				return
 			}
 		}

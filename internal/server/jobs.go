@@ -162,18 +162,20 @@ func (m *jobManager) dropLocked(id string) {
 	}
 }
 
-// prune applies the ttl/keep retention policy: finished jobs whose
-// completion is older than ttl are dropped (0: no age bound), then
-// all but the newest keep finished jobs are dropped (0: no count
-// bound). The two criteria run as separate passes in that order —
-// otherwise an expired job later in submission order would inflate
-// the finished count and push a non-expired older job over the count
-// bound. Queued and running jobs are never pruned. Dropping removes
-// the job from memory and from the persisted tier.
-func (m *jobManager) prune(ttl time.Duration, keep int, now time.Time) {
+// prune applies the ttl/keep retention policy and returns how many
+// jobs it dropped: finished jobs whose completion is older than ttl
+// are dropped (0: no age bound), then all but the newest keep
+// finished jobs are dropped (0: no count bound). The two criteria run
+// as separate passes in that order — otherwise an expired job later
+// in submission order would inflate the finished count and push a
+// non-expired older job over the count bound. Queued and running jobs
+// are never pruned. Dropping removes the job from memory and from the
+// persisted tier.
+func (m *jobManager) prune(ttl time.Duration, keep int, now time.Time) int {
 	if ttl <= 0 && keep <= 0 {
-		return
+		return 0
 	}
+	dropped := 0
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if ttl > 0 {
@@ -182,6 +184,7 @@ func (m *jobManager) prune(ttl time.Duration, keep int, now time.Time) {
 			job := m.jobs[id].snapshot()
 			if job.Status.Finished() && job.Finished != nil && now.Sub(*job.Finished) > ttl {
 				m.dropLocked(id)
+				dropped++
 				continue
 			}
 			kept = append(kept, id)
@@ -201,6 +204,7 @@ func (m *jobManager) prune(ttl time.Duration, keep int, now time.Time) {
 			// finished jobs remain keeps exactly the newest keep.
 			if m.jobs[id].snapshot().Status.Finished() && finished > keep {
 				m.dropLocked(id)
+				dropped++
 				finished--
 				continue
 			}
@@ -208,6 +212,7 @@ func (m *jobManager) prune(ttl time.Duration, keep int, now time.Time) {
 		}
 		m.order = kept
 	}
+	return dropped
 }
 
 func (m *jobManager) get(id string) (*jobState, bool) {

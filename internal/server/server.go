@@ -82,6 +82,12 @@ type Server struct {
 	resolver *suiteResolver
 	jobs     *jobManager
 	jobWG    sync.WaitGroup
+	obs      *observability
+
+	// Background sweeper state (see StartSweeper).
+	sweepOpts atomic.Pointer[SweepOptions]
+	sweepStop chan struct{}
+	sweepWG   sync.WaitGroup
 
 	optimizes, batches, jobReqs, rateLimited atomic.Uint64
 }
@@ -93,12 +99,14 @@ func New(opts Options) *Server {
 		eo.Store = opts.Store
 	}
 	s := &Server{
-		session:  engine.NewSession(eo),
-		store:    opts.Store,
-		mux:      http.NewServeMux(),
-		resolver: newSuiteResolver(suiteCacheCap),
-		jobs:     newJobManager(opts.JobsCap, opts.Store),
+		session:   engine.NewSession(eo),
+		store:     opts.Store,
+		mux:       http.NewServeMux(),
+		resolver:  newSuiteResolver(suiteCacheCap),
+		jobs:      newJobManager(opts.JobsCap, opts.Store),
+		sweepStop: make(chan struct{}),
 	}
+	s.obs = newObservability(s)
 	if opts.RatePerSec > 0 {
 		keyFn, err := rateKeyFunc(opts.RateKey)
 		if err != nil {
@@ -142,10 +150,10 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// Handler returns the HTTP handler: version stamping and rate
-// limiting around the route table.
+// Handler returns the HTTP handler: metric instrumentation, version
+// stamping and rate limiting around the route table.
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(api.VersionHeader, api.Version)
 		if s.limiter != nil {
 			if retry, ok := s.limiter.allow(s.rateKey(r), time.Now()); !ok {
@@ -157,13 +165,15 @@ func (s *Server) Handler() http.Handler {
 			}
 		}
 		s.mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
-// Close cancels outstanding jobs, waits for their runs to drain, and
-// shuts the shared session down. Call only after the HTTP server has
-// stopped serving requests.
+// Close stops the background sweeper, cancels outstanding jobs, waits
+// for their runs to drain, and shuts the shared session down. Call
+// only after the HTTP server has stopped serving requests.
 func (s *Server) Close() {
+	close(s.sweepStop)
+	s.sweepWG.Wait()
 	s.jobs.shutdown()
 	s.jobWG.Wait()
 	s.session.Close()
@@ -359,6 +369,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:        s.jobReqs.Load(),
 		RateLimited: s.rateLimited.Load(),
 	}
+	resp.Sweeper = s.sweeperStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

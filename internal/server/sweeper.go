@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/store"
+)
+
+// SweepOptions configure the daemon's background sweeper: a ticker
+// that applies the job retention policy and the store GC without a
+// client asking. Before the sweeper, retention was pull-driven —
+// GET /v1/jobs?ttl&keep pruned and resopt -gc swept, so an idle
+// daemon accumulated finished jobs and cold plans forever.
+type SweepOptions struct {
+	// Interval is the tick period; ≤ 0 disables the sweeper.
+	Interval time.Duration
+	// JobTTL retires finished jobs whose completion is older than
+	// this (0: no age bound). Queued and running jobs are never
+	// touched.
+	JobTTL time.Duration
+	// JobKeep retains at most this many finished jobs, newest first
+	// (0: no count bound).
+	JobKeep int
+	// GCAge removes plan/kernel files unused for longer than this
+	// from the store (0: no age criterion).
+	GCAge time.Duration
+	// GCKeep bounds the surviving file count per store tier
+	// (0: no count criterion).
+	GCKeep int
+}
+
+// enabled reports whether the options turn the sweeper on at all.
+func (o SweepOptions) enabled() bool { return o.Interval > 0 }
+
+// sweepsJobs / sweepsStore report which halves of the sweep have
+// criteria configured.
+func (o SweepOptions) sweepsJobs() bool  { return o.JobTTL > 0 || o.JobKeep > 0 }
+func (o SweepOptions) sweepsStore() bool { return o.GCAge > 0 || o.GCKeep > 0 }
+
+// StartSweeper launches the background sweeper goroutine. It ticks
+// every opts.Interval until ctx is cancelled or the server is Closed,
+// whichever comes first; Close waits for the goroutine to exit, so a
+// closed server has no sweep in flight. Work is reported through the
+// sweeper metrics (resoptd_sweeper_*) and the store's GC counters,
+// and summarized in /v1/stats. Calling it with a disabled Interval,
+// or more than once, is a no-op beyond the first enabled call.
+func (s *Server) StartSweeper(ctx context.Context, opts SweepOptions) {
+	if !opts.enabled() || !s.sweepOpts.CompareAndSwap(nil, &opts) {
+		return
+	}
+	s.sweepWG.Add(1)
+	go func() {
+		defer s.sweepWG.Done()
+		ticker := time.NewTicker(opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				s.sweepOnce(opts, time.Now().UTC())
+			case <-ctx.Done():
+				return
+			case <-s.sweepStop:
+				return
+			}
+		}
+	}()
+}
+
+// sweepOnce is one tick: job retention, then store GC.
+func (s *Server) sweepOnce(opts SweepOptions, now time.Time) {
+	if opts.sweepsJobs() {
+		pruned := s.jobs.prune(opts.JobTTL, opts.JobKeep, now)
+		s.obs.sweepJobs.Add(uint64(pruned))
+	}
+	if s.store != nil && opts.sweepsStore() {
+		// GC failures are already recorded as store warnings; the
+		// sweeper just moves on to the next tick.
+		s.store.GC(store.GCOptions{MaxAge: opts.GCAge, MaxPlans: opts.GCKeep})
+	}
+	s.obs.sweepRuns.Inc()
+}
+
+// sweeperStats summarizes the sweeper for /v1/stats (nil when the
+// sweeper was never started).
+func (s *Server) sweeperStats() *api.SweeperStats {
+	opts := s.sweepOpts.Load()
+	if opts == nil {
+		return nil
+	}
+	st := &api.SweeperStats{
+		IntervalSeconds: opts.Interval.Seconds(),
+		Runs:            s.obs.sweepRuns.Value(),
+		JobsPruned:      s.obs.sweepJobs.Value(),
+	}
+	if s.store != nil {
+		gc := s.store.GCTotals()
+		st.GCSweeps = gc.Sweeps
+		st.GCRemoved = gc.Removed()
+		st.GCBytesFreed = gc.BytesFreed
+	}
+	return st
+}

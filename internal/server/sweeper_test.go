@@ -1,0 +1,215 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/store"
+)
+
+// scrapeMetrics fetches the Prometheus exposition from an ops handler
+// and returns the body.
+func scrapeMetrics(t *testing.T, ops *httptest.Server) string {
+	t.Helper()
+	resp, err := ops.Client().Get(ops.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of an exact series line ("name" or
+// `name{label="x"}`) from an exposition body, or -1 if absent.
+func metricValue(body, series string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == series {
+			if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// TestSweeperPrunesFinishedJobs is the acceptance criterion: a server
+// sweeping with a tiny job TTL retires a finished job from memory and
+// from the persisted jobs/ tier without any client request, while a
+// queued job survives, and the sweeper metrics record the work.
+func TestSweeperPrunesFinishedJobs(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Options{Workers: 2, Store: st})
+	ops := httptest.NewServer(srv.OpsHandler())
+	t.Cleanup(ops.Close)
+
+	// One finished job, persisted to the store.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/jobs", api.BatchSpec{Seed: 7, Random: 1, NoExamples: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var job api.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	waitJobFinished(t, ts, job.ID)
+	if ids, err := st.ListJobs(); err != nil || len(ids) != 1 {
+		t.Fatalf("want 1 persisted job before sweeping, got %v (err %v)", ids, err)
+	}
+
+	// One queued job that never runs: the sweeper must not touch it.
+	queued, _ := srv.jobs.create(api.BatchSpec{Random: 1, NoExamples: true}, 1)
+
+	// Sweep aggressively: every tick, any finished job is expired.
+	// This is the test-speed equivalent of
+	// `resoptd -sweep-interval 50ms -job-ttl 1ns`.
+	srv.StartSweeper(context.Background(), SweepOptions{Interval: 10 * time.Millisecond, JobTTL: time.Nanosecond})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, inMem := srv.jobs.get(job.ID)
+		ids, err := st.ListJobs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inMem && len(ids) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper never pruned job %s (in memory: %v, on disk: %v)", job.ID, inMem, ids)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := srv.jobs.get(queued.snapshot().ID); !ok {
+		t.Fatalf("sweeper pruned the queued job %s", queued.snapshot().ID)
+	}
+
+	// The work is visible in the metrics and in /v1/stats.
+	m := scrapeMetrics(t, ops)
+	if v := metricValue(m, "resoptd_sweeper_runs_total"); v < 1 {
+		t.Errorf("resoptd_sweeper_runs_total = %v, want >= 1", v)
+	}
+	if v := metricValue(m, "resoptd_sweeper_jobs_pruned_total"); v < 1 {
+		t.Errorf("resoptd_sweeper_jobs_pruned_total = %v, want >= 1", v)
+	}
+	_, body = get(t, ts, "/v1/stats")
+	var stats api.StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sweeper == nil || stats.Sweeper.Runs < 1 || stats.Sweeper.JobsPruned < 1 {
+		t.Errorf("stats.Sweeper = %+v, want runs and jobs_pruned >= 1", stats.Sweeper)
+	}
+}
+
+// TestSweeperStoreGC: with an age criterion the sweeper GCs cold plan
+// files from the store on its own, and the GC counters move.
+func TestSweeperStoreGC(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Options{Workers: 2, Store: st})
+
+	// Populate the plans/ tier.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/optimize", api.OptimizeRequest{Example: "matmul"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize status %d: %s", resp.StatusCode, body)
+	}
+	if n := st.TierSizes()["plans"].Files; n == 0 {
+		t.Fatal("no plan files persisted before sweeping")
+	}
+
+	srv.StartSweeper(context.Background(), SweepOptions{Interval: 10 * time.Millisecond, GCAge: time.Nanosecond})
+	deadline := time.Now().Add(10 * time.Second)
+	for st.TierSizes()["plans"].Files > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper never GCed the plans tier: %+v", st.TierSizes())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	gc := st.GCTotals()
+	if gc.Sweeps == 0 || gc.Removed() == 0 {
+		t.Errorf("GC totals did not move: %+v", gc)
+	}
+}
+
+// TestSweeperStopsOnClose: Close stops the sweeper even when the
+// caller's context is still live, and waits for it — no tick runs
+// after Close returns.
+func TestSweeperStopsOnClose(t *testing.T) {
+	srv := New(Options{Workers: 1})
+	srv.StartSweeper(context.Background(), SweepOptions{Interval: 5 * time.Millisecond, JobKeep: 1})
+	waitSweeps(t, srv, 1)
+	srv.Close() // hangs if the goroutine ignores sweepStop
+	runs := srv.obs.sweepRuns.Value()
+	time.Sleep(50 * time.Millisecond)
+	if after := srv.obs.sweepRuns.Value(); after != runs {
+		t.Fatalf("sweeper still ticking after Close: %d -> %d runs", runs, after)
+	}
+}
+
+// TestSweeperStopsOnCancel: cancelling the start context stops the
+// ticker.
+func TestSweeperStopsOnCancel(t *testing.T) {
+	srv := New(Options{Workers: 1})
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.StartSweeper(ctx, SweepOptions{Interval: 5 * time.Millisecond, JobKeep: 1})
+	waitSweeps(t, srv, 1)
+	cancel()
+	time.Sleep(25 * time.Millisecond) // let a cancelled tick drain
+	runs := srv.obs.sweepRuns.Value()
+	time.Sleep(50 * time.Millisecond)
+	if after := srv.obs.sweepRuns.Value(); after != runs {
+		t.Fatalf("sweeper still ticking after cancel: %d -> %d runs", runs, after)
+	}
+}
+
+// TestStartSweeperNoops: a disabled interval never starts the
+// goroutine, and a second StartSweeper keeps the first configuration.
+func TestStartSweeperNoops(t *testing.T) {
+	srv := New(Options{Workers: 1})
+	t.Cleanup(srv.Close)
+	srv.StartSweeper(context.Background(), SweepOptions{Interval: 0, JobTTL: time.Hour})
+	if srv.sweeperStats() != nil {
+		t.Fatal("disabled sweeper reported stats")
+	}
+	first := SweepOptions{Interval: 5 * time.Millisecond, JobKeep: 3}
+	srv.StartSweeper(context.Background(), first)
+	srv.StartSweeper(context.Background(), SweepOptions{Interval: time.Hour, JobTTL: time.Hour})
+	if got := srv.sweepOpts.Load(); *got != first {
+		t.Fatalf("second StartSweeper replaced options: %+v", got)
+	}
+	waitSweeps(t, srv, 1)
+}
+
+// waitSweeps polls until the sweeper has completed at least n ticks.
+func waitSweeps(t *testing.T, srv *Server, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.obs.sweepRuns.Value() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper never reached %d runs", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

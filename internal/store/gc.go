@@ -86,7 +86,39 @@ func (s *Store) GC(opts GCOptions) (GCResult, error) {
 			}
 		}
 	}
+	if !opts.DryRun {
+		s.gcSweeps.Add(1)
+		s.gcRemovedAge.Add(uint64(res.RemovedAge))
+		s.gcRemovedLRU.Add(uint64(res.RemovedLRU))
+		s.gcRemovedTemp.Add(uint64(res.RemovedTemp))
+		s.gcBytesFreed.Add(res.BytesFreed)
+	}
 	return res, nil
+}
+
+// GCTotals is the cumulative work of every (non-dry-run) GC sweep
+// performed through this Store handle — what the daemon's background
+// sweeper and the /metrics GC counters report.
+type GCTotals struct {
+	Sweeps      uint64 `json:"sweeps"`
+	RemovedAge  uint64 `json:"removed_age"`
+	RemovedLRU  uint64 `json:"removed_lru"`
+	RemovedTemp uint64 `json:"removed_temp"`
+	BytesFreed  int64  `json:"bytes_freed"`
+}
+
+// Removed is the total number of files removed across all sweeps.
+func (t GCTotals) Removed() uint64 { return t.RemovedAge + t.RemovedLRU + t.RemovedTemp }
+
+// GCTotals snapshots the cumulative GC counters.
+func (s *Store) GCTotals() GCTotals {
+	return GCTotals{
+		Sweeps:      s.gcSweeps.Load(),
+		RemovedAge:  s.gcRemovedAge.Load(),
+		RemovedLRU:  s.gcRemovedLRU.Load(),
+		RemovedTemp: s.gcRemovedTemp.Load(),
+		BytesFreed:  s.gcBytesFreed.Load(),
+	}
 }
 
 // gcTier sweeps one content-addressed tier directory (plans or

@@ -37,6 +37,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,11 @@ type Store struct {
 
 	puts, getHits, getMisses, corrupt          atomic.Uint64
 	kernelPuts, kernelGetHits, kernelGetMisses atomic.Uint64
+
+	// Cumulative GC work through this handle (dry runs excluded);
+	// see GCTotals.
+	gcSweeps, gcRemovedAge, gcRemovedLRU, gcRemovedTemp atomic.Uint64
+	gcBytesFreed                                        atomic.Int64
 }
 
 var (
@@ -273,6 +279,40 @@ type Stats struct {
 	KernelGetHits   uint64 `json:"kernel_get_hits"`
 	KernelGetMisses uint64 `json:"kernel_get_misses"`
 	Warnings        uint64 `json:"warnings"`
+}
+
+// TierSize is the on-disk footprint of one store tier.
+type TierSize struct {
+	// Files counts stored objects (stale temp files excluded).
+	Files int `json:"files"`
+	// Bytes sums their sizes.
+	Bytes int64 `json:"bytes"`
+}
+
+// Tiers lists the store's tier directories, in layout order.
+func Tiers() []string { return []string{"plans", "kernels", "snapshots", "jobs"} }
+
+// TierSizes walks every tier and reports its object count and byte
+// footprint. It reads the filesystem on each call — cheap for the
+// file counts a GC-bounded store holds, but meant for scrape-rate
+// polling (the /metrics collect hook), not per-request paths.
+func (s *Store) TierSizes() map[string]TierSize {
+	out := make(map[string]TierSize, 4)
+	for _, tier := range Tiers() {
+		var ts TierSize
+		filepath.WalkDir(filepath.Join(s.root, tier), func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), ".tmp-") {
+				return nil // a tier that vanished mid-walk just reads as empty
+			}
+			if info, err := d.Info(); err == nil {
+				ts.Files++
+				ts.Bytes += info.Size()
+			}
+			return nil
+		})
+		out[tier] = ts
+	}
+	return out
 }
 
 // Stats snapshots the counters.
