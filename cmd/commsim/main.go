@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/collective"
 	"repro/internal/decomp"
 	"repro/internal/distrib"
@@ -42,7 +43,12 @@ func main() {
 	root := flag.Int("root", 0, "collective: root rank of a total collective")
 	algo := flag.String("algo", "", "collective: pin one algorithm instead of cost-driven selection")
 	schedule := flag.Bool("schedule", false, "collective: print the chosen schedule round by round")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("commsim"))
+		return
+	}
 
 	mesh := machine.DefaultMesh(*p, *q)
 	d0 := pick(*dist, *k)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 )
 
@@ -33,7 +34,12 @@ func main() {
 	sweepSeed := flag.Int64("sweep-seed", 1, "batch sweep: scenario generation seed")
 	sweepRandom := flag.Int("sweep-random", 15, "batch sweep: number of random nests")
 	sweepWorkers := flag.Int("sweep-workers", 0, "batch sweep: worker pool size (0: GOMAXPROCS)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("paperfigs"))
+		return
+	}
 
 	all := !*t1 && !*t2 && !*f8 && !*mot && !*ex5 && !*sweep && !*colls
 	if all || *t1 {

@@ -42,6 +42,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +50,7 @@ import (
 
 	"repro/internal/affine"
 	"repro/internal/api"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/nestlang"
@@ -85,7 +87,12 @@ func main() {
 	gcAge := flag.Duration("gc-age", 0, "gc: remove plans unused for longer than this (0: no age limit)")
 	gcKeep := flag.Int("gc-keep", 0, "gc: keep at most this many plans, least recently used removed first (0: no count limit)")
 	gcDryRun := flag.Bool("gc-dry-run", false, "gc: report what would be removed without removing it")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("resopt"))
+		return
+	}
 
 	if *diff {
 		runDiff(*storeDir, flag.Args())
@@ -368,6 +375,14 @@ func runDiff(storeDir string, args []string) {
 }
 
 func fatal(err error) {
+	// Remote failures carry the server-side trace ID: print it so the
+	// failure can be looked up under /debug/traces/{id} on the daemon's
+	// ops listener.
+	var ae *api.Error
+	if errors.As(err, &ae) && ae.TraceID != "" {
+		fmt.Fprintf(os.Stderr, "resopt: %v [trace %s]\n", err, ae.TraceID)
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "resopt:", err)
 	os.Exit(1)
 }

@@ -13,11 +13,21 @@
 //	resoptd -rate 50 -rate-key api-key   # buckets per X-Api-Key header
 //	resoptd -rate 50 -rate-key forwarded # buckets per X-Forwarded-For hop
 //
+// Every request runs under a trace: the root span adopts a valid
+// inbound W3C traceparent header (minting a fresh trace otherwise),
+// the response carries a Trace-Id header, and recent traces are
+// retrievable from the ops listener. Logs are structured (log/slog):
+//
+//	resoptd -log-format json -log-level debug   # machine-readable logs
+//	resoptd -trace-slow 250ms                   # log span trees of slow requests
+//	resoptd -trace-cap 256                      # deeper trace ring
+//
 // The ops listener (-ops-addr, default off) serves the operational
 // endpoints away from API clients: GET /metrics (Prometheus text
-// format), GET /healthz, and GET /debug/pprof/*. The background
-// sweeper (-sweep-interval, default off) ages finished jobs and GCs
-// the store tiers on a ticker, without a client asking:
+// format; OpenMetrics with trace exemplars when negotiated),
+// GET /healthz, GET /debug/traces[/{id}], and GET /debug/pprof/*.
+// The background sweeper (-sweep-interval, default off) ages finished
+// jobs and GCs the store tiers on a ticker, without a client asking:
 //
 //	resoptd -store ./plans -ops-addr 127.0.0.1:9090 \
 //	        -sweep-interval 10m -job-ttl 24h -job-keep 500 \
@@ -25,6 +35,7 @@
 //
 //	curl -s localhost:9090/metrics
 //	curl -s localhost:9090/healthz
+//	curl -s localhost:9090/debug/traces?min=100ms
 //	go tool pprof localhost:9090/debug/pprof/heap
 //
 //	curl -s localhost:8080/v1/stats
@@ -39,20 +50,46 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/server"
 	"repro/internal/store"
 )
 
+// newLogger builds the process logger from the -log-format and
+// -log-level flags (exits on bad values — logging misconfiguration
+// should fail loudly, not silently default).
+func newLogger(format, level string) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "resoptd: bad -log-level %q (want debug, info, warn or error)\n", level)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch format {
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "resoptd: bad -log-format %q (want json or text)\n", format)
+		os.Exit(2)
+	}
+	return slog.New(h)
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	opsAddr := flag.String("ops-addr", "", "ops listener address serving /metrics, /healthz and /debug/pprof (empty: disabled; bind it to localhost or an internal interface — it is not rate limited)")
+	opsAddr := flag.String("ops-addr", "", "ops listener address serving /metrics, /healthz, /debug/traces and /debug/pprof (empty: disabled; bind it to localhost or an internal interface — it is not rate limited)")
 	storeDir := flag.String("store", "", "directory of the persistent plan store (empty: none)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0: GOMAXPROCS)")
 	cacheCap := flag.Int("cache-cap", 0, "in-memory cache entry cap (0: default, <0: unbounded)")
@@ -65,9 +102,17 @@ func main() {
 	jobKeep := flag.Int("job-keep", 0, "sweeper: keep at most this many finished jobs (0: no count bound)")
 	gcAge := flag.Duration("gc-age", 0, "sweeper: GC store files unused for longer than this (0: no age criterion)")
 	gcKeep := flag.Int("gc-keep", 0, "sweeper: GC store files beyond this many per tier, least recently used first (0: no count criterion)")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	traceSlow := flag.Duration("trace-slow", 0, "log the full span tree of requests slower than this (0: disabled)")
+	traceCap := flag.Int("trace-cap", 0, "recent traces retained for /debug/traces (0: default)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
-	log.SetPrefix("resoptd: ")
-	log.SetFlags(0)
+	if *version {
+		fmt.Println(buildinfo.String("resoptd"))
+		return
+	}
+	logger := newLogger(*logFormat, *logLevel)
 
 	valid := false
 	for _, m := range server.RateKeyModes() {
@@ -76,7 +121,8 @@ func main() {
 		}
 	}
 	if !valid {
-		log.Fatalf("bad -rate-key %q (want one of %v)", *rateKey, server.RateKeyModes())
+		logger.Error("bad -rate-key", slog.String("got", *rateKey), slog.Any("want", server.RateKeyModes()))
+		os.Exit(1)
 	}
 	opts := server.Options{
 		Workers:    *workers,
@@ -85,17 +131,24 @@ func main() {
 		RateBurst:  *burst,
 		RateKey:    *rateKey,
 		JobsCap:    *jobsCap,
+		Logger:     logger,
+		TraceSlow:  *traceSlow,
+		TraceCap:   *traceCap,
 	}
+	logger.Info("starting",
+		slog.String("version", buildinfo.Version),
+		slog.String("go", runtime.Version()))
 	if *rate > 0 {
-		log.Printf("rate limiting clients to %g req/s (keyed by %s)", *rate, *rateKey)
+		logger.Info("rate limiting", slog.Float64("req_per_sec", *rate), slog.String("keyed_by", *rateKey))
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("opening store", slog.Any("err", err))
+			os.Exit(1)
 		}
 		opts.Store = st
-		log.Printf("plan store at %s", st.Dir())
+		logger.Info("plan store open", slog.String("dir", st.Dir()))
 	}
 	srv := server.New(opts)
 
@@ -111,41 +164,45 @@ func main() {
 	}
 	switch {
 	case *sweepInterval < 0:
-		log.Fatalf("bad -sweep-interval %s (want a positive duration)", *sweepInterval)
+		logger.Error("bad -sweep-interval (want a positive duration)", slog.Duration("got", *sweepInterval))
+		os.Exit(1)
 	case *sweepInterval > 0:
 		if *jobTTL == 0 && *jobKeep == 0 && *gcAge == 0 && *gcKeep == 0 {
-			log.Print("warning: -sweep-interval set but no -job-ttl/-job-keep/-gc-age/-gc-keep criteria; the sweeper will tick and do nothing")
+			logger.Warn("-sweep-interval set but no -job-ttl/-job-keep/-gc-age/-gc-keep criteria; the sweeper will tick and do nothing")
 		}
 		if (*gcAge > 0 || *gcKeep > 0) && *storeDir == "" {
-			log.Print("warning: -gc-age/-gc-keep need -store; the sweeper will only prune jobs")
+			logger.Warn("-gc-age/-gc-keep need -store; the sweeper will only prune jobs")
 		}
 		srv.StartSweeper(ctx, sweep)
-		log.Printf("sweeping every %s (job-ttl %s, job-keep %d, gc-age %s, gc-keep %d)",
-			*sweepInterval, *jobTTL, *jobKeep, *gcAge, *gcKeep)
+		logger.Info("sweeper on",
+			slog.Duration("interval", *sweepInterval),
+			slog.Duration("job_ttl", *jobTTL), slog.Int("job_keep", *jobKeep),
+			slog.Duration("gc_age", *gcAge), slog.Int("gc_keep", *gcKeep))
 	default:
 		if *jobTTL != 0 || *jobKeep != 0 || *gcAge != 0 || *gcKeep != 0 {
-			log.Print("warning: -job-ttl/-job-keep/-gc-age/-gc-keep have no effect without -sweep-interval")
+			logger.Warn("-job-ttl/-job-keep/-gc-age/-gc-keep have no effect without -sweep-interval")
 		}
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 2)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	logger.Info("serving", slog.String("addr", *addr))
 
 	var ops *http.Server
 	if *opsAddr != "" {
 		ops = &http.Server{Addr: *opsAddr, Handler: srv.OpsHandler()}
 		go func() { errc <- ops.ListenAndServe() }()
-		log.Printf("ops (metrics, healthz, pprof) on %s", *opsAddr)
+		logger.Info("ops listener on (metrics, healthz, traces, pprof)", slog.String("addr", *opsAddr))
 	}
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("listener failed", slog.Any("err", err))
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if ops != nil {
@@ -159,7 +216,7 @@ func main() {
 		// Handlers may still be mid-request and submitting work to the
 		// shared session; closing it now would race them. The process
 		// is exiting anyway, so skip the session teardown.
-		log.Print("shutdown: ", err)
+		logger.Warn("shutdown", slog.Any("err", err))
 		return
 	}
 	// Clean drain: no handler is running, the session can close.

@@ -40,6 +40,10 @@ type Error struct {
 	Code string `json:"code"`
 	// Message is the human-readable detail.
 	Message string `json:"message"`
+	// TraceID identifies the server-side trace of the failed request
+	// (also echoed in the Trace-Id response header), so an error report
+	// can be correlated with /debug/traces on the ops listener.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (e *Error) Error() string {
@@ -103,6 +107,29 @@ type OptimizeResponse struct {
 	// selected for the nest's residual communications (the engine's
 	// summary format, e.g. "broadcast=bisection,shift=direct*3").
 	Collectives string `json:"collectives,omitempty"`
+	// Phases is the server-side cost attribution of this optimization.
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
+}
+
+// PhaseBreakdown attributes the server-side wall-clock cost of one
+// scenario to the optimizer's phases. PlanSource tells where the plan
+// came from this request — "compute" (optimized now), "memory"
+// (session plan cache) or "disk" (plan store); for memory and disk
+// hits the align/kernel figures are the recorded cost of the original
+// computation, not time spent on this request.
+type PhaseBreakdown struct {
+	PlanSource string  `json:"plan_source"`
+	ComputeUs  float64 `json:"compute_us,omitempty"`
+	AlignUs    float64 `json:"align_us,omitempty"`
+	KernelUs   float64 `json:"kernel_us,omitempty"`
+	KernelOps  int     `json:"kernel_ops,omitempty"`
+	SelectUs   float64 `json:"select_us,omitempty"`
+	// SelectMemo summarizes the collective-selection memo outcome:
+	// "hit", "miss" or "mixed" (empty when no selection ran).
+	SelectMemo string  `json:"select_memo,omitempty"`
+	StoreUs    float64 `json:"store_us,omitempty"`
+	CostUs     float64 `json:"cost_us,omitempty"`
+	TotalUs    float64 `json:"total_us"`
 }
 
 // BatchSpec is the suite specification shared by POST /v1/batch and
@@ -132,6 +159,10 @@ type BatchSpec struct {
 	// SaveAs records the run as a named snapshot (with this spec
 	// embedded) in the server's store, making it re-runnable by name.
 	SaveAs string `json:"save_as,omitempty"`
+	// Timings asks for a per-scenario phase breakdown on every batch
+	// line. Off by default: the NDJSON stream stays byte-deterministic
+	// unless timings are explicitly requested.
+	Timings bool `json:"timings,omitempty"`
 }
 
 // BatchLine is one NDJSON line of the /v1/batch stream and one entry
@@ -145,6 +176,9 @@ type BatchLine struct {
 	// OptimizeResponse.Collectives).
 	Collectives string `json:"collectives,omitempty"`
 	Err         string `json:"err,omitempty"`
+	// Phases is the per-scenario cost attribution, present only when
+	// the batch spec set Timings.
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
 }
 
 // BatchSummary is the final NDJSON line of the /v1/batch stream.
@@ -205,6 +239,10 @@ type Job struct {
 	// Error is the run-level failure, if any (per-scenario failures
 	// appear in the results' err fields instead).
 	Error string `json:"error,omitempty"`
+	// TraceID identifies the job's own server-side trace (each job
+	// runs under a fresh root span, linked to the submitting request
+	// via the submitted_by attribute).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobProgress counts completed scenarios out of the resolved suite.
@@ -310,6 +348,23 @@ type SweeperStats struct {
 	GCBytesFreed    int64   `json:"gc_bytes_freed"`
 }
 
+// PhaseTotals is the session-wide accumulation of PhaseBreakdown
+// across every scenario the daemon has optimized: where the engine's
+// time actually goes. Align/kernel/compute time counts only scenarios
+// whose plans were computed this session (cache and store hits
+// contribute their select/store/total figures but not the historical
+// compute cost).
+type PhaseTotals struct {
+	Scenarios uint64  `json:"scenarios"`
+	ComputeUs float64 `json:"compute_us"`
+	AlignUs   float64 `json:"align_us"`
+	KernelUs  float64 `json:"kernel_us"`
+	SelectUs  float64 `json:"select_us"`
+	StoreUs   float64 `json:"store_us"`
+	CostUs    float64 `json:"cost_us"`
+	TotalUs   float64 `json:"total_us"`
+}
+
 // StatsResponse is the GET /v1/stats body.
 type StatsResponse struct {
 	Version    string          `json:"api_version"`
@@ -319,6 +374,9 @@ type StatsResponse struct {
 	SuiteCache SuiteCacheStats `json:"suite_cache"`
 	Requests   RequestStats    `json:"requests"`
 	Jobs       JobStats        `json:"jobs"`
+	// Phases attributes the engine's cumulative wall-clock time to
+	// optimizer phases.
+	Phases PhaseTotals `json:"phases"`
 	// Sweeper is present when the daemon runs its background sweeper.
 	Sweeper *SweeperStats `json:"sweeper,omitempty"`
 }

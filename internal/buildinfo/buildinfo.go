@@ -1,0 +1,21 @@
+// Package buildinfo carries the build-time version stamp shared by
+// every binary in this module. Version defaults to "dev" and is
+// overridden at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3" ./...
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is this build's version string ("dev" unless stamped via
+// ldflags).
+var Version = "dev"
+
+// String renders the one-line banner printed by each command's
+// -version flag: "<cmd> <version> (<go runtime>)".
+func String(cmd string) string {
+	return fmt.Sprintf("%s %s (%s)", cmd, Version, runtime.Version())
+}

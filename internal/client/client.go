@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/trace"
 )
 
 // Client talks to one resoptd instance.
@@ -94,6 +95,9 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's trace (minting one if the context has no
+	// active span) so the server-side trace joins this process's.
+	req.Header.Set("traceparent", trace.OutgoingTraceparent(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -102,17 +106,25 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 }
 
 // responseError maps a non-2xx response to its typed *api.Error,
-// synthesizing one when the body is not a well-formed envelope.
+// synthesizing one when the body is not a well-formed envelope. The
+// server's Trace-Id header is folded into the error so failure
+// reports can name the server-side trace.
 func responseError(resp *http.Response) error {
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		return nil
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var ae *api.Error
 	var env api.ErrorEnvelope
 	if json.Unmarshal(body, &env) == nil && env.Error != nil {
-		return env.Error
+		ae = env.Error
+	} else {
+		ae = api.Errorf(resp.StatusCode, api.CodeInternal, "unexpected response: %s", bytes.TrimSpace(body))
 	}
-	return api.Errorf(resp.StatusCode, api.CodeInternal, "unexpected response: %s", bytes.TrimSpace(body))
+	if ae.TraceID == "" {
+		ae.TraceID = resp.Header.Get("Trace-Id")
+	}
+	return ae
 }
 
 // Optimize runs one nest synchronously.

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // startServer spins a real server (engine session and all) behind an
@@ -165,6 +167,9 @@ func TestClientTypedErrors(t *testing.T) {
 	if !errors.As(err, &ae) || ae.Code != api.CodeBadRequest || ae.Status != 400 {
 		t.Errorf("Optimize(bad) error = %v", err)
 	}
+	if len(ae.TraceID) != 32 {
+		t.Errorf("error trace_id %q, want the server's 32-hex trace ID", ae.TraceID)
+	}
 
 	if _, err := c.Job(ctx, "missing"); !errors.As(err, &ae) || ae.Code != api.CodeNotFound {
 		t.Errorf("Job(missing) error = %v", err)
@@ -234,4 +239,42 @@ func isNetCancel(err error) bool {
 	return err != nil && (errors.Is(err, context.Canceled) ||
 		strings.Contains(err.Error(), "context canceled") ||
 		strings.Contains(err.Error(), "request canceled"))
+}
+
+// TestClientTraceparent: every client request carries a W3C
+// traceparent header — continuing the context's active span when
+// there is one, minted fresh otherwise.
+func TestClientTraceparent(t *testing.T) {
+	var got []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, r.Header.Get("traceparent"))
+		w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(4)
+	ctx, span := trace.StartRoot(context.Background(), rec, "cli", "")
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+
+	if len(got) != 2 {
+		t.Fatalf("server saw %d requests", len(got))
+	}
+	for i, tp := range got {
+		if _, _, ok := trace.ParseTraceparent(tp); !ok {
+			t.Errorf("request %d traceparent %q does not parse", i, tp)
+		}
+	}
+	if want := span.TraceID().String(); !strings.Contains(got[1], want) {
+		t.Errorf("active span's trace %s not propagated: %q", want, got[1])
+	}
 }

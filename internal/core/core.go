@@ -17,8 +17,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/accessgraph"
 	"repro/internal/affine"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/intmat"
 	"repro/internal/macro"
 	"repro/internal/ratmat"
+	"repro/internal/trace"
 )
 
 // Class is the final classification of one communication.
@@ -90,6 +93,20 @@ type Plan struct {
 type Result struct {
 	Align *alignment.Result
 	Plans []Plan
+	// Timing is the wall-clock phase breakdown of the run that produced
+	// this result.
+	Timing Timing
+}
+
+// Timing attributes the heuristic's wall-clock time to its phases:
+// alignment (step 1), macro detection and rotation (step 2a), and
+// decomposition plus plan assembly (step 2b). Filled by every run; a
+// pure function of nothing — two runs over the same input produce
+// equal Plans and different Timings.
+type Timing struct {
+	Align     time.Duration
+	Macro     time.Duration
+	Decompose time.Duration
 }
 
 // Options tune the pipeline. The zero value is the paper's
@@ -120,17 +137,33 @@ func (o *Options) maxFactors() int {
 // Optimize runs the complete two-step heuristic on p for an
 // m-dimensional virtual processor space.
 func Optimize(p *affine.Program, m int, opts Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), p, m, opts)
+}
+
+// OptimizeCtx is Optimize under a context: when ctx carries an active
+// trace span, each heuristic phase records a timed child span
+// ("alignment", "macro", "decompose"); the same phase durations are
+// always reported in Result.Timing. The context does not cancel the
+// computation — phases are short and run to completion.
+func OptimizeCtx(ctx context.Context, p *affine.Program, m int, opts Options) (*Result, error) {
+	t0 := time.Now()
+	_, alignSpan := trace.StartSpan(ctx, "alignment")
 	ar, err := alignment.Align(p, m, opts.Alignment)
+	alignSpan.End()
+	alignDur := time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Align: ar}
+	res.Timing.Align = alignDur
 
 	// Step 2a: macro-communications, with axis alignment. Process
 	// residuals one at a time, re-detecting after every rotation so
 	// each plan reflects the final allocation matrices. Once a
 	// component has been rotated for one macro-communication it is
 	// frozen: a second rotation would undo the first alignment.
+	t0 = time.Now()
+	_, macroSpan := trace.StartSpan(ctx, "macro")
 	planned := map[int]*Plan{}
 	frozen := map[int]bool{}
 	if !opts.NoMacro {
@@ -144,6 +177,7 @@ func Optimize(p *affine.Program, m int, opts Options) (*Result, error) {
 			if best.Partial() && !best.AxisParallel() && !frozen[comp] {
 				rot, err := macro.AlignBroadcast(ar, best)
 				if err != nil {
+					macroSpan.End()
 					return nil, err
 				}
 				pl.Rotation = rot
@@ -152,8 +186,12 @@ func Optimize(p *affine.Program, m int, opts Options) (*Result, error) {
 			planned[c.ID] = pl
 		}
 	}
+	macroSpan.SetInt("macros", int64(len(planned))).End()
+	res.Timing.Macro = time.Since(t0)
 
 	// Step 2b: decompose the remaining general communications.
+	t0 = time.Now()
+	_, decSpan := trace.StartSpan(ctx, "decompose")
 	for _, c := range ar.ResidualComms() {
 		if planned[c.ID] != nil {
 			continue
@@ -176,6 +214,8 @@ func Optimize(p *affine.Program, m int, opts Options) (*Result, error) {
 		pl.Vectorizable = macro.Vectorizable(ar, c)
 		res.Plans = append(res.Plans, pl)
 	}
+	decSpan.SetInt("plans", int64(len(res.Plans))).End()
+	res.Timing.Decompose = time.Since(t0)
 	return res, nil
 }
 

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -26,7 +28,7 @@ func BenchmarkCollectiveMemoCold(b *testing.B) {
 	sc := benchMacroScenario()
 	var cost float64
 	for i := 0; i < b.N; i++ {
-		cost, _ = meshPlanTime(sc, benchMacroPlan, nil)
+		cost, _ = meshPlanTime(context.Background(), sc, benchMacroPlan, nil, nil)
 	}
 	b.ReportMetric(cost, "model-µs")
 }
@@ -38,11 +40,11 @@ func BenchmarkCollectiveMemoCold(b *testing.B) {
 func BenchmarkCollectiveMemoWarm(b *testing.B) {
 	sc := benchMacroScenario()
 	cache := NewCache(0)
-	meshPlanTime(sc, benchMacroPlan, cache) // populate
+	meshPlanTime(context.Background(), sc, benchMacroPlan, cache, nil) // populate
 	b.ResetTimer()
 	var cost float64
 	for i := 0; i < b.N; i++ {
-		cost, _ = meshPlanTime(sc, benchMacroPlan, cache)
+		cost, _ = meshPlanTime(context.Background(), sc, benchMacroPlan, cache, nil)
 	}
 	b.ReportMetric(cost, "model-µs")
 }

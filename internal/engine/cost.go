@@ -1,14 +1,17 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/intmat"
 	"repro/internal/machine"
 	"repro/internal/scenarios"
+	"repro/internal/trace"
 )
 
 // planTime costs one communication plan on the scenario's machine
@@ -51,14 +54,14 @@ import (
 //
 // The scenario's MachineSpec may pin the selection to one named
 // algorithm (the "mesh8x8:flat" spec grammar) for ablations.
-func planTime(sc *scenarios.Scenario, pl planInfo, cache *Cache) (float64, []collective.Choice) {
+func planTime(ctx context.Context, sc *scenarios.Scenario, pl planInfo, cache *Cache, acc *selAcc) (float64, []collective.Choice) {
 	if pl.class == core.Local {
 		return 0, nil
 	}
 	if sc.Machine.Kind == scenarios.Mesh {
-		return meshPlanTime(sc, pl, cache)
+		return meshPlanTime(ctx, sc, pl, cache, acc)
 	}
-	return fatTreePlanTime(sc, pl, cache)
+	return fatTreePlanTime(ctx, sc, pl, cache, acc)
 }
 
 // selKey is the selection-memo identity of one collective choice: the
@@ -82,24 +85,36 @@ func selKey(spec scenarios.MachineSpec, p collective.Pattern, dims []int, bytes 
 // memoized in the session cache per (machine, pattern, dims, bytes).
 // Selection is a pure function of the key, so memoized and cold
 // selections are byte-identical; with a nil cache it always selects
-// cold (the -no-cache ablation).
-func macroChoice(cache *Cache, spec scenarios.MachineSpec, p collective.Pattern, dims []int, bytes int64,
+// cold (the -no-cache ablation). Each call feeds the scenario's
+// selection accumulator and — under an active trace — records a
+// "collective.select" span annotated with the memo outcome.
+func macroChoice(ctx context.Context, cache *Cache, acc *selAcc, spec scenarios.MachineSpec, p collective.Pattern, dims []int, bytes int64,
 	sel func() collective.Choice) collective.Choice {
+	t0 := time.Now()
+	_, sp := trace.StartSpan(ctx, "collective.select")
+	memo := "off"
+	var ch collective.Choice
 	if cache == nil {
-		return sel()
+		ch = sel()
+	} else {
+		key := selKey(spec, p, dims, bytes)
+		if v, ok := cache.lookup(key); ok {
+			cache.selectHits.Add(1)
+			memo = "hit"
+			ch = v.(collective.Choice)
+		} else {
+			cache.selectMisses.Add(1)
+			memo = "miss"
+			ch = sel()
+			cache.store(key, ch)
+		}
 	}
-	key := selKey(spec, p, dims, bytes)
-	if v, ok := cache.lookup(key); ok {
-		cache.selectHits.Add(1)
-		return v.(collective.Choice)
-	}
-	cache.selectMisses.Add(1)
-	ch := sel()
-	cache.store(key, ch)
+	acc.observe(time.Since(t0), memo == "hit")
+	sp.Set("memo", memo).Set("pattern", fmt.Sprint(p)).Set("choice", ch.String()).End()
 	return ch
 }
 
-func fatTreePlanTime(sc *scenarios.Scenario, pl planInfo, cache *Cache) (float64, []collective.Choice) {
+func fatTreePlanTime(ctx context.Context, sc *scenarios.Scenario, pl planInfo, cache *Cache, acc *selAcc) (float64, []collective.Choice) {
 	ft := machine.DefaultFatTree(sc.Machine.P)
 	n, eb := sc.N, sc.ElemBytes
 	switch pl.class {
@@ -109,7 +124,7 @@ func fatTreePlanTime(sc *scenarios.Scenario, pl planInfo, cache *Cache) (float64
 			pattern = collective.Reduction
 		}
 		select1 := func(bytes int64) collective.Choice {
-			return macroChoice(cache, sc.Machine, pattern, nil, bytes, func() collective.Choice {
+			return macroChoice(ctx, cache, acc, sc.Machine, pattern, nil, bytes, func() collective.Choice {
 				return collective.SelectFatTree(ft, pattern, bytes, sc.Machine.Algo)
 			})
 		}
@@ -157,7 +172,7 @@ func physMacroDims(vdims []int) []int {
 	return dims
 }
 
-func meshPlanTime(sc *scenarios.Scenario, pl planInfo, cache *Cache) (float64, []collective.Choice) {
+func meshPlanTime(ctx context.Context, sc *scenarios.Scenario, pl planInfo, cache *Cache, acc *selAcc) (float64, []collective.Choice) {
 	m := machine.DefaultMesh(sc.Machine.P, sc.Machine.Q)
 	n, eb := sc.N, sc.ElemBytes
 	force := sc.Machine.Algo
@@ -176,18 +191,18 @@ func meshPlanTime(sc *scenarios.Scenario, pl planInfo, cache *Cache) (float64, [
 			// The memo is keyed by the virtual axes, which determine the
 			// scheduling mode (a p=1 axis-0 macro and a p≥2 {0,2} macro
 			// both project to physical axis 0 but select differently).
-			ch = macroChoice(cache, sc.Machine, pattern, pl.macroDims, bytes, func() collective.Choice {
+			ch = macroChoice(ctx, cache, acc, sc.Machine, pattern, pl.macroDims, bytes, func() collective.Choice {
 				return collective.SelectMeshDim(m, pattern, dims[0], bytes, force)
 			})
 		case len(pl.macroDims) >= 2 && len(dims) >= 1:
 			// p≥2 macro: per-plane (or per-line, if only one axis is
 			// physical) scheduling competing with the machine-spanning
 			// execution.
-			ch = macroChoice(cache, sc.Machine, pattern, pl.macroDims, bytes, func() collective.Choice {
+			ch = macroChoice(ctx, cache, acc, sc.Machine, pattern, pl.macroDims, bytes, func() collective.Choice {
 				return collective.SelectMeshMacro(m, pattern, dims, bytes, force)
 			})
 		default:
-			ch = macroChoice(cache, sc.Machine, pattern, nil, bytes, func() collective.Choice {
+			ch = macroChoice(ctx, cache, acc, sc.Machine, pattern, nil, bytes, func() collective.Choice {
 				return collective.SelectMesh(m, pattern, 0, bytes, force)
 			})
 		}

@@ -35,10 +35,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/intmat"
 	"repro/internal/scenarios"
+	"repro/internal/trace"
 )
 
 // Options tune a session or batch run.
@@ -76,6 +78,11 @@ type Result struct {
 	Collectives string
 	// Err is the optimization error, if any ("" on success).
 	Err string
+	// Phases is the scenario's wall-clock cost attribution (nil for
+	// results rebuilt from a snapshot). It is excluded from JSON:
+	// timings are run-dependent, and snapshot files must serialize
+	// byte-identically across runs.
+	Phases *PhaseTimes `json:"-"`
 }
 
 // BatchResult aggregates a run.
@@ -119,6 +126,12 @@ type Session struct {
 	// instantaneous; the totals are cumulative over the session.
 	busy, queued                atomic.Int64
 	scenariosDone, scenarioErrs atomic.Uint64
+
+	// Cumulative per-phase wall-clock attribution (see PhaseTotals).
+	phaseScenarios                              atomic.Uint64
+	phaseComputeNs, phaseAlignNs, phaseKernelNs atomic.Int64
+	phaseSelectNs, phaseStoreNs                 atomic.Int64
+	phaseCostNs, phaseTotalNs                   atomic.Int64
 }
 
 type task struct {
@@ -154,6 +167,10 @@ func NewSession(opts Options) *Session {
 	} else {
 		intmat.SetKernelCache(nil)
 	}
+	// Kernel-time attribution: kernels compute synchronously on the
+	// worker goroutine running the scenario, so the observer can key
+	// by goroutine ID (see phases.go).
+	intmat.SetKernelObserver(observeKernel)
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
 		go func() {
@@ -170,7 +187,7 @@ func NewSession(opts Options) *Session {
 					continue
 				}
 				s.busy.Add(1)
-				res := runOne(t.sc, s.cache, s.store)
+				res := s.runOne(t.ctx, t.sc)
 				s.busy.Add(-1)
 				s.scenariosDone.Add(1)
 				if res.Err != "" {
@@ -189,6 +206,7 @@ func (s *Session) Close() {
 	close(s.tasks)
 	s.wg.Wait()
 	intmat.SetKernelCache(nil)
+	intmat.SetKernelObserver(nil)
 	installMu.Unlock()
 }
 
@@ -339,33 +357,65 @@ func Run(batch []scenarios.Scenario, opts Options) *BatchResult {
 	return b
 }
 
-func runOne(sc *scenarios.Scenario, cache *Cache, store PlanStore) Result {
-	out := Result{Name: sc.Name}
+// runOne optimizes and costs one scenario, recording the phase
+// breakdown (Result.Phases, session totals) and — when ctx carries an
+// active trace — a "scenario" span with store/optimize/selection
+// children.
+func (s *Session) runOne(ctx context.Context, sc *scenarios.Scenario) Result {
+	t0 := time.Now()
+	ctx, sp := trace.StartSpan(ctx, "scenario")
+	sp.Set("scenario", sc.Name)
+	ph := &PhaseTimes{PlanSource: "compute"}
+	out := Result{Name: sc.Name, Phases: ph}
 	var ent planEntry
-	if cache != nil {
-		ent = cache.planDo(sc.PlanKey(), func() planEntry {
-			return computeOrLoad(sc, cache, store)
+	if s.cache != nil {
+		// If another worker is computing this key, planDo blocks on its
+		// single-flight slot and the closure never runs: the plans were
+		// served from (in-flight) memory as far as this scenario is
+		// concerned, and the defaults below stand.
+		ph.PlanSource = "memory"
+		ent = s.cache.planDo(sc.PlanKey(), func() planEntry {
+			e, src, storeUs := computeOrLoad(ctx, sc, s.cache, s.store)
+			ph.PlanSource, ph.StoreUs = src, storeUs
+			return e
 		})
 	} else {
-		ent = optimize(sc)
+		ent = optimizeCtx(ctx, sc)
 	}
+	ph.ComputeUs, ph.AlignUs = ent.computeUs, ent.alignUs
+	ph.KernelUs, ph.KernelOps = ent.kernelUs, ent.kernelOps
+	sp.Set("plan_source", ph.PlanSource)
 	if ent.err != "" {
 		out.Err = ent.err
+		ph.TotalUs = usSince(t0)
+		s.addPhases(ph)
+		sp.Set("error", ent.err).End()
 		return out
 	}
+	costStart := time.Now()
+	acc := &selAcc{}
 	counts := map[string]int{}
 	for _, pl := range ent.plans {
 		out.Classes[pl.class]++
 		if pl.vectorizable {
 			out.Vectorizable++
 		}
-		t, choices := planTime(sc, pl, cache)
+		t, choices := planTime(ctx, sc, pl, s.cache, acc)
 		out.ModelTime += t
 		for _, ch := range choices {
 			counts[ch.String()]++
 		}
 	}
 	out.Collectives = formatCollectives(counts)
+	ph.SelectUs = float64(acc.ns) / 1e3
+	ph.SelectHits, ph.SelectMisses = acc.hits, acc.misses
+	ph.CostUs = usSince(costStart)
+	ph.TotalUs = usSince(t0)
+	s.addPhases(ph)
+	if memo := ph.SelectMemo(); memo != "" {
+		sp.Set("select_memo", memo)
+	}
+	sp.End()
 	return out
 }
 
@@ -415,24 +465,36 @@ func collectiveTotals(results []Result) map[string]int {
 
 // computeOrLoad fills a plan-tier memory miss: consult the disk store
 // first, recompute on a disk miss (or an undecodable record), and
-// write fresh plans back so the next process starts warm.
-func computeOrLoad(sc *scenarios.Scenario, cache *Cache, store PlanStore) planEntry {
+// write fresh plans back so the next process starts warm. It reports
+// which tier produced the entry ("disk" or "compute") and the time
+// spent talking to the store, and records a "store.lookup" span when
+// ctx carries a trace.
+func computeOrLoad(ctx context.Context, sc *scenarios.Scenario, cache *Cache, store PlanStore) (planEntry, string, float64) {
 	key := sc.PlanKey()
+	var storeUs float64
 	if store != nil {
+		t0 := time.Now()
+		_, lsp := trace.StartSpan(ctx, "store.lookup")
+		lsp.Set("tier", "plans")
 		if recs, errMsg, ok := store.GetPlan(key); ok {
 			if ent, err := fromRecords(recs, errMsg); err == nil {
 				cache.diskHits.Add(1)
-				return ent
+				lsp.Set("result", "hit").End()
+				return ent, "disk", usSince(t0)
 			}
 		}
 		cache.diskMisses.Add(1)
+		lsp.Set("result", "miss").End()
+		storeUs = usSince(t0)
 	}
-	ent := optimize(sc)
+	ent := optimizeCtx(ctx, sc)
 	if store != nil {
+		t0 := time.Now()
 		recs, errMsg := toRecords(ent)
 		store.PutPlan(key, recs, errMsg)
+		storeUs += usSince(t0)
 	}
-	return ent
+	return ent, "compute", storeUs
 }
 
 // Report renders a human-readable batch summary: aggregate class

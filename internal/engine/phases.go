@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PhaseTimes is the per-scenario wall-clock cost attribution: where
+// one scenario's engine time went, phase by phase. It rides on
+// Result.Phases but is deliberately excluded from Result's JSON form
+// — timings differ between runs, and snapshots must stay
+// byte-identical (see store.Snapshot); emitters that want timings
+// (the /v1 API, CSV) serialize it explicitly.
+type PhaseTimes struct {
+	// PlanSource names the tier that produced the scenario's plans
+	// this run: "memory", "disk" or "compute".
+	PlanSource string
+	// ComputeUs, AlignUs, KernelUs and KernelOps attribute the plan
+	// computation: the full two-step heuristic, step-1 alignment
+	// within it, and the exact integer linear algebra (Hermite forms,
+	// kernel bases) not served by the kernel memo. For "memory" and
+	// "disk" plan sources they report the recorded cost of the
+	// original computation — possibly from an earlier process — so
+	// cost attribution survives the cache tiers; PlanSource says
+	// whether the cost was paid this request.
+	ComputeUs float64
+	AlignUs   float64
+	KernelUs  float64
+	KernelOps int
+	// SelectUs, SelectHits and SelectMisses cover the collective
+	// selector (memoized per machine/pattern/dims/bytes): time spent
+	// this run, and the memo outcome split.
+	SelectUs     float64
+	SelectHits   int
+	SelectMisses int
+	// StoreUs is the time spent on disk-tier plan lookups and
+	// write-backs this run.
+	StoreUs float64
+	// CostUs is the cost-model walk over the plans (selection
+	// included); TotalUs is the scenario's end-to-end engine time.
+	CostUs  float64
+	TotalUs float64
+}
+
+// SelectMemo summarizes the selection-memo outcome for this scenario:
+// "hit", "miss", "mixed", or "" when no selection ran.
+func (p *PhaseTimes) SelectMemo() string {
+	switch {
+	case p == nil || p.SelectHits+p.SelectMisses == 0:
+		return ""
+	case p.SelectMisses == 0:
+		return "hit"
+	case p.SelectHits == 0:
+		return "miss"
+	}
+	return "mixed"
+}
+
+func usSince(t0 time.Time) float64 { return float64(time.Since(t0)) / 1e3 }
+
+// selAcc accumulates collective-selection time and memo outcomes
+// across one scenario's plans. Methods tolerate the nil receiver, so
+// costing outside a scenario run needs no accumulator.
+type selAcc struct {
+	ns           int64
+	hits, misses int
+}
+
+func (a *selAcc) observe(d time.Duration, hit bool) {
+	if a == nil {
+		return
+	}
+	a.ns += int64(d)
+	if hit {
+		a.hits++
+	} else {
+		a.misses++
+	}
+}
+
+// kernelTrack maps goroutine ID → accumulator for the scenario
+// computing on that goroutine. The intmat kernel hooks carry no
+// context, so attribution is keyed by goroutine: kernels compute
+// synchronously on the worker running the scenario.
+var kernelTrack sync.Map // uint64 → *kernelAcc
+
+type kernelAcc struct {
+	dur time.Duration
+	ops int
+}
+
+// observeKernel is installed as the process-global
+// intmat.SetKernelObserver hook while a session is open (installMu
+// serializes sessions, so the hook is never shared).
+func observeKernel(d time.Duration) {
+	if v, ok := kernelTrack.Load(goid()); ok {
+		// Only the owning goroutine reaches its accumulator, so plain
+		// writes are safe.
+		a := v.(*kernelAcc)
+		a.dur += d
+		a.ops++
+	}
+}
+
+// trackKernels registers the current goroutine for kernel-time
+// attribution and returns the stop function yielding the accumulated
+// compute time and operation count.
+func trackKernels() func() (time.Duration, int) {
+	id := goid()
+	a := &kernelAcc{}
+	kernelTrack.Store(id, a)
+	return func() (time.Duration, int) {
+		kernelTrack.Delete(id)
+		return a.dur, a.ops
+	}
+}
+
+// goid parses the current goroutine's ID from the runtime.Stack
+// header ("goroutine 123 [running]:"). It is called only around
+// kernel computations — the expensive exact-linear-algebra path —
+// where the stack-header cost is noise.
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// PhaseTotals aggregates the session's per-phase wall-clock spend
+// over every scenario it has run — the /v1/stats and metrics view of
+// PhaseTimes. Align/Kernel/Compute count only scenarios whose plans
+// were computed this session (PlanSource "compute"), never the
+// recorded historical cost a cache or disk hit reports.
+type PhaseTotals struct {
+	Scenarios uint64
+	ComputeUs float64
+	AlignUs   float64
+	KernelUs  float64
+	SelectUs  float64
+	StoreUs   float64
+	CostUs    float64
+	TotalUs   float64
+}
+
+// addPhases folds one scenario's breakdown into the session totals.
+func (s *Session) addPhases(p *PhaseTimes) {
+	s.phaseScenarios.Add(1)
+	if p.PlanSource == "compute" {
+		s.phaseComputeNs.Add(int64(p.ComputeUs * 1e3))
+		s.phaseAlignNs.Add(int64(p.AlignUs * 1e3))
+		s.phaseKernelNs.Add(int64(p.KernelUs * 1e3))
+	}
+	s.phaseSelectNs.Add(int64(p.SelectUs * 1e3))
+	s.phaseStoreNs.Add(int64(p.StoreUs * 1e3))
+	s.phaseCostNs.Add(int64(p.CostUs * 1e3))
+	s.phaseTotalNs.Add(int64(p.TotalUs * 1e3))
+}
+
+// PhaseTotals snapshots the session's cumulative phase attribution.
+func (s *Session) PhaseTotals() PhaseTotals {
+	return PhaseTotals{
+		Scenarios: s.phaseScenarios.Load(),
+		ComputeUs: float64(s.phaseComputeNs.Load()) / 1e3,
+		AlignUs:   float64(s.phaseAlignNs.Load()) / 1e3,
+		KernelUs:  float64(s.phaseKernelNs.Load()) / 1e3,
+		SelectUs:  float64(s.phaseSelectNs.Load()) / 1e3,
+		StoreUs:   float64(s.phaseStoreNs.Load()) / 1e3,
+		CostUs:    float64(s.phaseCostNs.Load()) / 1e3,
+		TotalUs:   float64(s.phaseTotalNs.Load()) / 1e3,
+	}
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/scenarios"
+	"repro/internal/trace"
+)
+
+// macroSuiteScenario returns a scenario whose optimization yields at
+// least one macro-communication, so collective selection runs (the
+// paper's example 1 broadcasts on the fat tree).
+func macroSuiteScenario(t *testing.T) *scenarios.Scenario {
+	t.Helper()
+	s := scenarios.Generate(scenarios.Config{Seed: 7})
+	if len(s) == 0 {
+		t.Fatal("empty default suite")
+	}
+	return &s[0]
+}
+
+// TestPhaseAttribution: a cold run attributes compute/align/kernel
+// time, a warm run reports the memory tier with the recorded compute
+// cost and an all-hit selection memo, and a fresh session over the
+// same store reports the disk tier — with the original compute cost
+// carried through the PlanRecord timing fields.
+func TestPhaseAttribution(t *testing.T) {
+	sc := macroSuiteScenario(t)
+	st := newMemStore()
+	sess := NewSession(Options{Workers: 2, Store: st})
+
+	cold, err := sess.Optimize(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := cold.Phases
+	if ph == nil {
+		t.Fatal("cold result has no phase breakdown")
+	}
+	if ph.PlanSource != "compute" {
+		t.Errorf("cold plan source = %q, want compute", ph.PlanSource)
+	}
+	if ph.ComputeUs <= 0 || ph.AlignUs <= 0 || ph.TotalUs <= 0 {
+		t.Errorf("cold run lost compute attribution: %+v", ph)
+	}
+	if ph.KernelOps == 0 || ph.KernelUs <= 0 {
+		t.Errorf("no kernel time attributed on a cold run: %+v", ph)
+	}
+	if cold.Collectives == "" {
+		t.Fatalf("scenario %s selected no collectives; pick one that does", sc.Name)
+	}
+	if ph.SelectMemo() != "miss" {
+		t.Errorf("cold selection memo = %q (%d hits, %d misses), want miss",
+			ph.SelectMemo(), ph.SelectHits, ph.SelectMisses)
+	}
+
+	warm, err := sess.Optimize(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wph := warm.Phases
+	if wph.PlanSource != "memory" {
+		t.Errorf("warm plan source = %q, want memory", wph.PlanSource)
+	}
+	if wph.ComputeUs != ph.ComputeUs || wph.KernelOps != ph.KernelOps {
+		t.Errorf("warm run lost the recorded compute cost: cold %+v warm %+v", ph, wph)
+	}
+	if wph.SelectMemo() != "hit" {
+		t.Errorf("warm selection memo = %q (%d hits, %d misses), want hit",
+			wph.SelectMemo(), wph.SelectHits, wph.SelectMisses)
+	}
+
+	totals := sess.PhaseTotals()
+	if totals.Scenarios != 2 {
+		t.Errorf("session counted %d scenarios, want 2", totals.Scenarios)
+	}
+	// Only the cold run computed; the warm run must not double-count
+	// the recorded historical cost.
+	if totals.ComputeUs != ph.ComputeUs {
+		t.Errorf("session compute total %g, want the cold run's %g", totals.ComputeUs, ph.ComputeUs)
+	}
+	if totals.TotalUs < ph.TotalUs+wph.TotalUs {
+		t.Errorf("session total %g < sum of scenario totals %g", totals.TotalUs, ph.TotalUs+wph.TotalUs)
+	}
+	sess.Close()
+
+	// A fresh session over the same store: plans come from disk, and
+	// the PlanRecord timing fields carry the original compute cost.
+	sess2 := NewSession(Options{Workers: 2, Store: st})
+	defer sess2.Close()
+	disk, err := sess2.Optimize(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dph := disk.Phases
+	if dph.PlanSource != "disk" {
+		t.Errorf("fresh-session plan source = %q, want disk", dph.PlanSource)
+	}
+	if dph.StoreUs <= 0 {
+		t.Errorf("disk hit attributed no store time: %+v", dph)
+	}
+	if dph.ComputeUs != ph.ComputeUs || dph.AlignUs != ph.AlignUs ||
+		dph.KernelUs != ph.KernelUs || dph.KernelOps != ph.KernelOps {
+		t.Errorf("disk-loaded entry lost the recorded compute cost:\n cold %+v\n disk %+v", ph, dph)
+	}
+	if ct := sess2.PhaseTotals().ComputeUs; ct != 0 {
+		t.Errorf("fresh session charged %gµs of compute for a disk hit", ct)
+	}
+}
+
+// spanNames flattens a recorded trace into name → spans.
+func spanNames(td *trace.TraceData) map[string][]trace.SpanData {
+	out := map[string][]trace.SpanData{}
+	for _, sd := range td.Spans {
+		out[sd.Name] = append(out[sd.Name], sd)
+	}
+	return out
+}
+
+// TestScenarioTrace: optimizing under an active trace records the
+// full span tree — scenario, store lookup, optimize with alignment
+// and kernel children, collective selection — with non-zero durations
+// and the memo annotation flipping to "hit" on a warm re-run.
+func TestScenarioTrace(t *testing.T) {
+	sc := macroSuiteScenario(t)
+	st := newMemStore()
+	sess := NewSession(Options{Workers: 2, Store: st})
+	defer sess.Close()
+	rec := trace.NewRecorder(4)
+
+	ctx, root := trace.StartRoot(context.Background(), rec, "cold", "")
+	if _, err := sess.Optimize(ctx, sc); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	td, ok := rec.Get(root.TraceID().String())
+	if !ok {
+		t.Fatal("cold trace not recorded")
+	}
+	names := spanNames(td)
+	for _, want := range []string{"scenario", "store.lookup", "optimize", "alignment", "kernel", "collective.select"} {
+		spans := names[want]
+		if len(spans) == 0 {
+			t.Fatalf("cold trace has no %q span:\n%s", want, td.TreeString())
+		}
+		for _, sd := range spans {
+			if sd.DurationUs <= 0 {
+				t.Errorf("%q span has zero duration", want)
+			}
+		}
+	}
+	if got := names["scenario"][0].Attrs["plan_source"]; got != "compute" {
+		t.Errorf("cold scenario span plan_source = %q, want compute", got)
+	}
+	if got := names["store.lookup"][0].Attrs["result"]; got != "miss" {
+		t.Errorf("cold store.lookup result = %q, want miss", got)
+	}
+	if got := names["collective.select"][0].Attrs["memo"]; got != "miss" {
+		t.Errorf("cold select memo = %q, want miss", got)
+	}
+
+	ctx, root = trace.StartRoot(context.Background(), rec, "warm", "")
+	if _, err := sess.Optimize(ctx, sc); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	td, ok = rec.Get(root.TraceID().String())
+	if !ok {
+		t.Fatal("warm trace not recorded")
+	}
+	names = spanNames(td)
+	if got := names["scenario"][0].Attrs["select_memo"]; got != "hit" {
+		t.Errorf("warm scenario select_memo = %q, want hit:\n%s", got, td.TreeString())
+	}
+	for _, sd := range names["collective.select"] {
+		if sd.Attrs["memo"] != "hit" {
+			t.Errorf("warm select span memo = %q, want hit", sd.Attrs["memo"])
+		}
+	}
+	if len(names["optimize"]) != 0 {
+		t.Error("warm run recorded an optimize span despite the memory hit")
+	}
+}

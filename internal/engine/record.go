@@ -1,10 +1,15 @@
 package engine
 
 import (
+	"context"
+	"strconv"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/intmat"
 	"repro/internal/macro"
 	"repro/internal/scenarios"
+	"repro/internal/trace"
 )
 
 // PlanRecord is the serializable projection of one core.Plan: exactly
@@ -24,6 +29,18 @@ type PlanRecord struct {
 	MacroDims []int        `json:"mdims,omitempty"`
 	Factors   []intmat.Rec `json:"factors,omitempty"`
 	Dataflow  *intmat.Rec  `json:"dataflow,omitempty"`
+
+	// ComputeUs, AlignUs, KernelUs and KernelOps are set on the first
+	// record of an entry only: the wall-clock cost of the heuristic
+	// run that produced the entry's plans, so a disk-loaded plan still
+	// attributes its original compute cost (see PhaseTimes). They are
+	// attribution metadata, not plan content — two stores may record
+	// different timings for byte-identical plans, and decoding ignores
+	// their absence (records written before this layout report zero).
+	ComputeUs float64 `json:"compute_us,omitempty"`
+	AlignUs   float64 `json:"align_us,omitempty"`
+	KernelUs  float64 `json:"kernel_us,omitempty"`
+	KernelOps int     `json:"kernel_ops,omitempty"`
 }
 
 // PlanStore is the disk tier consulted between the in-memory memo
@@ -69,16 +86,42 @@ type planInfo struct {
 type planEntry struct {
 	plans []planInfo
 	err   string
+	// Compute-cost attribution, carried with the entry across the
+	// cache tiers: the wall-clock of the heuristic run that produced
+	// the plans (computeUs total, alignUs step 1, kernelUs/kernelOps
+	// the unmemoized exact linear algebra). A disk-loaded entry
+	// reports the original computation's cost.
+	computeUs, alignUs, kernelUs float64
+	kernelOps                    int
 }
 
-// optimize computes a plan entry from scratch via the full two-step
-// heuristic, projecting the result down to what costing needs.
-func optimize(sc *scenarios.Scenario) planEntry {
-	res, err := core.Optimize(sc.Program, sc.M, sc.Opts)
-	if err != nil {
-		return planEntry{err: err.Error()}
+// optimizeCtx computes a plan entry from scratch via the full
+// two-step heuristic, projecting the result down to what costing
+// needs and recording the compute-cost attribution. When ctx carries
+// an active trace it adds an "optimize" span with "alignment",
+// "macro", "decompose" (from core) and an accumulated "kernel" child.
+func optimizeCtx(ctx context.Context, sc *scenarios.Scenario) planEntry {
+	ctx, sp := trace.StartSpan(ctx, "optimize")
+	t0 := time.Now()
+	stop := trackKernels()
+	res, err := core.OptimizeCtx(ctx, sc.Program, sc.M, sc.Opts)
+	kdur, kops := stop()
+	if kops > 0 {
+		trace.AddSpan(ctx, "kernel", t0, kdur,
+			map[string]string{"ops": strconv.Itoa(kops)})
 	}
-	ent := planEntry{plans: make([]planInfo, 0, len(res.Plans))}
+	ent := planEntry{
+		computeUs: usSince(t0),
+		kernelUs:  float64(kdur) / 1e3,
+		kernelOps: kops,
+	}
+	if err != nil {
+		ent.err = err.Error()
+		sp.Set("error", ent.err).End()
+		return ent
+	}
+	ent.alignUs = float64(res.Timing.Align) / 1e3
+	ent.plans = make([]planInfo, 0, len(res.Plans))
 	for _, pl := range res.Plans {
 		ent.plans = append(ent.plans, planInfo{
 			class:          pl.Class,
@@ -89,6 +132,7 @@ func optimize(sc *scenarios.Scenario) planEntry {
 			dataflow:       pl.Dataflow,
 		})
 	}
+	sp.SetInt("plans", int64(len(ent.plans))).End()
 	return ent
 }
 
@@ -132,6 +176,12 @@ func toRecords(ent planEntry) ([]PlanRecord, string) {
 		}
 		recs = append(recs, r)
 	}
+	if len(recs) > 0 {
+		recs[0].ComputeUs = ent.computeUs
+		recs[0].AlignUs = ent.alignUs
+		recs[0].KernelUs = ent.kernelUs
+		recs[0].KernelOps = ent.kernelOps
+	}
 	return recs, ent.err
 }
 
@@ -165,6 +215,12 @@ func fromRecords(recs []PlanRecord, errMsg string) (planEntry, error) {
 			p.dataflow = t
 		}
 		ent.plans = append(ent.plans, p)
+	}
+	if len(recs) > 0 {
+		ent.computeUs = recs[0].ComputeUs
+		ent.alignUs = recs[0].AlignUs
+		ent.kernelUs = recs[0].KernelUs
+		ent.kernelOps = recs[0].KernelOps
 	}
 	return ent, nil
 }

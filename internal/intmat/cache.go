@@ -3,6 +3,7 @@ package intmat
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // KernelCache is a memo store for the expensive kernels of this
@@ -38,6 +39,33 @@ func getKernelCache() KernelCache {
 	return nil
 }
 
+// kernelObserver holds the installed cost observer, boxed like
+// kernelCache so the hot path reads it lock-free.
+var kernelObserver atomic.Value // of kernelObserverBox
+
+type kernelObserverBox struct{ fn func(time.Duration) }
+
+// SetKernelObserver installs fn to receive the wall-clock duration of
+// every kernel computation that was NOT served from the memo cache
+// (cache misses, and all computations while no cache is installed);
+// nil disables observation (the default). fn must be safe for
+// concurrent use — kernels compute on every engine worker. Cache hits
+// are not reported: the observer attributes compute cost, not lookup
+// cost.
+func SetKernelObserver(fn func(time.Duration)) { kernelObserver.Store(kernelObserverBox{fn}) }
+
+// timeKernel starts timing one kernel computation and returns the
+// stop function reporting it to the installed observer (a no-op
+// without one).
+func timeKernel() func() {
+	b, _ := kernelObserver.Load().(kernelObserverBox)
+	if b.fn == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { b.fn(time.Since(t0)) }
+}
+
 // matPair is the cached value of a two-matrix kernel result.
 type matPair struct{ a, b *Mat }
 
@@ -48,7 +76,10 @@ type matPair struct{ a, b *Mat }
 func memoPair(op string, m *Mat, compute func(*Mat) (*Mat, *Mat)) (*Mat, *Mat) {
 	c := getKernelCache()
 	if c == nil {
-		return compute(m)
+		stop := timeKernel()
+		a, b := compute(m)
+		stop()
+		return a, b
 	}
 	key := op + ":" + m.Key()
 	if v, ok := c.Get(key); ok {
@@ -56,7 +87,9 @@ func memoPair(op string, m *Mat, compute func(*Mat) (*Mat, *Mat)) (*Mat, *Mat) {
 			return p.a.Clone(), p.b.Clone()
 		}
 	}
+	stop := timeKernel()
 	a, b := compute(m)
+	stop()
 	c.Put(key, matPair{a.Clone(), b.Clone()})
 	return a, b
 }
@@ -65,7 +98,10 @@ func memoPair(op string, m *Mat, compute func(*Mat) (*Mat, *Mat)) (*Mat, *Mat) {
 func memoOne(op string, m *Mat, compute func(*Mat) *Mat) *Mat {
 	c := getKernelCache()
 	if c == nil {
-		return compute(m)
+		stop := timeKernel()
+		r := compute(m)
+		stop()
+		return r
 	}
 	key := op + ":" + m.Key()
 	if v, ok := c.Get(key); ok {
@@ -73,7 +109,9 @@ func memoOne(op string, m *Mat, compute func(*Mat) *Mat) *Mat {
 			return r.Clone()
 		}
 	}
+	stop := timeKernel()
 	r := compute(m)
+	stop()
 	c.Put(key, r.Clone())
 	return r
 }

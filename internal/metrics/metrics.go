@@ -86,6 +86,19 @@ type histData struct {
 	counts  []atomic.Uint64 // per-bucket (non-cumulative), one per upper bound
 	inf     atomic.Uint64   // observations above the last bound
 	sumBits atomic.Uint64
+
+	// Latest exemplar per bucket (one extra slot for +Inf), kept only
+	// for the OpenMetrics exposition; the 0.0.4 text format cannot
+	// carry exemplars and ignores these.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace that produced it,
+// rendered on histogram bucket lines under the OpenMetrics format
+// (e.g. `... # {trace_id="4bf9…"} 0.032`).
+type Exemplar struct {
+	Labels map[string]string
+	Value  float64
 }
 
 // nameOK reports whether s is a legal metric or label name:
@@ -147,7 +160,10 @@ func (f *family) childFor(values []string) *child {
 	if !ok {
 		c = &child{labelValues: append([]string(nil), values...)}
 		if f.typ == "histogram" {
-			c.hist = &histData{counts: make([]atomic.Uint64, len(f.buckets))}
+			c.hist = &histData{
+				counts:    make([]atomic.Uint64, len(f.buckets)),
+				exemplars: make([]atomic.Pointer[Exemplar], len(f.buckets)+1),
+			}
 		}
 		f.children[key] = c
 	}
@@ -310,6 +326,20 @@ func (h Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveWithExemplar records one value and attaches an exemplar
+// (typically {"trace_id": ...}) to the bucket it lands in, replacing
+// that bucket's previous exemplar. Empty labels degrade to a plain
+// Observe.
+func (h Histogram) ObserveWithExemplar(v float64, labels map[string]string) {
+	h.Observe(v)
+	if len(labels) == 0 {
+		return
+	}
+	d := h.c.hist
+	idx := sort.SearchFloat64s(h.bounds, v)
+	d.exemplars[idx].Store(&Exemplar{Labels: labels, Value: v})
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
 
@@ -379,9 +409,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 // Handler returns an http.Handler serving the exposition (the
-// GET /metrics endpoint).
+// GET /metrics endpoint): the 0.0.4 text format by default, or
+// OpenMetrics — which carries histogram exemplars — when the scraper
+// negotiates it via Accept.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if AcceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+			r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", ContentType)
 		r.WriteText(w)
 	})

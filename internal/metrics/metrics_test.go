@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -248,5 +250,84 @@ func TestConcurrentUse(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q", want)
 		}
+	}
+}
+
+// TestExemplars: ObserveWithExemplar attaches the exemplar to the
+// bucket the value lands in, visible only under OpenMetrics; the
+// default text exposition is byte-identical to plain observations.
+func TestExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.ObserveWithExemplar(0.05, map[string]string{"trace_id": "abc123"})
+	h.ObserveWithExemplar(0.5, map[string]string{"trace_id": "def456"})
+	h.ObserveWithExemplar(5, nil) // no labels: plain observation
+
+	text := scrape(t, r)
+	if strings.Contains(text, "abc123") {
+		t.Errorf("text exposition leaked an exemplar:\n%s", text)
+	}
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	om := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1 # {trace_id="abc123"} 0.05`,
+		`lat_seconds_bucket{le="1"} 2 # {trace_id="def456"} 0.5`,
+		"lat_seconds_count 3\n",
+		"# EOF\n",
+	} {
+		if !strings.Contains(om, want) {
+			t.Errorf("OpenMetrics missing %q in:\n%s", want, om)
+		}
+	}
+	if strings.Contains(om, `le="+Inf"} 3 #`) {
+		t.Errorf("+Inf bucket gained an exemplar from unlabeled observe:\n%s", om)
+	}
+}
+
+// TestOpenMetricsCounterNaming: the counter family metadata drops the
+// _total suffix its samples keep, and negotiation picks the format.
+func TestOpenMetricsNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("reqs_total", "Reqs.").Inc()
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	om := b.String()
+	for _, want := range []string{"# TYPE reqs counter\n", "reqs_total 1\n"} {
+		if !strings.Contains(om, want) {
+			t.Errorf("missing %q in:\n%s", want, om)
+		}
+	}
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeOpenMetrics {
+		t.Errorf("negotiated Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.HasSuffix(string(body), "# EOF\n") {
+		t.Errorf("OpenMetrics body lacks # EOF terminator:\n%s", body)
+	}
+
+	plain, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Body.Close()
+	if ct := plain.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("default Content-Type = %q", ct)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // DefaultJobsCap bounds retained finished jobs; running jobs are
@@ -286,16 +288,32 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	js, ctx := s.jobs.create(spec, len(rb.suite))
+	// The job outlives the submitting request, so it gets its own root
+	// trace — minted before the 202 so the response carries the ID —
+	// linked back to the submitting request's trace via submitted_by.
+	ctx, root := trace.StartRoot(ctx, s.tracer, "job", "")
+	root.Set("job_id", js.job.ID)
+	if sub := trace.FromContext(r.Context()); sub != nil {
+		root.Set("submitted_by", sub.TraceID().String())
+	}
+	js.mu.Lock()
+	js.job.TraceID = root.TraceID().String()
+	js.mu.Unlock()
+	s.logger.Info("job submitted",
+		slog.String("job_id", js.job.ID),
+		slog.Int("scenarios", len(rb.suite)),
+		slog.String("trace_id", js.job.TraceID))
 	s.jobWG.Add(1)
 	go func() {
 		defer s.jobWG.Done()
-		s.runJob(ctx, js, rb)
+		s.runJob(ctx, js, rb, root)
 	}()
 	writeJSON(w, http.StatusAccepted, js.snapshot())
 }
 
-// runJob drives one async batch on the shared session.
-func (s *Server) runJob(ctx context.Context, js *jobState, rb *resolvedBatch) {
+// runJob drives one async batch on the shared session, under the
+// job's own root span.
+func (s *Server) runJob(ctx context.Context, js *jobState, rb *resolvedBatch, root *trace.Span) {
 	js.mu.Lock()
 	now := time.Now().UTC()
 	js.job.Status = api.JobRunning
@@ -316,10 +334,20 @@ func (s *Server) runJob(ctx context.Context, js *jobState, rb *resolvedBatch) {
 	if runErr != nil {
 		js.job.Status = api.JobCancelled
 		js.job.Error = runErr.Error()
+		root.Set("error", js.job.Error)
 	} else {
 		js.job.Status = api.JobDone
 	}
+	job := js.job
 	js.mu.Unlock()
+	root.Set("status", string(job.Status)).SetInt("scenarios", int64(sum.Scenarios)).End()
+	s.logger.Info("job finished",
+		slog.String("job_id", job.ID),
+		slog.String("status", string(job.Status)),
+		slog.Int("scenarios", sum.Scenarios),
+		slog.Int("errors", sum.Errors),
+		slog.Duration("duration", done.Sub(job.Created)),
+		slog.String("trace_id", job.TraceID))
 	// Persist the terminal state so the job survives a daemon restart
 	// (cancelled jobs too: their completed prefix is real work).
 	s.jobs.persist(js)

@@ -4,12 +4,15 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // observability is the server's metric surface: one registry holding
@@ -54,6 +57,24 @@ func newObservability(s *Server) *observability {
 	reg.NewCounterFunc("resoptd_http_rate_limited_total",
 		"Requests rejected by the per-client rate limiter.",
 		func() uint64 { return s.rateLimited.Load() })
+
+	// Build identity, the standard always-1 info gauge.
+	reg.NewGaugeVec("resoptd_build_info",
+		"Build metadata; always 1. Version is stamped via ldflags.",
+		"version", "goversion").
+		With(buildinfo.Version, runtime.Version()).Set(1)
+
+	// Engine phase attribution: where optimization wall-clock goes.
+	phase := reg.NewCounterVec("resopt_engine_phase_time_us_total",
+		"Cumulative engine wall-clock attributed to optimizer phases, in microseconds.", "phase")
+	totals := s.session.PhaseTotals
+	phase.WithFunc(func() uint64 { return uint64(totals().ComputeUs) }, "compute")
+	phase.WithFunc(func() uint64 { return uint64(totals().AlignUs) }, "align")
+	phase.WithFunc(func() uint64 { return uint64(totals().KernelUs) }, "kernel")
+	phase.WithFunc(func() uint64 { return uint64(totals().SelectUs) }, "select")
+	phase.WithFunc(func() uint64 { return uint64(totals().StoreUs) }, "store")
+	phase.WithFunc(func() uint64 { return uint64(totals().CostUs) }, "cost")
+	phase.WithFunc(func() uint64 { return uint64(totals().TotalUs) }, "total")
 
 	// Job lifecycle gauges, refreshed per scrape.
 	jobs := reg.NewGaugeVec("resoptd_jobs", "Async batch jobs by lifecycle state.", "state")
@@ -161,9 +182,13 @@ func (o *observability) registerStore(st *store.Store) {
 // separate listener (resoptd -ops-addr) that is not exposed to API
 // clients:
 //
-//	GET /metrics        Prometheus text exposition of every family
-//	GET /healthz        liveness/readiness probe ("ok" once serving)
-//	GET /debug/pprof/*  the standard runtime profiles
+//	GET /metrics           Prometheus text exposition of every family
+//	                       (OpenMetrics with exemplars when negotiated)
+//	GET /healthz           liveness/readiness probe: {"status":"ok",...}
+//	                       with the stamped build version
+//	GET /debug/traces      recent request traces (?min=50ms&limit=10)
+//	GET /debug/traces/{id} one trace as a JSON span tree
+//	GET /debug/pprof/*     the standard runtime profiles
 //
 // pprof is wired explicitly rather than through the side effect of
 // importing net/http/pprof (which registers on http.DefaultServeMux —
@@ -172,16 +197,21 @@ func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", s.obs.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status":  "ok",
+			"version": buildinfo.Version,
+			"go":      runtime.Version(),
+		})
 	})
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "resoptd ops: GET /metrics, GET /healthz, GET /debug/pprof/\n")
+		io.WriteString(w, "resoptd ops: GET /metrics, GET /healthz, GET /debug/traces[/{id}], GET /debug/pprof/\n")
 	})
 	return mux
 }
@@ -204,7 +234,14 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		next.ServeHTTP(ow, r)
 		endpoint := endpointLabel(r)
 		s.obs.requests.With(endpoint, strconv.Itoa(ow.statusCode())).Inc()
-		s.obs.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		// Exemplar: link the latency bucket to this request's trace, so
+		// a scraper ingesting OpenMetrics can jump from a histogram
+		// spike to /debug/traces/{id}.
+		var exemplar map[string]string
+		if sp := trace.FromContext(r.Context()); sp != nil {
+			exemplar = map[string]string{"trace_id": sp.TraceID().String()}
+		}
+		s.obs.latency.With(endpoint).ObserveWithExemplar(time.Since(start).Seconds(), exemplar)
 		s.obs.bytesIn.With(endpoint).Add(uint64(cr.n))
 		s.obs.bytesOut.With(endpoint).Add(uint64(ow.bytes))
 	})

@@ -1,13 +1,16 @@
 package server
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/api"
+	"repro/internal/buildinfo"
 	"repro/internal/store"
 )
 
@@ -35,10 +38,18 @@ func TestOpsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hb, _ := io.ReadAll(resp.Body)
+	var health struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+		Go      string `json:"go"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || string(hb) != "ok\n" {
-		t.Fatalf("healthz: status %d body %q", resp.StatusCode, hb)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d decode err %v", resp.StatusCode, err)
+	}
+	if health.Status != "ok" || health.Version != buildinfo.Version || health.Go != runtime.Version() {
+		t.Fatalf("healthz payload %+v", health)
 	}
 
 	resp, err = ops.Client().Get(ops.URL + "/metrics")
@@ -66,6 +77,9 @@ func TestOpsEndpoints(t *testing.T) {
 		`resopt_store_gc_sweeps_total`,
 		`resoptd_jobs{state="queued"} 0`,
 		`resoptd_suite_cache_misses_total`,
+		`resoptd_build_info{version="` + buildinfo.Version + `",goversion="` + runtime.Version() + `"} 1`,
+		`resopt_engine_phase_time_us_total{phase="compute"}`,
+		`resopt_engine_phase_time_us_total{phase="total"}`,
 	} {
 		if !strings.Contains(m, want) {
 			t.Errorf("exposition missing %q", want)

@@ -85,6 +85,7 @@ type resolvedBatch struct {
 	baseline     *store.Snapshot
 	baselineName string
 	saveAs       string
+	timings      bool
 }
 
 // resolveBatch turns a wire spec into a runnable batch. Both the v1
@@ -92,8 +93,10 @@ type resolvedBatch struct {
 // the resolved-suite cache instead of regenerating the suite per
 // request, and snapshot-named specs re-run the recorded suite.
 func (s *Server) resolveBatch(spec api.BatchSpec) (*resolvedBatch, *api.Error) {
-	rb := &resolvedBatch{saveAs: spec.SaveAs}
-	spec.SaveAs = ""
+	// Timings and SaveAs are per-request behavior, not suite identity:
+	// strip them before the spec is compared, cached or recorded.
+	rb := &resolvedBatch{saveAs: spec.SaveAs, timings: spec.Timings}
+	spec.SaveAs, spec.Timings = "", false
 
 	if spec.Snapshot != "" {
 		if spec != (api.BatchSpec{Snapshot: spec.Snapshot}) {
@@ -114,8 +117,9 @@ func (s *Server) resolveBatch(spec api.BatchSpec) (*resolvedBatch, *api.Error) {
 		rb.baseline, rb.baselineName = snap, spec.Snapshot
 		spec = *snap.Spec
 		// Recorded specs are already normalized, but never let a
-		// hand-edited snapshot chain into another one.
-		spec.Snapshot, spec.SaveAs = "", ""
+		// hand-edited snapshot chain into another one (or force
+		// timings on every re-run).
+		spec.Snapshot, spec.SaveAs, spec.Timings = "", "", false
 	}
 
 	if spec.Random < 0 || spec.Deep < 0 ||

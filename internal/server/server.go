@@ -35,6 +35,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Options configure a server.
@@ -69,6 +71,15 @@ type Options struct {
 	RateKey string
 	// JobsCap bounds retained finished jobs (0: DefaultJobsCap).
 	JobsCap int
+	// Logger receives the structured request and job-lifecycle logs
+	// (nil: discard).
+	Logger *slog.Logger
+	// TraceSlow promotes requests at least this slow to a warning log
+	// carrying their full span tree (0: disabled).
+	TraceSlow time.Duration
+	// TraceCap bounds the in-memory trace ring (0: the recorder
+	// default).
+	TraceCap int
 }
 
 // Server owns the shared session. Create with New, serve via
@@ -84,6 +95,10 @@ type Server struct {
 	jobWG    sync.WaitGroup
 	obs      *observability
 
+	tracer    *trace.Recorder
+	logger    *slog.Logger
+	traceSlow time.Duration
+
 	// Background sweeper state (see StartSweeper).
 	sweepOpts atomic.Pointer[SweepOptions]
 	sweepStop chan struct{}
@@ -98,6 +113,10 @@ func New(opts Options) *Server {
 	if opts.Store != nil {
 		eo.Store = opts.Store
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		session:   engine.NewSession(eo),
 		store:     opts.Store,
@@ -105,6 +124,9 @@ func New(opts Options) *Server {
 		resolver:  newSuiteResolver(suiteCacheCap),
 		jobs:      newJobManager(opts.JobsCap, opts.Store),
 		sweepStop: make(chan struct{}),
+		tracer:    trace.NewRecorder(opts.TraceCap),
+		logger:    logger,
+		traceSlow: opts.TraceSlow,
 	}
 	s.obs = newObservability(s)
 	if opts.RatePerSec > 0 {
@@ -150,10 +172,11 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// Handler returns the HTTP handler: metric instrumentation, version
-// stamping and rate limiting around the route table.
+// Handler returns the HTTP handler: request tracing (outermost, so
+// everything below runs under the root span), metric instrumentation,
+// version stamping and rate limiting around the route table.
 func (s *Server) Handler() http.Handler {
-	return s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return s.traced(s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(api.VersionHeader, api.Version)
 		if s.limiter != nil {
 			if retry, ok := s.limiter.allow(s.rateKey(r), time.Now()); !ok {
@@ -165,7 +188,7 @@ func (s *Server) Handler() http.Handler {
 			}
 		}
 		s.mux.ServeHTTP(w, r)
-	}))
+	})))
 }
 
 // Close stops the background sweeper, cancels outstanding jobs, waits
@@ -215,6 +238,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Vectorizable: res.Vectorizable,
 		ModelTimeUs:  res.ModelTime,
 		Collectives:  res.Collectives,
+		Phases:       phaseBreakdown(res.Phases),
 	})
 }
 
@@ -253,14 +277,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // stream and async jobs.
 func (s *Server) runBatch(ctx context.Context, rb *resolvedBatch, emit func(api.BatchLine)) (api.BatchSummaryBody, error) {
 	b, runErr := s.session.RunStream(ctx, rb.suite, func(res engine.Result) {
-		emit(api.BatchLine{
+		line := api.BatchLine{
 			Name:         res.Name,
 			Classes:      res.Classes,
 			Vectorizable: res.Vectorizable,
 			ModelTimeUs:  res.ModelTime,
 			Collectives:  res.Collectives,
 			Err:          res.Err,
-		})
+		}
+		if rb.timings {
+			line.Phases = phaseBreakdown(res.Phases)
+		}
+		emit(line)
 	})
 	sum := api.BatchSummaryBody{
 		Scenarios:      len(b.Results),
@@ -276,7 +304,9 @@ func (s *Server) runBatch(ctx context.Context, rb *resolvedBatch, emit func(api.
 	spec := rb.genSpec
 	snap.Spec = &spec
 	if rb.baseline != nil {
+		_, dsp := trace.StartSpan(ctx, "snapshot.diff")
 		d := store.Compare(rb.baseline, snap)
+		dsp.Set("baseline", rb.baselineName).SetInt("regressions", int64(d.Regressions)).End()
 		sum.Diff = &api.DiffSummary{
 			Baseline:    rb.baselineName,
 			Unchanged:   d.Unchanged,
@@ -291,9 +321,14 @@ func (s *Server) runBatch(ctx context.Context, rb *resolvedBatch, emit func(api.
 		// failure here is an I/O problem. SaveSnapshot records it in
 		// the store's warning log (visible in /v1/stats); the summary
 		// omits the recording so clients can tell it did not stick.
-		if _, err := s.store.SaveSnapshot(rb.saveAs, snap); err == nil {
+		_, ssp := trace.StartSpan(ctx, "snapshot.save")
+		_, err := s.store.SaveSnapshot(rb.saveAs, snap)
+		if err == nil {
 			sum.Snapshot = rb.saveAs
+		} else {
+			ssp.Set("error", err.Error())
 		}
+		ssp.Set("name", rb.saveAs).End()
 	}
 	return sum, nil
 }
@@ -351,6 +386,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SuiteCache: s.resolver.stats(),
 		Jobs:       s.jobs.stats(),
 	}
+	pt := s.session.PhaseTotals()
+	resp.Phases = api.PhaseTotals{
+		Scenarios: pt.Scenarios,
+		ComputeUs: pt.ComputeUs,
+		AlignUs:   pt.AlignUs,
+		KernelUs:  pt.KernelUs,
+		SelectUs:  pt.SelectUs,
+		StoreUs:   pt.StoreUs,
+		CostUs:    pt.CostUs,
+		TotalUs:   pt.TotalUs,
+	}
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &api.StoreStats{
@@ -404,5 +450,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, e *api.Error) {
+	// The traced middleware stamped the Trace-Id header before
+	// dispatch; copying it into the body lets clients report the ID
+	// even when they only kept the decoded error.
+	if e.TraceID == "" {
+		e.TraceID = w.Header().Get(TraceHeader)
+	}
 	writeJSON(w, e.Status, api.ErrorEnvelope{Error: e})
 }

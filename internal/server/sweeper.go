@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"log/slog"
 	"time"
 
 	"repro/internal/api"
@@ -68,18 +69,26 @@ func (s *Server) StartSweeper(ctx context.Context, opts SweepOptions) {
 	}()
 }
 
-// sweepOnce is one tick: job retention, then store GC.
+// sweepOnce is one tick: job retention, then store GC. Ticks log at
+// debug level — they are periodic background noise unless someone is
+// chasing retention behavior.
 func (s *Server) sweepOnce(opts SweepOptions, now time.Time) {
+	var pruned, removed int
 	if opts.sweepsJobs() {
-		pruned := s.jobs.prune(opts.JobTTL, opts.JobKeep, now)
+		pruned = s.jobs.prune(opts.JobTTL, opts.JobKeep, now)
 		s.obs.sweepJobs.Add(uint64(pruned))
 	}
 	if s.store != nil && opts.sweepsStore() {
 		// GC failures are already recorded as store warnings; the
 		// sweeper just moves on to the next tick.
-		s.store.GC(store.GCOptions{MaxAge: opts.GCAge, MaxPlans: opts.GCKeep})
+		if res, err := s.store.GC(store.GCOptions{MaxAge: opts.GCAge, MaxPlans: opts.GCKeep}); err == nil {
+			removed = res.Removed()
+		}
 	}
 	s.obs.sweepRuns.Inc()
+	s.logger.Debug("sweep tick",
+		slog.Int("jobs_pruned", pruned),
+		slog.Int("files_removed", removed))
 }
 
 // sweeperStats summarizes the sweeper for /v1/stats (nil when the

@@ -42,10 +42,15 @@ func Compare(a, b *Snapshot) *Diff {
 	d := &Diff{}
 	inA := make(map[string]engine.Result, len(a.Results))
 	for _, r := range a.Results {
+		// Phase attribution is run-dependent wall clock, never part of
+		// the diffable plan identity: clear it (on this copy) so a fresh
+		// run compares equal to a loaded baseline, whose Phases are nil.
+		r.Phases = nil
 		inA[r.Name] = r
 	}
 	seen := make(map[string]bool, len(b.Results))
 	for _, rb := range b.Results {
+		rb.Phases = nil
 		ra, ok := inA[rb.Name]
 		if !ok {
 			d.Added = append(d.Added, rb.Name)

@@ -60,12 +60,17 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// WriteCSV emits one row per scenario (the -emit csv format).
+// WriteCSV emits one row per scenario (the -emit csv format). The
+// trailing phase columns carry the per-scenario cost attribution of
+// the run that produced the snapshot; they are empty for snapshots
+// loaded back from disk, where the attribution is not persisted.
 func (s *Snapshot) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"name", "local", "macro", "decomposed", "general", "vectorizable", "model_time_us", "collectives", "err"}); err != nil {
+	if err := cw.Write([]string{"name", "local", "macro", "decomposed", "general", "vectorizable", "model_time_us", "collectives", "err",
+		"plan_source", "align_us", "kernel_us", "select_us", "store_us", "total_us"}); err != nil {
 		return err
 	}
+	us := func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
 	for _, r := range s.Results {
 		row := []string{
 			r.Name,
@@ -75,6 +80,12 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(r.ModelTime, 'f', -1, 64),
 			r.Collectives,
 			r.Err,
+			"", "", "", "", "", "",
+		}
+		if ph := r.Phases; ph != nil {
+			row[9] = ph.PlanSource
+			row[10], row[11] = us(ph.AlignUs), us(ph.KernelUs)
+			row[12], row[13], row[14] = us(ph.SelectUs), us(ph.StoreUs), us(ph.TotalUs)
 		}
 		if err := cw.Write(row); err != nil {
 			return err

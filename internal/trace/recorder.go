@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanData is one completed span as recorded.
+type SpanData struct {
+	ID         string            `json:"id"`
+	Parent     string            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUs float64           `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceData is one completed trace: the root span's identity plus
+// every recorded span, in completion order.
+type TraceData struct {
+	TraceID    string     `json:"trace_id"`
+	Name       string     `json:"name"`
+	Start      time.Time  `json:"start"`
+	DurationUs float64    `json:"duration_us"`
+	Spans      []SpanData `json:"spans,omitempty"`
+	// Dropped counts spans discarded past the per-trace cap.
+	Dropped int `json:"dropped_spans,omitempty"`
+}
+
+// SpanNode is SpanData with resolved children — the JSON span tree
+// served by /debug/traces/{id}.
+type SpanNode struct {
+	SpanData
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree resolves parent links into span trees. Spans whose parent is
+// not in the trace become top-level nodes: the root span itself, and
+// a root adopted from a remote caller's traceparent (its parent lives
+// in another process). Children keep recording order.
+func (td *TraceData) Tree() []*SpanNode {
+	nodes := make(map[string]*SpanNode, len(td.Spans))
+	for i := range td.Spans {
+		sd := td.Spans[i]
+		nodes[sd.ID] = &SpanNode{SpanData: sd}
+	}
+	var roots []*SpanNode
+	for i := range td.Spans {
+		n := nodes[td.Spans[i].ID]
+		if p, ok := nodes[n.Parent]; ok && n.Parent != n.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// TreeString renders the span tree as an indented text block — the
+// payload of the -trace-slow log line.
+func (td *TraceData) TreeString() string {
+	var b strings.Builder
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		fmt.Fprintf(&b, "%*s%s %.0fµs", depth*2, "", n.Name, n.DurationUs)
+		if len(n.Attrs) > 0 {
+			keys := make([]string, 0, len(n.Attrs))
+			for k := range n.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%s", k, n.Attrs[k])
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range td.Tree() {
+		walk(r, 0)
+	}
+	if td.Dropped > 0 {
+		fmt.Fprintf(&b, "(+%d spans dropped past the per-trace cap)\n", td.Dropped)
+	}
+	return b.String()
+}
+
+// Recorder is a bounded in-memory ring of completed traces, newest
+// evicting oldest. It is safe for concurrent use; the zero value is
+// not usable — construct with NewRecorder.
+type Recorder struct {
+	mu    sync.Mutex
+	cap   int
+	byID  map[string]*TraceData
+	order []string // oldest first
+	total uint64
+}
+
+// DefaultRecorderCap is the default trace-ring capacity. Traces are
+// usually a handful of spans; batch traces can reach the per-trace
+// span cap, so the ring is kept small.
+const DefaultRecorderCap = 64
+
+// NewRecorder returns a recorder retaining the most recent capTraces
+// traces (0 or negative: DefaultRecorderCap).
+func NewRecorder(capTraces int) *Recorder {
+	if capTraces <= 0 {
+		capTraces = DefaultRecorderCap
+	}
+	return &Recorder{cap: capTraces, byID: make(map[string]*TraceData, capTraces)}
+}
+
+func (r *Recorder) add(td *TraceData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if _, ok := r.byID[td.TraceID]; ok {
+		// Two roots published under one trace ID (a caller reusing a
+		// traceparent): keep the newest, keep the ring position.
+		r.byID[td.TraceID] = td
+		return
+	}
+	r.byID[td.TraceID] = td
+	r.order = append(r.order, td.TraceID)
+	for len(r.order) > r.cap {
+		delete(r.byID, r.order[0])
+		r.order = append(r.order[:0], r.order[1:]...)
+	}
+}
+
+// Get returns the recorded trace with the given ID.
+func (r *Recorder) Get(id string) (*TraceData, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	td, ok := r.byID[id]
+	return td, ok
+}
+
+// List returns recorded traces newest-first, keeping only those of at
+// least min duration, at most limit entries (limit <= 0: no bound).
+func (r *Recorder) List(min time.Duration, limit int) []*TraceData {
+	minUs := float64(min) / float64(time.Microsecond)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceData, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		td := r.byID[r.order[i]]
+		if td.DurationUs < minUs {
+			continue
+		}
+		out = append(out, td)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns the number of traces currently retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
+// Total returns the number of traces ever recorded, evicted included.
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,50 @@
+package trace
+
+import "encoding/hex"
+
+// The W3C Trace Context traceparent header, version 00:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^  ^                                ^                ^
+//	|  trace-id (32 hex)                parent-id (16)   flags (2)
+//	version
+//
+// Only the version-00 fixed layout is accepted; the all-zero trace or
+// span ID is invalid per the spec, as is version "ff".
+
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// ParseTraceparent parses a W3C traceparent header. ok is false for
+// malformed input: wrong layout, non-hex fields, version ff, or an
+// all-zero trace/span ID — callers then mint a fresh trace instead.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	var tid TraceID
+	var sid SpanID
+	if len(h) != traceparentLen || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tid, sid, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(h[0:2])); err != nil || ver[0] == 0xff {
+		return tid, sid, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, sid, false
+	}
+	if _, err := hex.Decode(sid[:], []byte(h[36:52])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if tid.IsZero() || sid.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// sampled flag set.
+func FormatTraceparent(t TraceID, s SpanID) string {
+	return "00-" + t.String() + "-" + s.String() + "-01"
+}
