@@ -39,6 +39,17 @@
 //	resopt -remote http://localhost:8080 -batch -snapshot nightly
 //	resopt -remote http://localhost:8080 -batch -from-snapshot nightly
 //	resopt -remote http://localhost:8080 -snapshots
+//	resopt -remote http://localhost:8080 -stats
+//
+// -remote also takes a comma-separated endpoint list for a resoptd
+// cluster: requests are routed to a consistent endpoint per nest (the
+// client-side shard map, so repeat requests hit the same daemon's
+// cache) and fail over to the remaining endpoints when it is down.
+// Transient failures (429, 502/503/504, connection errors) are
+// retried with backoff, bounded by -retries:
+//
+//	resopt -remote http://hostA:8080,http://hostB:8080 -example matmul
+//	resopt -remote http://hostA:8080,http://hostB:8080 -stats
 package main
 
 import (
@@ -81,8 +92,10 @@ func main() {
 	emit := flag.String("emit", "", "batch: also emit the results as \"json\" or \"csv\"")
 	outFile := flag.String("o", "", "batch: write the -emit output (or remote NDJSON lines) to this file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two snapshots (args: paths, or names with -store); exit 1 on regressions")
-	remote := flag.String("remote", "", "drive the resoptd daemon at this base URL over /v1 instead of optimizing locally")
+	remote := flag.String("remote", "", "drive the resoptd daemon at this base URL over /v1 instead of optimizing locally; a comma-separated list shards and fails over across a cluster")
 	snapshots := flag.Bool("snapshots", false, "remote: list the daemon's stored snapshots")
+	stats := flag.Bool("stats", false, "remote: print the daemon's /v1/stats, including its cluster node view")
+	retries := flag.Int("retries", 2, "remote: retry budget for transient failures (429, 502/503/504, connection errors; 0: no retries)")
 	gc := flag.Bool("gc", false, "store: sweep the plan tier (needs -store and -gc-age and/or -gc-keep)")
 	gcAge := flag.Duration("gc-age", 0, "gc: remove plans unused for longer than this (0: no age limit)")
 	gcKeep := flag.Int("gc-keep", 0, "gc: keep at most this many plans, least recently used removed first (0: no count limit)")
@@ -116,6 +129,8 @@ func main() {
 			base:         *remote,
 			batch:        *batch,
 			snapshots:    *snapshots,
+			stats:        *stats,
+			retries:      *retries,
 			example:      *example,
 			nestFile:     *nestFile,
 			outFile:      *outFile,

@@ -3,19 +3,25 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/api"
 	"repro/internal/client"
+	"repro/internal/cluster"
 )
 
-// remoteConfig is resopt's -remote mode: drive a resoptd daemon over
-// the /v1 API with the Go client instead of optimizing in-process.
+// remoteConfig is resopt's -remote mode: drive a resoptd daemon (or a
+// comma-separated fleet of them) over the /v1 API with the Go client
+// instead of optimizing in-process.
 type remoteConfig struct {
 	base                 string
 	batch, snapshots     bool
+	stats                bool
+	retries              int
 	example, nestFile    string
 	outFile              string
 	saveAs, fromSnapshot string
@@ -23,25 +29,100 @@ type remoteConfig struct {
 	m                    int
 }
 
+// remoteFleet is the client-side view of one or more resoptd
+// endpoints: a consistent-hash ring over the endpoint URLs routes
+// each key to a stable endpoint (so repeat requests hit the same
+// daemon's cache), and the remaining endpoints are the failover
+// order. A single endpoint degenerates to "try it".
+type remoteFleet struct {
+	urls    []string
+	clients map[string]*client.Client
+	ring    *cluster.Ring
+}
+
+func newRemoteFleet(spec string, retries int) (*remoteFleet, error) {
+	f := &remoteFleet{clients: map[string]*client.Client{}}
+	for _, u := range strings.Split(spec, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		c, err := client.New(u, nil, client.WithRetry(retries))
+		if err != nil {
+			return nil, err
+		}
+		f.urls = append(f.urls, u)
+		f.clients[u] = c
+	}
+	if len(f.urls) == 0 {
+		return nil, fmt.Errorf("-remote: empty endpoint list")
+	}
+	f.ring = cluster.NewRing(f.urls, 0)
+	return f, nil
+}
+
+// order returns every endpoint, the ring successors of key first —
+// the shard map plus its failover tail. An empty key keeps the flag
+// order (no affinity to exploit).
+func (f *remoteFleet) order(key string) []*client.Client {
+	urls := f.urls
+	if key != "" {
+		urls = f.ring.Successors(key, len(f.urls))
+	}
+	out := make([]*client.Client, 0, len(urls))
+	for _, u := range urls {
+		out = append(out, f.clients[u])
+	}
+	return out
+}
+
+// try runs fn against each endpoint in order until one answers. A
+// typed api.Error is an answer — the daemon is alive and said no, so
+// another endpoint would say the same — and only transport-level
+// failures move on to the next endpoint.
+func (f *remoteFleet) try(order []*client.Client, fn func(*client.Client) error) error {
+	var lastErr error
+	for _, c := range order {
+		err := fn(c)
+		if err == nil {
+			return nil
+		}
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "resopt: %s unreachable: %v\n", c.BaseURL(), err)
+		lastErr = err
+	}
+	return lastErr
+}
+
 func runRemote(cfg remoteConfig) {
-	c, err := client.New(cfg.base, nil)
+	f, err := newRemoteFleet(cfg.base, cfg.retries)
 	if err != nil {
 		fatal(err)
 	}
 	ctx := context.Background()
 
 	switch {
+	case cfg.stats:
+		remoteStats(ctx, f)
 	case cfg.snapshots:
-		remoteSnapshots(ctx, c)
+		remoteSnapshots(ctx, f)
 	case cfg.batch:
-		remoteBatch(ctx, c, cfg)
+		remoteBatch(ctx, f, cfg)
 	default:
-		remoteOptimize(ctx, c, cfg)
+		remoteOptimize(ctx, f, cfg)
 	}
 }
 
-func remoteSnapshots(ctx context.Context, c *client.Client) {
-	snaps, err := c.Snapshots(ctx)
+func remoteSnapshots(ctx context.Context, f *remoteFleet) {
+	var snaps []api.SnapshotInfo
+	err := f.try(f.order(""), func(c *client.Client) error {
+		var err error
+		snaps, err = c.Snapshots(ctx)
+		return err
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -59,7 +140,46 @@ func remoteSnapshots(ctx context.Context, c *client.Client) {
 	}
 }
 
-func remoteOptimize(ctx context.Context, c *client.Client, cfg remoteConfig) {
+// remoteStats prints the daemon's /v1/stats — and, for a clustered
+// daemon, its node section: identity, ring, peer health and forward
+// traffic, the fleet-level picture a lone stats body cannot give.
+func remoteStats(ctx context.Context, f *remoteFleet) {
+	var st *api.StatsResponse
+	var from string
+	err := f.try(f.order(""), func(c *client.Client) error {
+		var err error
+		st, err = c.Stats(ctx)
+		from = c.BaseURL()
+		return err
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: api %s, %d workers\n", from, st.Version, st.Workers)
+	fmt.Printf("cache: plan %d/%d, kernel %d/%d, select %d/%d (hits/misses); disk plan %d/%d, kernel %d/%d\n",
+		st.Cache.PlanHits, st.Cache.PlanMisses, st.Cache.KernelHits, st.Cache.KernelMisses,
+		st.Cache.SelectHits, st.Cache.SelectMisses,
+		st.Cache.DiskHits, st.Cache.DiskMisses, st.Cache.KernelDiskHits, st.Cache.KernelDiskMisses)
+	fmt.Printf("requests: %d optimize, %d batch, %d jobs, %d rate-limited\n",
+		st.Requests.Optimize, st.Requests.Batch, st.Requests.Jobs, st.Requests.RateLimited)
+	n := st.Node
+	if n == nil {
+		fmt.Println("cluster: standalone (no -cluster)")
+		return
+	}
+	fmt.Printf("cluster: node %s, ring of %d, R=%d\n", n.ID, n.RingSize, n.Replicas)
+	fmt.Printf("  forwards: %d out, %d in, %d fallbacks; peer plan hits %d, plans replicated %d\n",
+		n.ForwardsOut, n.ForwardsIn, n.ForwardFallbacks, n.PeerPlanHits, n.PlansReplicated)
+	for _, p := range n.Peers {
+		state := "up"
+		if !p.Up {
+			state = fmt.Sprintf("DOWN (%d failures: %s)", p.Failures, p.LastErr)
+		}
+		fmt.Printf("  peer %-12s %-28s %s\n", p.Node, p.URL, state)
+	}
+}
+
+func remoteOptimize(ctx context.Context, f *remoteFleet, cfg remoteConfig) {
 	req := api.OptimizeRequest{
 		M:               cfg.spec.M,
 		NoMacro:         cfg.spec.NoMacro,
@@ -77,7 +197,15 @@ func remoteOptimize(ctx context.Context, c *client.Client, cfg remoteConfig) {
 	default:
 		req.Example = "example1"
 	}
-	res, err := c.Optimize(ctx, req)
+	// Shard by the nest itself: the same program always lands on the
+	// same endpoint first, whose caches (and cluster routing) take it
+	// from there.
+	var res *api.OptimizeResponse
+	err := f.try(f.order(req.Example+req.Nest), func(c *client.Client) error {
+		var err error
+		res, err = c.Optimize(ctx, req)
+		return err
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -86,13 +214,18 @@ func remoteOptimize(ctx context.Context, c *client.Client, cfg remoteConfig) {
 	if res.Collectives != "" {
 		fmt.Printf("collectives: %s\n", res.Collectives)
 	}
+	if res.Node != "" {
+		fmt.Printf("answered by cluster node %s\n", res.Node)
+	}
 }
 
 // remoteBatch streams a batch run: NDJSON result lines to stdout (or
 // -o FILE), the human summary — including the server-side snapshot
 // diff for -from-snapshot re-runs — to stderr. Exits 1 when the
-// server reports regressions against the snapshot baseline.
-func remoteBatch(ctx context.Context, c *client.Client, cfg remoteConfig) {
+// server reports regressions against the snapshot baseline. Endpoint
+// failover happens only until the first line arrives; a stream that
+// dies midway must not restart elsewhere and emit duplicate lines.
+func remoteBatch(ctx context.Context, f *remoteFleet, cfg remoteConfig) {
 	spec := cfg.spec
 	spec.SaveAs = cfg.saveAs
 	if cfg.fromSnapshot != "" {
@@ -108,12 +241,12 @@ func remoteBatch(ctx context.Context, c *client.Client, cfg remoteConfig) {
 	var out *os.File = os.Stdout
 	var tmpName string
 	if cfg.outFile != "" {
-		f, err := os.CreateTemp(filepath.Dir(cfg.outFile), ".resopt-*")
+		fl, err := os.CreateTemp(filepath.Dir(cfg.outFile), ".resopt-*")
 		if err != nil {
 			fatal(err)
 		}
-		tmpName = f.Name()
-		out = f
+		tmpName = fl.Name()
+		out = fl
 	}
 	// fatal os.Exits (defers do not run), so failure paths remove the
 	// temp file explicitly before exiting.
@@ -125,7 +258,21 @@ func remoteBatch(ctx context.Context, c *client.Client, cfg remoteConfig) {
 		fatal(err)
 	}
 	enc := json.NewEncoder(out)
-	sum, err := c.Batch(ctx, spec, func(l api.BatchLine) error { return enc.Encode(l) })
+	var sum *api.BatchSummary
+	streaming := false
+	err := f.try(f.order(spec.Snapshot+spec.SaveAs), func(c *client.Client) error {
+		var err error
+		sum, err = c.Batch(ctx, spec, func(l api.BatchLine) error {
+			streaming = true
+			return enc.Encode(l)
+		})
+		if err != nil && streaming {
+			// Lines were already emitted; surface the failure instead of
+			// replaying the suite on another endpoint.
+			fail(err)
+		}
+		return err
+	})
 	if err != nil {
 		fail(err)
 	}

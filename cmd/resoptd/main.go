@@ -26,6 +26,18 @@
 // endpoints away from API clients: GET /metrics (Prometheus text
 // format; OpenMetrics with trace exemplars when negotiated),
 // GET /healthz, GET /debug/traces[/{id}], and GET /debug/pprof/*.
+// Clustered serving shards the plan-key space across a static fleet
+// of daemons on a consistent-hash ring: requests for keys owned by a
+// peer are forwarded one hop, cold plans consult the replica peers
+// before computing, and finished plans/snapshots replicate to the
+// ring successors (see docs/OPERATIONS.md, "Running a cluster"):
+//
+//	resoptd -addr :8080 -store ./a -node-id node1 \
+//	        -cluster node1=http://hostA:8080,node2=http://hostB:8080
+//	resoptd -cluster-file fleet.json -node-id node2   # {"id": "url", ...}
+//	resoptd -cluster ... -cluster-replicas 3          # R=3 replication
+//	resoptd -cluster ... -probe-interval 5s           # slower health sweep
+//
 // The background sweeper (-sweep-interval, default off) ages finished
 // jobs and GCs the store tiers on a ticker, without a client asking:
 //
@@ -60,6 +72,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -102,6 +115,12 @@ func main() {
 	jobKeep := flag.Int("job-keep", 0, "sweeper: keep at most this many finished jobs (0: no count bound)")
 	gcAge := flag.Duration("gc-age", 0, "sweeper: GC store files unused for longer than this (0: no age criterion)")
 	gcKeep := flag.Int("gc-keep", 0, "sweeper: GC store files beyond this many per tier, least recently used first (0: no count criterion)")
+	clusterSpec := flag.String("cluster", "", "static cluster membership as comma-separated id=url pairs, e.g. node1=http://a:8080,node2=http://b:8080 (requires -node-id)")
+	clusterFile := flag.String("cluster-file", "", "JSON file mapping node id to base URL — the file variant of -cluster")
+	nodeID := flag.String("node-id", "", "this node's id within the -cluster/-cluster-file membership")
+	clusterVNodes := flag.Int("cluster-vnodes", 0, "virtual nodes per member on the hash ring (0: default)")
+	clusterReplicas := flag.Int("cluster-replicas", 0, "replication factor R, owner included (0: default 2)")
+	probeInterval := flag.Duration("probe-interval", 0, "peer health probe sweep period (0: default 2s)")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	traceSlow := flag.Duration("trace-slow", 0, "log the full span tree of requests slower than this (0: disabled)")
@@ -149,6 +168,44 @@ func main() {
 		}
 		opts.Store = st
 		logger.Info("plan store open", slog.String("dir", st.Dir()))
+	}
+	switch {
+	case *clusterSpec != "" && *clusterFile != "":
+		logger.Error("-cluster and -cluster-file are mutually exclusive")
+		os.Exit(1)
+	case *clusterSpec != "" || *clusterFile != "":
+		nodes, err := cluster.ParseSpec(*clusterSpec)
+		if *clusterFile != "" {
+			nodes, err = cluster.LoadFile(*clusterFile)
+		}
+		if err != nil {
+			logger.Error("cluster membership", slog.Any("err", err))
+			os.Exit(1)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:     *nodeID,
+			Nodes:    nodes,
+			VNodes:   *clusterVNodes,
+			Replicas: *clusterReplicas,
+		})
+		if err != nil {
+			logger.Error("cluster config", slog.Any("err", err))
+			os.Exit(1)
+		}
+		if opts.Store == nil {
+			logger.Warn("clustered without -store: plans and snapshots cannot replicate to or from this node")
+		}
+		opts.Cluster = cl
+		opts.ClusterProbeInterval = *probeInterval
+		logger.Info("clustered",
+			slog.String("node", cl.Self()),
+			slog.Int("members", cl.Size()),
+			slog.Int("replicas", cl.Replicas()))
+	default:
+		if *nodeID != "" {
+			logger.Error("-node-id needs -cluster or -cluster-file")
+			os.Exit(1)
+		}
 	}
 	srv := server.New(opts)
 

@@ -14,6 +14,7 @@
 package api
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 )
@@ -44,6 +45,10 @@ type Error struct {
 	// (also echoed in the Trace-Id response header), so an error report
 	// can be correlated with /debug/traces on the ops listener.
 	TraceID string `json:"trace_id,omitempty"`
+	// Node is the cluster node ID that produced the error, when the
+	// daemon runs clustered — with forwarding in play, the answering
+	// node is not always the one the client dialed.
+	Node string `json:"node,omitempty"`
 }
 
 func (e *Error) Error() string {
@@ -64,6 +69,7 @@ const (
 	CodeJobRunning    = "job_running"   // results requested before the job finished
 	CodeRateLimited   = "rate_limited"  // per-client token bucket exhausted
 	CodeCancelled     = "cancelled"     // the request's context was cancelled
+	CodeForbidden     = "forbidden"     // cluster-internal endpoint or bad peer credential
 	CodeInternal      = "internal"      // unexpected server-side failure
 )
 
@@ -109,14 +115,19 @@ type OptimizeResponse struct {
 	Collectives string `json:"collectives,omitempty"`
 	// Phases is the server-side cost attribution of this optimization.
 	Phases *PhaseBreakdown `json:"phases,omitempty"`
+	// Node is the cluster node ID that computed (or served) the
+	// answer; with request forwarding this can differ from the node
+	// the client dialed. Empty on unclustered daemons.
+	Node string `json:"node,omitempty"`
 }
 
 // PhaseBreakdown attributes the server-side wall-clock cost of one
 // scenario to the optimizer's phases. PlanSource tells where the plan
 // came from this request — "compute" (optimized now), "memory"
-// (session plan cache) or "disk" (plan store); for memory and disk
-// hits the align/kernel figures are the recorded cost of the original
-// computation, not time spent on this request.
+// (session plan cache), "disk" (plan store) or "peer" (fetched from a
+// cluster peer's store); for anything but "compute" the align/kernel
+// figures are the recorded cost of the original computation, not time
+// spent on this request.
 type PhaseBreakdown struct {
 	PlanSource string  `json:"plan_source"`
 	ComputeUs  float64 `json:"compute_us,omitempty"`
@@ -365,6 +376,60 @@ type PhaseTotals struct {
 	TotalUs   float64 `json:"total_us"`
 }
 
+// ForwardHeader marks a request as forwarded by a cluster peer; its
+// value is the sending node's ID. It is both the loop guard (a
+// forwarded request is never forwarded again) and the intra-cluster
+// credential that exempts peer traffic from the public rate limit —
+// a trusted-network assumption, like the rest of the static-member
+// cluster design.
+const ForwardHeader = "X-Resopt-Forwarded"
+
+// PeerStatus is one peer's health, as tracked by the answering node.
+type PeerStatus struct {
+	Node     string `json:"node"`
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	Failures int    `json:"failures,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+	SinceMs  int64  `json:"since_ms,omitempty"`
+}
+
+// NodeStats is the "node" section of GET /v1/stats, present when the
+// daemon runs clustered: this node's identity and its view of the
+// fleet.
+type NodeStats struct {
+	// ID is this node's cluster ID; RingSize counts members (self
+	// included); Replicas is the replication factor R.
+	ID       string `json:"id"`
+	RingSize int    `json:"ring_size"`
+	Replicas int    `json:"replicas"`
+	// Peers is this node's health view of every other member.
+	Peers []PeerStatus `json:"peers"`
+	// ForwardsOut counts requests this node proxied to key owners;
+	// ForwardsIn counts forwarded requests it answered for peers.
+	// ForwardFallbacks counts forwards that failed over to local
+	// compute because the owner was down.
+	ForwardsOut      uint64 `json:"forwards_out"`
+	ForwardsIn       uint64 `json:"forwards_in"`
+	ForwardFallbacks uint64 `json:"forward_fallbacks"`
+	// PeerPlanHits counts cold plans served from a peer's store
+	// instead of being recomputed; PlansReplicated counts plans this
+	// node pushed to ring successors.
+	PeerPlanHits    uint64 `json:"peer_plan_hits"`
+	PlansReplicated uint64 `json:"plans_replicated"`
+}
+
+// PlanExport is the GET /v1/plans/{addr} body and the PUT payload of
+// cluster plan replication: the full canonical plan key plus the
+// store's records for it. Plans is kept as raw JSON — the record
+// schema belongs to the engine/store layer, and the api package is a
+// leaf; replication forwards the bytes verbatim.
+type PlanExport struct {
+	Key   string          `json:"key"`
+	Err   string          `json:"err,omitempty"`
+	Plans json.RawMessage `json:"plans"`
+}
+
 // StatsResponse is the GET /v1/stats body.
 type StatsResponse struct {
 	Version    string          `json:"api_version"`
@@ -379,4 +444,6 @@ type StatsResponse struct {
 	Phases PhaseTotals `json:"phases"`
 	// Sweeper is present when the daemon runs its background sweeper.
 	Sweeper *SweeperStats `json:"sweeper,omitempty"`
+	// Node is present when the daemon runs clustered.
+	Node *NodeStats `json:"node,omitempty"`
 }

@@ -22,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,8 +35,36 @@ import (
 
 // Client talks to one resoptd instance.
 type Client struct {
-	base *url.URL
-	hc   *http.Client
+	base    *url.URL
+	hc      *http.Client
+	retries int
+	headers http.Header
+	// sleep is the retry-backoff clock (tests substitute a recorder).
+	sleep func(context.Context, time.Duration) error
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithRetry enables bounded retry: up to max extra attempts per
+// request on 429 (honoring Retry-After), transient 5xx (502, 503,
+// 504) and connection errors, with exponential backoff plus jitter
+// between attempts. Retries are off by default — interactive callers
+// usually prefer the first error — and are used by the cluster
+// router and resopt -remote failover.
+func WithRetry(max int) Option {
+	return func(c *Client) { c.retries = max }
+}
+
+// WithHeader adds a static header to every request the client sends
+// (e.g. the cluster forward marker).
+func WithHeader(key, value string) Option {
+	return func(c *Client) {
+		if c.headers == nil {
+			c.headers = http.Header{}
+		}
+		c.headers.Set(key, value)
+	}
 }
 
 // New builds a client for the daemon at baseURL (e.g.
@@ -42,7 +72,7 @@ type Client struct {
 // timeouts and cancellation come from the per-call contexts either
 // way, so the default client has no global timeout (batch streams
 // and long polls would trip it).
-func New(baseURL string, hc *http.Client) (*Client, error) {
+func New(baseURL string, hc *http.Client, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
@@ -53,8 +83,15 @@ func New(baseURL string, hc *http.Client) (*Client, error) {
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	return &Client{base: u, hc: hc}, nil
+	c := &Client{base: u, hc: hc, sleep: sleepCtx}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
 }
+
+// BaseURL returns the client's target, as given to New.
+func (c *Client) BaseURL() string { return c.base.String() }
 
 // do issues one request; out (when non-nil) receives the decoded 2xx
 // body. Non-2xx responses return *api.Error.
@@ -78,31 +115,117 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return nil, fmt.Errorf("client: encoding %s %s request: %w", method, path, err)
 		}
-		body = bytes.NewReader(data)
 	}
+	return c.sendRaw(ctx, method, path, data, "application/json")
+}
+
+// sendRaw issues one request from rebuildable bytes (nil data: no
+// body), retrying per the WithRetry policy: connection errors, 429
+// and transient 5xx are retried with exponential backoff + jitter,
+// and a 429's Retry-After (delay-seconds form) takes precedence over
+// the computed backoff when longer.
+func (c *Client) sendRaw(ctx context.Context, method, path string, data []byte, contentType string) (*http.Response, error) {
 	u := *c.base
 	u.Path = strings.TrimRight(u.Path, "/") + path
-	req, err := http.NewRequestWithContext(ctx, method, u.String(), body)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if data != nil {
+			body = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u.String(), body)
+		if err != nil {
+			return nil, err
+		}
+		if data != nil {
+			req.Header.Set("Content-Type", contentType)
+		}
+		for k, vs := range c.headers {
+			req.Header[k] = vs
+		}
+		// Propagate the caller's trace (minting one if the context has no
+		// active span) so the server-side trace joins this process's.
+		req.Header.Set("traceparent", trace.OutgoingTraceparent(ctx))
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if attempt < c.retries && ctx.Err() == nil {
+				if c.sleep(ctx, retryDelay(attempt, 0)) == nil {
+					continue
+				}
+			}
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if attempt < c.retries && retryableStatus(resp.StatusCode) {
+			delay := retryDelay(attempt, retryAfter(resp))
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if err := c.sleep(ctx, delay); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return resp, nil
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+}
+
+// retryableStatus: the rate limiter's 429, plus the 5xx family that
+// signals a transient condition rather than a broken request.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
 	}
-	// Propagate the caller's trace (minting one if the context has no
-	// active span) so the server-side trace joins this process's.
-	req.Header.Set("traceparent", trace.OutgoingTraceparent(ctx))
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	return false
+}
+
+// retryBackoffBase is the first retry delay; each further attempt
+// doubles it (capped at retryBackoffMax) before jitter.
+const (
+	retryBackoffBase = 100 * time.Millisecond
+	retryBackoffMax  = 2 * time.Second
+)
+
+// retryDelay computes the pause before retry attempt+1: exponential
+// backoff with up to 50% added jitter (decorrelating clients that
+// were rate-limited together), raised to the server's Retry-After
+// when that asks for more.
+func retryDelay(attempt int, retryAfter time.Duration) time.Duration {
+	d := retryBackoffBase << attempt
+	if d > retryBackoffMax || d <= 0 {
+		d = retryBackoffMax
 	}
-	return resp, nil
+	d += time.Duration(rand.Int64N(int64(d)/2 + 1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// retryAfter parses the delay-seconds form of a Retry-After header
+// (what resoptd sends); absent or unparsable reads as zero.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// sleepCtx pauses for d or until ctx dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // responseError maps a non-2xx response to its typed *api.Error,
@@ -273,4 +396,41 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Healthz checks the daemon's liveness endpoint — the cluster health
+// prober's probe function.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// FetchPlan retrieves a peer's stored plan by content address
+// (store.PlanAddr of the canonical key). A peer that does not hold
+// the plan answers 404, surfaced as *api.Error with CodeNotFound.
+func (c *Client) FetchPlan(ctx context.Context, addr string) (*api.PlanExport, error) {
+	var out api.PlanExport
+	if err := c.do(ctx, http.MethodGet, "/v1/plans/"+url.PathEscape(addr), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PushPlan replicates a plan to a peer under its content address.
+func (c *Client) PushPlan(ctx context.Context, addr string, plan *api.PlanExport) error {
+	return c.do(ctx, http.MethodPut, "/v1/plans/"+url.PathEscape(addr), plan, nil)
+}
+
+// PushSnapshot replicates a recorded snapshot's exact bytes to a
+// peer, preserving the byte-identical re-run guarantee across nodes.
+func (c *Client) PushSnapshot(ctx context.Context, name string, data []byte) error {
+	resp, err := c.sendRaw(ctx, http.MethodPut, "/v1/snapshots/"+url.PathEscape(name), data, "application/json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := responseError(resp); err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
 }

@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"context"
@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	. "repro/internal/client"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/trace"

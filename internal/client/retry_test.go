@@ -1,0 +1,174 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// flaky answers with the scripted status codes in order, then 200.
+type flaky struct {
+	codes []int
+	hits  atomic.Int32
+	// retryAfter, when set, is sent on every non-200.
+	retryAfter string
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(f.hits.Add(1)) - 1
+	if n < len(f.codes) {
+		if f.retryAfter != "" {
+			w.Header().Set("Retry-After", f.retryAfter)
+		}
+		w.WriteHeader(f.codes[n])
+		w.Write([]byte(`{"error":{"status":429,"code":"rate_limited","message":"slow down"}}`))
+		return
+	}
+	w.Write([]byte(`{"api_version":"v1","workers":1}`))
+}
+
+// retryClient builds a client against h with retries enabled and the
+// backoff sleeps recorded instead of slept.
+func retryClient(t *testing.T, h http.Handler, max int) (*Client, *[]time.Duration) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, ts.Client(), WithRetry(max))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	return c, &slept
+}
+
+// TestRetryTransient: 429 and transient 5xx are retried (bounded) and
+// the request eventually succeeds; backoff grows per attempt.
+func TestRetryTransient(t *testing.T) {
+	f := &flaky{codes: []int{429, 503, 502}}
+	c, slept := retryClient(t, f, 3)
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("Stats after retries: %v", err)
+	}
+	if got := f.hits.Load(); got != 4 {
+		t.Errorf("server saw %d attempts, want 4", got)
+	}
+	if len(*slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(*slept))
+	}
+	for i := 1; i < len(*slept); i++ {
+		// Jitter adds at most 50%, so doubling keeps successive delays
+		// strictly ordered past their bases.
+		if (*slept)[i] < (*slept)[i-1]/2 {
+			t.Errorf("backoff not growing: %v", *slept)
+		}
+	}
+}
+
+// TestRetryExhausted: once attempts run out the last typed error
+// surfaces, not a retry-layer wrapper.
+func TestRetryExhausted(t *testing.T) {
+	f := &flaky{codes: []int{429, 429, 429, 429, 429}}
+	c, _ := retryClient(t, f, 2)
+	_, err := c.Stats(context.Background())
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeRateLimited {
+		t.Fatalf("err = %v, want rate_limited api.Error", err)
+	}
+	if got := f.hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestRetryHonorsRetryAfter: a 429's Retry-After lifts the delay
+// above the computed backoff.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	f := &flaky{codes: []int{429}, retryAfter: "7"}
+	c, slept := retryClient(t, f, 1)
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] < 7*time.Second {
+		t.Fatalf("slept %v, want ≥ 7s from Retry-After", *slept)
+	}
+}
+
+// TestRetryOffByDefault: without WithRetry the first 429 is returned
+// immediately.
+func TestRetryOffByDefault(t *testing.T) {
+	f := &flaky{codes: []int{429}}
+	ts := httptest.NewServer(f)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("429 did not surface without retry")
+	}
+	if got := f.hits.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestRetryNonTransient: a 400 is never retried — retry is for
+// transient conditions, not broken requests.
+func TestRetryNonTransient(t *testing.T) {
+	f := &flaky{codes: []int{400, 400}}
+	c, slept := retryClient(t, f, 3)
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("400 did not surface")
+	}
+	if len(*slept) != 0 || f.hits.Load() != 1 {
+		t.Errorf("400 was retried (%d attempts, %d sleeps)", f.hits.Load(), len(*slept))
+	}
+}
+
+// TestRetryConnectionError: a refused connection is retried too (the
+// owner-down forwarding path sees these).
+func TestRetryConnectionError(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // nothing listens anymore
+	c, err := New(ts.URL, nil, WithRetry(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept int
+	c.sleep = func(ctx context.Context, d time.Duration) error { slept++; return ctx.Err() }
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("dead server did not error")
+	}
+	if slept != 2 {
+		t.Errorf("slept %d times, want 2", slept)
+	}
+}
+
+// TestWithHeader: the static header reaches the server on every
+// request.
+func TestWithHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(api.ForwardHeader))
+		w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, ts.Client(), WithHeader(api.ForwardHeader, "node1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "node1" {
+		t.Errorf("forward header = %q, want node1", got.Load())
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+)
+
+// DefaultReplicas is the replication factor R: finished plans and
+// snapshots are copied to this many ring successors of the owner, so
+// re-runs survive a node loss and land warm on non-owner nodes.
+const DefaultReplicas = 2
+
+// Config is the static membership of a cluster, as resolved from the
+// resoptd -cluster / -cluster-file / -node-id flags.
+type Config struct {
+	// Self is this node's ID; it must be a key of Nodes.
+	Self string
+	// Nodes maps node ID → base URL (e.g. "http://10.0.0.1:8080").
+	Nodes map[string]string
+	// VNodes is the virtual-node count per node (≤0: DefaultVNodes).
+	VNodes int
+	// Replicas is the replication factor R (≤0: DefaultReplicas).
+	// It counts the owner: R=2 means owner + one successor.
+	Replicas int
+}
+
+// ParseSpec parses the -cluster flag value: comma-separated
+// "id=baseURL" pairs, e.g. "node1=http://a:8080,node2=http://b:8080".
+func ParseSpec(spec string) (map[string]string, error) {
+	nodes := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("cluster: bad member %q (want id=url)", part)
+		}
+		if _, dup := nodes[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", id)
+		}
+		parsed, err := url.Parse(u)
+		if err != nil || parsed.Scheme == "" || parsed.Host == "" {
+			return nil, fmt.Errorf("cluster: node %s: bad url %q", id, u)
+		}
+		nodes[id] = strings.TrimRight(u, "/")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty member list")
+	}
+	return nodes, nil
+}
+
+// LoadFile reads the -cluster-file JSON variant: an object mapping
+// node ID → base URL.
+func LoadFile(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	var raw map[string]string
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	// Re-validate through the same path as the flag form.
+	parts := make([]string, 0, len(raw))
+	for id, u := range raw {
+		parts = append(parts, id+"="+u)
+	}
+	sort.Strings(parts)
+	return ParseSpec(strings.Join(parts, ","))
+}
+
+// Cluster is a node's view of the fleet: the ring, the membership,
+// and the per-peer health tracker. Safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	ring   *Ring
+	health *Health
+}
+
+// New validates cfg and builds the node's cluster view.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no members")
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: node id not set")
+	}
+	if _, ok := cfg.Nodes[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: node id %q is not a member", cfg.Self)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	ids := make([]string, 0, len(cfg.Nodes))
+	peers := map[string]string{}
+	for id, u := range cfg.Nodes {
+		ids = append(ids, id)
+		if id != cfg.Self {
+			peers[id] = u
+		}
+	}
+	return &Cluster{cfg: cfg, ring: NewRing(ids, cfg.VNodes), health: newHealth(peers)}, nil
+}
+
+// Self returns this node's ID.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Size returns the member count (self included).
+func (c *Cluster) Size() int { return c.ring.Size() }
+
+// Replicas returns the replication factor R (owner included).
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// URL returns the base URL of a member ("" for unknown IDs).
+func (c *Cluster) URL(node string) string { return c.cfg.Nodes[node] }
+
+// Owner returns the node owning key.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// Successors returns the owner and the following distinct nodes, n
+// total — the key's replica set when n = Replicas().
+func (c *Cluster) Successors(key string, n int) []string { return c.ring.Successors(key, n) }
+
+// ReplicaSet returns the Replicas() ring successors of key, owner
+// first.
+func (c *Cluster) ReplicaSet(key string) []string {
+	return c.ring.Successors(key, c.cfg.Replicas)
+}
+
+// Peers returns every member except self, sorted.
+func (c *Cluster) Peers() []string {
+	peers := make([]string, 0, len(c.cfg.Nodes)-1)
+	for _, id := range c.ring.Nodes() {
+		if id != c.cfg.Self {
+			peers = append(peers, id)
+		}
+	}
+	return peers
+}
+
+// IsPeer reports whether id names a member other than self — the
+// check behind the intra-cluster rate-limit exemption.
+func (c *Cluster) IsPeer(id string) bool {
+	_, ok := c.cfg.Nodes[id]
+	return ok && id != c.cfg.Self
+}
+
+// Health returns the peer health tracker.
+func (c *Cluster) Health() *Health { return c.health }

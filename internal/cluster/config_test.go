@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	nodes, err := ParseSpec("n1=http://a:8080,n2=http://b:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"n1": "http://a:8080", "n2": "http://b:8080"}
+	if !reflect.DeepEqual(nodes, want) {
+		t.Fatalf("got %v want %v", nodes, want)
+	}
+	for _, bad := range []string{"", "n1", "n1=", "=http://a", "n1=notaurl", "n1=http://a,n1=http://b"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, []byte(`{"n1":"http://a:8080","n2":"http://b:8080"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes["n1"] != "http://a:8080" {
+		t.Fatalf("got %v", nodes)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestClusterNew(t *testing.T) {
+	nodes := map[string]string{"n1": "http://a:8080", "n2": "http://b:8080", "n3": "http://c:8080"}
+	c, err := New(Config{Self: "n2", Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Self() != "n2" || c.Size() != 3 || c.Replicas() != DefaultReplicas {
+		t.Fatalf("self=%s size=%d replicas=%d", c.Self(), c.Size(), c.Replicas())
+	}
+	if got := c.Peers(); !reflect.DeepEqual(got, []string{"n1", "n3"}) {
+		t.Fatalf("peers = %v", got)
+	}
+	if !c.IsPeer("n1") || c.IsPeer("n2") || c.IsPeer("nx") {
+		t.Fatal("IsPeer: want true for members other than self only")
+	}
+	if c.URL("n3") != "http://c:8080" || c.URL("nx") != "" {
+		t.Fatal("URL lookup broken")
+	}
+	if rs := c.ReplicaSet("some-key"); len(rs) != 2 || rs[0] != c.Owner("some-key") {
+		t.Fatalf("replica set %v for owner %s", rs, c.Owner("some-key"))
+	}
+	for _, bad := range []Config{
+		{Self: "n1"},
+		{Nodes: nodes},
+		{Self: "nx", Nodes: nodes},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%+v) accepted", bad)
+		}
+	}
+}

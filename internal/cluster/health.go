@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Probe checks one peer's liveness (internal/server wires this to
+// GET {url}/healthz via the shared client). A nil error marks the
+// peer up.
+type Probe func(ctx context.Context, url string) error
+
+// Backoff bounds for re-probing a down peer: the first retry comes
+// after probeBackoffMin, doubling per consecutive failure up to
+// probeBackoffMax.
+const (
+	probeBackoffMin = 500 * time.Millisecond
+	probeBackoffMax = 30 * time.Second
+)
+
+// Health tracks per-peer liveness. Peers start up (optimistic: the
+// first forward discovers a dead peer and marks it down); failures
+// reported by the router or the prober mark a peer down with
+// exponential backoff on re-probes, and a successful probe or
+// forward marks it back up. Safe for concurrent use.
+type Health struct {
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+
+	// now is the clock (tests substitute a fake).
+	now func() time.Time
+}
+
+type peerHealth struct {
+	url      string
+	down     bool
+	failures int       // consecutive, resets on success
+	lastErr  string    // most recent failure ("" when up)
+	since    time.Time // when the current up/down state began
+	retryAt  time.Time // down only: earliest next probe
+}
+
+func newHealth(peers map[string]string) *Health {
+	h := &Health{peers: map[string]*peerHealth{}, now: time.Now}
+	for id, u := range peers {
+		h.peers[id] = &peerHealth{url: u}
+	}
+	return h
+}
+
+// Up reports whether the peer is believed healthy. Unknown peers are
+// down.
+func (h *Health) Up(node string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[node]
+	return ok && !p.down
+}
+
+// ReportSuccess marks the peer up and resets its backoff. Call it on
+// any successful exchange with the peer, not only probes — live
+// traffic is the cheapest health signal.
+func (h *Health) ReportSuccess(node string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if p, ok := h.peers[node]; ok {
+		if p.down || p.since.IsZero() {
+			p.since = h.now()
+		}
+		p.down = false
+		p.failures = 0
+		p.lastErr = ""
+	}
+}
+
+// ReportFailure marks the peer down and pushes its next probe out
+// exponentially with consecutive failures.
+func (h *Health) ReportFailure(node string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[node]
+	if !ok {
+		return
+	}
+	if !p.down {
+		p.since = h.now()
+	}
+	p.down = true
+	p.failures++
+	if err != nil {
+		p.lastErr = err.Error()
+	}
+	backoff := probeBackoffMin << (p.failures - 1)
+	if backoff > probeBackoffMax || backoff <= 0 {
+		backoff = probeBackoffMax
+	}
+	p.retryAt = h.now().Add(backoff)
+}
+
+// PeerStatus is one peer's health snapshot, for /v1/stats.
+type PeerStatus struct {
+	Node     string `json:"node"`
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	Failures int    `json:"failures,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+	// SinceMs is how long the peer has been in its current state.
+	SinceMs int64 `json:"since_ms,omitempty"`
+}
+
+// Status snapshots every peer, sorted by node ID.
+func (h *Health) Status() []PeerStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]PeerStatus, 0, len(h.peers))
+	for id, p := range h.peers {
+		st := PeerStatus{Node: id, URL: p.url, Up: !p.down, Failures: p.failures, LastErr: p.lastErr}
+		if !p.since.IsZero() {
+			st.SinceMs = h.now().Sub(p.since).Milliseconds()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// ProbeAll runs one probe pass: every down peer whose backoff has
+// elapsed is probed, plus every up peer when force is set (the
+// periodic sweep checks everyone; the down-recovery path only what's
+// due — backoff always gates down peers). It returns the number of
+// peers probed. Probes run sequentially — fleets are small and
+// probes cheap.
+func (h *Health) ProbeAll(ctx context.Context, probe Probe, force bool) int {
+	type target struct{ id, url string }
+	h.mu.Lock()
+	now := h.now()
+	var due []target
+	for id, p := range h.peers {
+		if (force && !p.down) || (p.down && !now.Before(p.retryAt)) {
+			due = append(due, target{id, p.url})
+		}
+	}
+	h.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].id < due[j].id })
+	for _, t := range due {
+		if ctx.Err() != nil {
+			break
+		}
+		if err := probe(ctx, t.url); err != nil {
+			h.ReportFailure(t.id, err)
+		} else {
+			h.ReportSuccess(t.id)
+		}
+	}
+	return len(due)
+}
+
+// Run probes the fleet every interval until ctx is cancelled: a full
+// sweep per tick, which both discovers dead peers before traffic
+// does and recovers marked-down peers whose backoff has elapsed.
+func (h *Health) Run(ctx context.Context, probe Probe, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			h.ProbeAll(ctx, probe, true)
+		}
+	}
+}

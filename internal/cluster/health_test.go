@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives Health deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestHealth() (*Health, *fakeClock) {
+	h := newHealth(map[string]string{"n1": "http://a", "n2": "http://b"})
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h.now = clk.now
+	return h, clk
+}
+
+// TestHealthMarkDownUp: peers start up; failures mark down; a success
+// marks back up and resets the failure count.
+func TestHealthMarkDownUp(t *testing.T) {
+	h, _ := newTestHealth()
+	if !h.Up("n1") || !h.Up("n2") {
+		t.Fatal("peers should start up")
+	}
+	if h.Up("unknown") {
+		t.Fatal("unknown peer reported up")
+	}
+	h.ReportFailure("n1", errors.New("connection refused"))
+	if h.Up("n1") {
+		t.Fatal("n1 still up after failure")
+	}
+	st := h.Status()
+	if st[0].Node != "n1" || st[0].Up || st[0].Failures != 1 || st[0].LastErr != "connection refused" {
+		t.Fatalf("status = %+v", st[0])
+	}
+	if !st[1].Up {
+		t.Fatal("n2 should be unaffected")
+	}
+	h.ReportSuccess("n1")
+	if !h.Up("n1") {
+		t.Fatal("n1 still down after success")
+	}
+	if st := h.Status(); st[0].Failures != 0 || st[0].LastErr != "" {
+		t.Fatalf("success did not reset: %+v", st[0])
+	}
+}
+
+// TestHealthBackoff: a down peer is only probed once its exponential
+// backoff has elapsed; repeated failures push the retry out further;
+// a successful probe recovers it.
+func TestHealthBackoff(t *testing.T) {
+	h, clk := newTestHealth()
+	h.ReportFailure("n1", errors.New("down"))
+
+	probed := 0
+	failProbe := func(ctx context.Context, url string) error { probed++; return errors.New("still down") }
+	okProbe := func(ctx context.Context, url string) error { probed++; return nil }
+
+	// Before the first backoff (500ms) elapses: nothing is due.
+	if n := h.ProbeAll(context.Background(), failProbe, false); n != 0 {
+		t.Fatalf("probed %d peers before backoff elapsed", n)
+	}
+	clk.advance(probeBackoffMin)
+	if n := h.ProbeAll(context.Background(), failProbe, false); n != 1 || probed != 1 {
+		t.Fatalf("due peer not probed (n=%d probed=%d)", n, probed)
+	}
+	// Second failure doubles the backoff: 500ms is no longer enough.
+	clk.advance(probeBackoffMin)
+	if n := h.ProbeAll(context.Background(), failProbe, false); n != 0 {
+		t.Fatal("probe ignored doubled backoff")
+	}
+	clk.advance(probeBackoffMin)
+	if n := h.ProbeAll(context.Background(), okProbe, false); n != 1 {
+		t.Fatal("due peer not probed after doubled backoff")
+	}
+	if !h.Up("n1") {
+		t.Fatal("successful probe did not recover the peer")
+	}
+}
+
+// TestHealthForcedSweep: the periodic sweep (force) probes up peers
+// too — discovering dead peers before traffic does — but still
+// respects a down peer's backoff.
+func TestHealthForcedSweep(t *testing.T) {
+	h, _ := newTestHealth()
+	h.ReportFailure("n2", errors.New("down"))
+	var urls []string
+	probe := func(ctx context.Context, url string) error { urls = append(urls, url); return nil }
+	if n := h.ProbeAll(context.Background(), probe, true); n != 1 {
+		t.Fatalf("forced sweep probed %d peers, want 1 (up peer only; down peer backing off)", n)
+	}
+	if len(urls) != 1 || urls[0] != "http://a" {
+		t.Fatalf("probed %v", urls)
+	}
+}
+
+// TestHealthBackoffCap: the backoff never exceeds probeBackoffMax
+// whatever the failure count.
+func TestHealthBackoffCap(t *testing.T) {
+	h, clk := newTestHealth()
+	for i := 0; i < 40; i++ { // enough doublings to overflow without the cap
+		h.ReportFailure("n1", errors.New("down"))
+	}
+	clk.advance(probeBackoffMax)
+	n := h.ProbeAll(context.Background(), func(ctx context.Context, url string) error { return nil }, false)
+	if n != 1 {
+		t.Fatal("peer not due after max backoff")
+	}
+}

@@ -1,0 +1,126 @@
+// Package cluster turns a fleet of resoptd replicas into one serving
+// tier. It is dependency-free plumbing: a consistent-hash ring with
+// virtual nodes assigns every canonical plan key an owner and a set
+// of replica successors; a static-membership config names the peers
+// (flag or JSON file); and a health tracker probes each peer's
+// /healthz, marking nodes down and back up with backoff so routing
+// falls back to local compute instead of dead peers. The HTTP side —
+// request forwarding, the peer plan/snapshot endpoints, and the
+// engine's remote plan tier — lives in internal/server, which owns
+// the daemon's client and trace wiring.
+//
+// Placement is deterministic: every node computes the same ring from
+// the same membership list, so any node can route for any key with no
+// coordination. Membership changes move only the keys between a
+// leaving/joining node's ring points and their predecessors — the
+// consistent-hashing minimal-disruption property the ring tests pin.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 64
+// points per node keeps the ring balanced within a few percent for
+// small static fleets while the ring stays tiny (a few KB).
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over node IDs. Build one
+// with NewRing; rebuild on membership change (rings are cheap).
+type Ring struct {
+	points []point // sorted by hash
+	nodes  []string
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// hash64 is the ring's placement hash: the first 8 bytes of
+// SHA-256, big-endian. Stable across processes, architectures and
+// releases — placement must agree fleet-wide.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring with vnodes virtual nodes per node
+// (≤0: DefaultVNodes). Node order does not matter; duplicates are
+// collapsed.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash64(fmt.Sprintf("%s|%d", n, i)), n})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // deterministic on (vanishingly rare) hash ties
+	})
+	return r
+}
+
+// Nodes returns the distinct member IDs, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Size returns the number of distinct nodes on the ring.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Owner returns the node owning key: the first ring point at or after
+// hash(key), wrapping. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(hash64(key))].node
+}
+
+// Successors returns the first n distinct nodes at or after hash(key)
+// on the ring — the owner first, then the replica set that follows
+// it. Fewer than n nodes on the ring returns them all.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i, start := 0, r.search(hash64(key)); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point with hash ≥ h,
+// wrapping to 0 past the last point.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

@@ -12,8 +12,9 @@ import (
 // session. It memoizes at two tiers:
 //
 //   - kernel tier: Hermite normal forms, unimodular inverses and
-//     integer kernel bases, installed into package intmat via
-//     intmat.SetKernelCache (Get/Put below implement that interface);
+//     integer kernel bases, reached from package intmat through the
+//     goroutine-keyed dispatcher in dispatch.go (Get/Put below
+//     implement the intmat.KernelCache interface);
 //   - plan tier: the complete two-step heuristic result per distinct
 //     optimization problem (canonical program + target dimension +
 //     options), which subsumes the access-graph construction and its

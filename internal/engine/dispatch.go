@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/intmat"
+)
+
+// Sessions used to be serialized process-wide because the intmat
+// kernel-cache hook is a single global: two overlapping sessions (one
+// cached, one not) would have leaked one session's cache into the
+// other's "uncached" ablation and misattributed stats. The clustered
+// serving tier needs several live sessions per process (a 2-node
+// in-process cluster test runs two daemons), so the hook is now a
+// permanently installed dispatcher that routes each kernel
+// computation to the cache of the session whose worker goroutine is
+// running it. Kernels compute synchronously on the worker, so the
+// goroutine ID identifies the owning session exactly — the same
+// mechanism kernel-time attribution has always used (see phases.go).
+//
+// A goroutine with no registered session (a DisableCache worker, or
+// any non-engine caller) sees no cache at all, which preserves the
+// old SetKernelCache(nil) semantics for ablations.
+
+// workerCaches maps goroutine ID → the cache of the session whose
+// worker runs on that goroutine. Workers of cache-disabled sessions
+// never register.
+var workerCaches sync.Map // uint64 → *Cache
+
+// registerWorker binds the current goroutine to cache for kernel-tier
+// dispatch and returns the unregister function. A nil cache is a
+// no-op (DisableCache ablation).
+func registerWorker(cache *Cache) func() {
+	if cache == nil {
+		return func() {}
+	}
+	id := goid()
+	workerCaches.Store(id, cache)
+	return func() { workerCaches.Delete(id) }
+}
+
+// cacheDispatch is the process-global intmat.KernelCache: it forwards
+// Get/Put to the session cache registered for the calling goroutine,
+// behaving as "no cache" for unregistered goroutines.
+type cacheDispatch struct{}
+
+func (cacheDispatch) Get(key string) (any, bool) {
+	if v, ok := workerCaches.Load(goid()); ok {
+		return v.(*Cache).Get(key)
+	}
+	return nil, false
+}
+
+func (cacheDispatch) Put(key string, v any) {
+	if c, ok := workerCaches.Load(goid()); ok {
+		c.(*Cache).Put(key, v)
+	}
+}
+
+func init() {
+	intmat.SetKernelCache(cacheDispatch{})
+	intmat.SetKernelObserver(observeKernel)
+}

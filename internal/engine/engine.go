@@ -38,7 +38,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/intmat"
 	"repro/internal/scenarios"
 	"repro/internal/trace"
 )
@@ -57,6 +56,27 @@ type Options struct {
 	// Store is the optional disk tier behind the plan cache
 	// (internal/store provides the implementation).
 	Store PlanStore
+	// Remote is the optional cluster tier behind the disk tier: before
+	// computing a cold plan the session asks its peers for it
+	// (memory → disk → peer → compute), and freshly computed plans are
+	// announced back for replication. internal/server wires this to
+	// the cluster router; it is nil for single-process use.
+	Remote RemotePlanTier
+}
+
+// RemotePlanTier consults cluster peers for plans the local tiers
+// miss, and announces fresh local computations so peers can
+// replicate them. Implementations must be safe for concurrent use
+// and must treat every failure as a miss — the engine always falls
+// back to computing locally.
+type RemotePlanTier interface {
+	// FetchPlan returns the plan records a peer holds for the
+	// canonical key, or ok == false when no reachable peer has them.
+	FetchPlan(ctx context.Context, key string) (plans []PlanRecord, errMsg string, ok bool)
+	// PlanComputed reports a plan this session just computed (after it
+	// was written to the local store), so the cluster can replicate it
+	// to the key's ring successors. It must not block the caller.
+	PlanComputed(key string, plans []PlanRecord, errMsg string)
 }
 
 // Result is the outcome for one scenario, in input order.
@@ -101,23 +121,19 @@ type BatchResult struct {
 	Cache CacheStats
 }
 
-// installMu serializes sessions: the intmat kernel-cache hook is
-// process-global, so two overlapping sessions (one cached, one not)
-// would otherwise leak one session's cache into the other's
-// "uncached" ablation and misattribute stats. Memoized kernels are
-// pure, so sharing would still be *correct* — the lock keeps runs
-// honest. It is held from NewSession to Close.
-var installMu sync.Mutex
-
 // Session is a long-lived optimization context: a persistent worker
 // pool plus the shared cache tiers. A CLI batch run wraps one Run
 // call in a session; the resoptd daemon keeps a single session open
 // so concurrent requests share the pool, the memo cache and the disk
-// store. Sessions are safe for concurrent use; creating one blocks
-// until every previously created session has been Closed.
+// store. Sessions are safe for concurrent use, and any number of
+// sessions (each with its own cache) may coexist in one process: the
+// process-global intmat kernel hook dispatches each kernel
+// computation to the cache of the session whose worker is running it
+// (see dispatch.go).
 type Session struct {
 	cache   *Cache
 	store   PlanStore
+	remote  RemotePlanTier
 	workers int
 	tasks   chan task
 	wg      sync.WaitGroup
@@ -146,15 +162,14 @@ type indexedResult struct {
 	res Result
 }
 
-// NewSession starts the worker pool and installs the kernel-tier
-// cache hook. The caller must Close the session when done.
+// NewSession starts the worker pool. The caller must Close the
+// session when done.
 func NewSession(opts Options) *Session {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	installMu.Lock()
-	s := &Session{workers: workers, tasks: make(chan task)}
+	s := &Session{workers: workers, tasks: make(chan task), remote: opts.Remote}
 	if !opts.DisableCache {
 		s.cache = NewCache(opts.CacheCap)
 		s.store = opts.Store
@@ -163,18 +178,15 @@ func NewSession(opts Options) *Session {
 			// kernel memo tier so cold starts skip the linear algebra.
 			s.cache.kstore = ks
 		}
-		intmat.SetKernelCache(s.cache)
-	} else {
-		intmat.SetKernelCache(nil)
 	}
-	// Kernel-time attribution: kernels compute synchronously on the
-	// worker goroutine running the scenario, so the observer can key
-	// by goroutine ID (see phases.go).
-	intmat.SetKernelObserver(observeKernel)
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			// Bind this worker's goroutine to the session cache so the
+			// process-global intmat kernel hook dispatches kernels
+			// computed here into it (no-op for DisableCache sessions).
+			defer registerWorker(s.cache)()
 			for t := range s.tasks {
 				// Cancellation is honored at scenario boundaries: a
 				// worker never starts a scenario whose context is
@@ -200,14 +212,11 @@ func NewSession(opts Options) *Session {
 	return s
 }
 
-// Close drains the pool, uninstalls the kernel-cache hook and
-// releases the session lock. The session must not be used after.
+// Close drains the pool and unbinds its workers from the kernel-tier
+// dispatch table. The session must not be used after.
 func (s *Session) Close() {
 	close(s.tasks)
 	s.wg.Wait()
-	intmat.SetKernelCache(nil)
-	intmat.SetKernelObserver(nil)
-	installMu.Unlock()
 }
 
 // Workers returns the worker-pool size.
@@ -375,7 +384,7 @@ func (s *Session) runOne(ctx context.Context, sc *scenarios.Scenario) Result {
 		// concerned, and the defaults below stand.
 		ph.PlanSource = "memory"
 		ent = s.cache.planDo(sc.PlanKey(), func() planEntry {
-			e, src, storeUs := computeOrLoad(ctx, sc, s.cache, s.store)
+			e, src, storeUs := computeOrLoad(ctx, sc, s.cache, s.store, s.remote)
 			ph.PlanSource, ph.StoreUs = src, storeUs
 			return e
 		})
@@ -464,12 +473,14 @@ func collectiveTotals(results []Result) map[string]int {
 }
 
 // computeOrLoad fills a plan-tier memory miss: consult the disk store
-// first, recompute on a disk miss (or an undecodable record), and
-// write fresh plans back so the next process starts warm. It reports
-// which tier produced the entry ("disk" or "compute") and the time
-// spent talking to the store, and records a "store.lookup" span when
-// ctx carries a trace.
-func computeOrLoad(ctx context.Context, sc *scenarios.Scenario, cache *Cache, store PlanStore) (planEntry, string, float64) {
+// first, then the cluster's remote tier, and recompute only when both
+// miss (or serve an undecodable record). Fresh plans are written back
+// to the store and announced to the remote tier so the next process —
+// or the next peer — starts warm. It reports which tier produced the
+// entry ("disk", "peer" or "compute") and the time spent talking to
+// the store/peers, and records "store.lookup" / "cluster.fetch" spans
+// when ctx carries a trace.
+func computeOrLoad(ctx context.Context, sc *scenarios.Scenario, cache *Cache, store PlanStore, remote RemotePlanTier) (planEntry, string, float64) {
 	key := sc.PlanKey()
 	var storeUs float64
 	if store != nil {
@@ -487,12 +498,35 @@ func computeOrLoad(ctx context.Context, sc *scenarios.Scenario, cache *Cache, st
 		lsp.Set("result", "miss").End()
 		storeUs = usSince(t0)
 	}
+	if remote != nil {
+		t0 := time.Now()
+		_, fsp := trace.StartSpan(ctx, "cluster.fetch")
+		if recs, errMsg, ok := remote.FetchPlan(ctx, key); ok {
+			if ent, err := fromRecords(recs, errMsg); err == nil {
+				fsp.Set("result", "hit").End()
+				storeUs += usSince(t0)
+				if store != nil {
+					// Write-through so the peer-served plan survives a
+					// restart and future lookups stay local.
+					w0 := time.Now()
+					store.PutPlan(key, recs, errMsg)
+					storeUs += usSince(w0)
+				}
+				return ent, "peer", storeUs
+			}
+		}
+		fsp.Set("result", "miss").End()
+		storeUs += usSince(t0)
+	}
 	ent := optimizeCtx(ctx, sc)
+	recs, errMsg := toRecords(ent)
 	if store != nil {
 		t0 := time.Now()
-		recs, errMsg := toRecords(ent)
 		store.PutPlan(key, recs, errMsg)
 		storeUs += usSince(t0)
+	}
+	if remote != nil {
+		remote.PlanComputed(key, recs, errMsg)
 	}
 	return ent, "compute", storeUs
 }

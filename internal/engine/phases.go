@@ -90,9 +90,10 @@ type kernelAcc struct {
 	ops int
 }
 
-// observeKernel is installed as the process-global
-// intmat.SetKernelObserver hook while a session is open (installMu
-// serializes sessions, so the hook is never shared).
+// observeKernel is the permanently installed process-global
+// intmat.SetKernelObserver hook (see dispatch.go). Attribution is
+// per-goroutine, so it is safe to share across coexisting sessions:
+// only goroutines that registered via trackKernels accumulate.
 func observeKernel(d time.Duration) {
 	if v, ok := kernelTrack.Load(goid()); ok {
 		// Only the owning goroutine reaches its accumulator, so plain
@@ -150,17 +151,22 @@ type PhaseTotals struct {
 }
 
 // addPhases folds one scenario's breakdown into the session totals.
+// Accumulation is in integer nanoseconds (atomic adds); toNs rounds
+// rather than truncates, since the µs values are ns counts divided by
+// 1e3 and truncation would drop a whole ns of float residue per
+// scenario.
 func (s *Session) addPhases(p *PhaseTimes) {
+	toNs := func(us float64) int64 { return int64(us*1e3 + 0.5) }
 	s.phaseScenarios.Add(1)
 	if p.PlanSource == "compute" {
-		s.phaseComputeNs.Add(int64(p.ComputeUs * 1e3))
-		s.phaseAlignNs.Add(int64(p.AlignUs * 1e3))
-		s.phaseKernelNs.Add(int64(p.KernelUs * 1e3))
+		s.phaseComputeNs.Add(toNs(p.ComputeUs))
+		s.phaseAlignNs.Add(toNs(p.AlignUs))
+		s.phaseKernelNs.Add(toNs(p.KernelUs))
 	}
-	s.phaseSelectNs.Add(int64(p.SelectUs * 1e3))
-	s.phaseStoreNs.Add(int64(p.StoreUs * 1e3))
-	s.phaseCostNs.Add(int64(p.CostUs * 1e3))
-	s.phaseTotalNs.Add(int64(p.TotalUs * 1e3))
+	s.phaseSelectNs.Add(toNs(p.SelectUs))
+	s.phaseStoreNs.Add(toNs(p.StoreUs))
+	s.phaseCostNs.Add(toNs(p.CostUs))
+	s.phaseTotalNs.Add(toNs(p.TotalUs))
 }
 
 // PhaseTotals snapshots the session's cumulative phase attribution.

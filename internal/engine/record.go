@@ -228,3 +228,12 @@ func fromRecords(recs []PlanRecord, errMsg string) (planEntry, error) {
 type errBadRecord struct{}
 
 func (errBadRecord) Error() string { return "engine: plan record has an invalid class" }
+
+// ValidateRecords reports whether the records decode to a valid plan
+// entry — the check the engine applies before trusting disk or peer
+// data. The cluster replication path uses it to reject bad payloads
+// at apply time instead of persisting them.
+func ValidateRecords(recs []PlanRecord, errMsg string) error {
+	_, err := fromRecords(recs, errMsg)
+	return err
+}

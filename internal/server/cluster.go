@@ -1,0 +1,454 @@
+// Cluster routing: the server-side half of the clustered serving
+// tier. When Options.Cluster is set, each resoptd node owns a shard
+// of the canonical plan-key space (internal/cluster's consistent
+// ring) and the handlers here keep the fleet coherent:
+//
+//   - /v1/optimize requests for keys owned elsewhere are proxied to
+//     the owner (one hop at most — api.ForwardHeader is the loop
+//     guard), with local compute as the fallback when the owner is
+//     down.
+//   - Cold plans consult the replica set's stores before computing
+//     (engine.RemotePlanTier), and finished plans are pushed to the
+//     ring successors asynchronously.
+//   - Recorded snapshots are replicated synchronously at save time,
+//     byte-identically, so any replica re-runs them bit-for-bit.
+//
+// The peer endpoints (GET/PUT /v1/plans/{addr}, PUT
+// /v1/snapshots/{name}) are cluster-internal: they require the
+// forward header to name a known peer, the same trusted-network
+// credential that exempts peer traffic from the public rate limit.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/scenarios"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// replicateTimeout bounds one background replication fan-out; plan
+// payloads are small, so a slow peer is a down peer.
+const replicateTimeout = 10 * time.Second
+
+// forwardRetries is the per-peer client retry budget. Kept low: a
+// forward that cannot get through quickly should fall back to local
+// compute, not queue behind backoff sleeps.
+const forwardRetries = 1
+
+// clusterRuntime is the per-node routing state: one client per peer
+// (carrying the forward header), the prober lifecycle, and the
+// counters behind NodeStats / the resopt_cluster_* metric families.
+type clusterRuntime struct {
+	cl    *cluster.Cluster
+	peers map[string]*client.Client
+
+	// probeCancel stops the background prober; wg tracks it plus the
+	// async plan-replication goroutines (drained in Close).
+	probeCancel context.CancelFunc
+	wg          sync.WaitGroup
+
+	forwardsOut, forwardsIn, forwardFallbacks atomic.Uint64
+	peerPlanHits, plansReplicated             atomic.Uint64
+	snapshotsReplicated                       atomic.Uint64
+}
+
+// newClusterRuntime builds the routing state. Peer clients reuse
+// internal/client wholesale: retry with backoff, traceparent
+// propagation, and the static forward header identifying this node.
+func newClusterRuntime(cl *cluster.Cluster) *clusterRuntime {
+	rt := &clusterRuntime{cl: cl, peers: make(map[string]*client.Client, cl.Size()-1)}
+	for _, id := range cl.Peers() {
+		pc, err := client.New(cl.URL(id), nil,
+			client.WithHeader(api.ForwardHeader, cl.Self()),
+			client.WithRetry(forwardRetries))
+		if err != nil {
+			// Membership URLs were validated by cluster.New/ParseSpec;
+			// reaching here is a programmer error.
+			panic(err)
+		}
+		rt.peers[id] = pc
+	}
+	return rt
+}
+
+// startProber runs the periodic health sweep against every peer's
+// GET /healthz. interval < 0 disables it (tests drive ProbeAll
+// directly); 0 means the cluster package default.
+func (s *Server) startProber(interval time.Duration) {
+	if interval < 0 {
+		return
+	}
+	rt := s.clusterRt
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.probeCancel = cancel
+	probe := func(ctx context.Context, url string) error {
+		pc, err := client.New(url, nil, client.WithHeader(api.ForwardHeader, rt.cl.Self()))
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		return pc.Healthz(ctx)
+	}
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		rt.cl.Health().Run(ctx, probe, interval)
+	}()
+}
+
+// isPeerRequest reports whether r carries a forward header naming a
+// known peer — the intra-cluster credential (trusted network).
+func (s *Server) isPeerRequest(r *http.Request) bool {
+	return s.clusterRt != nil && s.clusterRt.cl.IsPeer(r.Header.Get(api.ForwardHeader))
+}
+
+// nodeID returns this node's cluster ID ("" when not clustered).
+func (s *Server) nodeID() string {
+	if s.clusterRt == nil {
+		return ""
+	}
+	return s.clusterRt.cl.Self()
+}
+
+// forwardOptimize proxies an optimize request to the owner of its
+// plan key when that owner is another, healthy node. It reports
+// whether the response (success or the owner's typed error) was
+// written; false means the caller should compute locally — either
+// this node owns the key, or the owner is down/unreachable (the
+// fallback that keeps a degraded cluster serving).
+func (s *Server) forwardOptimize(w http.ResponseWriter, r *http.Request, req *api.OptimizeRequest, sc *scenarios.Scenario) bool {
+	rt := s.clusterRt
+	owner := rt.cl.Owner(sc.PlanKey())
+	if owner == rt.cl.Self() {
+		return false
+	}
+	if !rt.cl.Health().Up(owner) {
+		rt.forwardFallbacks.Add(1)
+		return false
+	}
+	ctx, sp := trace.StartSpan(r.Context(), "cluster.forward")
+	sp.Set("peer", owner)
+	start := time.Now()
+	resp, err := rt.peers[owner].Optimize(ctx, *req)
+	if err != nil {
+		var ae *api.Error
+		if !errors.As(err, &ae) {
+			// Transport-level failure: mark the owner down and serve the
+			// request locally rather than failing it.
+			rt.cl.Health().ReportFailure(owner, err)
+			rt.forwardFallbacks.Add(1)
+			sp.Set("error", err.Error()).Set("fallback", "local").End()
+			return false
+		}
+		// The owner answered with a typed error (bad program, rejected
+		// nest, ...): relay it verbatim — recomputing locally would just
+		// fail the same way.
+		rt.cl.Health().ReportSuccess(owner)
+		s.countForward(rt, owner, start)
+		sp.Set("status", ae.Code).End()
+		s.writeError(w, ae)
+		return true
+	}
+	rt.cl.Health().ReportSuccess(owner)
+	s.countForward(rt, owner, start)
+	sp.End()
+	if resp.Node == "" {
+		resp.Node = owner
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return true
+}
+
+func (s *Server) countForward(rt *clusterRuntime, owner string, start time.Time) {
+	rt.forwardsOut.Add(1)
+	s.obs.forwards.With(owner, "out").Inc()
+	s.obs.forwardLatency.With(owner).Observe(time.Since(start).Seconds())
+}
+
+// noteForwardedIn accounts a request a peer proxied to this node.
+func (s *Server) noteForwardedIn(from string) {
+	rt := s.clusterRt
+	if rt == nil || !rt.cl.IsPeer(from) {
+		return
+	}
+	rt.forwardsIn.Add(1)
+	s.obs.forwards.With(from, "in").Inc()
+}
+
+// remoteTier adapts the cluster runtime to engine.RemotePlanTier: the
+// peer tier the engine consults between its disk store and a cold
+// computation, and the announcement hook that replicates finished
+// plans to the ring successors.
+type remoteTier struct{ s *Server }
+
+// FetchPlan asks the key's replica peers for a stored plan. 404s and
+// transport errors are misses (the engine computes); any answer —
+// including a miss — is a health signal.
+func (t remoteTier) FetchPlan(ctx context.Context, key string) ([]engine.PlanRecord, string, bool) {
+	rt := t.s.clusterRt
+	addr := store.PlanAddr(key)
+	for _, node := range rt.cl.ReplicaSet(key) {
+		if node == rt.cl.Self() || !rt.cl.Health().Up(node) {
+			continue
+		}
+		pe, err := rt.peers[node].FetchPlan(ctx, addr)
+		if err != nil {
+			var ae *api.Error
+			if errors.As(err, &ae) {
+				rt.cl.Health().ReportSuccess(node) // the peer answered; a 404 is a healthy miss
+			} else {
+				rt.cl.Health().ReportFailure(node, err)
+			}
+			continue
+		}
+		rt.cl.Health().ReportSuccess(node)
+		if pe.Key != key {
+			continue // address collision or a confused peer; never serve it
+		}
+		var recs []engine.PlanRecord
+		if len(pe.Plans) > 0 {
+			if json.Unmarshal(pe.Plans, &recs) != nil {
+				continue
+			}
+		}
+		if engine.ValidateRecords(recs, pe.Err) != nil {
+			continue
+		}
+		rt.peerPlanHits.Add(1)
+		return recs, pe.Err, true
+	}
+	return nil, "", false
+}
+
+// PlanComputed pushes a freshly computed plan to the key's other
+// replicas. It must not block the optimizing worker, so the fan-out
+// runs in a goroutine tracked by the runtime's wait group.
+func (t remoteTier) PlanComputed(key string, recs []engine.PlanRecord, errMsg string) {
+	rt := t.s.clusterRt
+	var targets []string
+	for _, node := range rt.cl.ReplicaSet(key) {
+		if node != rt.cl.Self() {
+			targets = append(targets, node)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	data, err := json.Marshal(recs)
+	if err != nil {
+		return
+	}
+	pe := &api.PlanExport{Key: key, Err: errMsg, Plans: data}
+	addr := store.PlanAddr(key)
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
+		defer cancel()
+		for _, node := range targets {
+			if !rt.cl.Health().Up(node) {
+				continue
+			}
+			if err := rt.peers[node].PushPlan(ctx, addr, pe); err != nil {
+				var ae *api.Error
+				if !errors.As(err, &ae) {
+					rt.cl.Health().ReportFailure(node, err)
+				}
+				continue
+			}
+			rt.cl.Health().ReportSuccess(node)
+			rt.plansReplicated.Add(1)
+		}
+	}()
+}
+
+// replicateSnapshot copies a just-saved snapshot to its replica
+// peers, as the exact bytes on disk — the byte-identical re-run
+// guarantee must survive the hop. Synchronous: when the save-as batch
+// returns, the replicas hold the snapshot (or were down).
+func (s *Server) replicateSnapshot(ctx context.Context, name string) {
+	rt := s.clusterRt
+	if rt == nil {
+		return
+	}
+	data, err := s.store.GetSnapshotRaw(name)
+	if err != nil {
+		return
+	}
+	_, sp := trace.StartSpan(ctx, "cluster.replicate")
+	sp.Set("snapshot", name)
+	copies := 0
+	for _, node := range rt.cl.ReplicaSet("snapshot:" + name) {
+		if node == rt.cl.Self() || !rt.cl.Health().Up(node) {
+			continue
+		}
+		if err := rt.peers[node].PushSnapshot(ctx, name, data); err != nil {
+			var ae *api.Error
+			if !errors.As(err, &ae) {
+				rt.cl.Health().ReportFailure(node, err)
+			}
+			continue
+		}
+		rt.cl.Health().ReportSuccess(node)
+		rt.snapshotsReplicated.Add(1)
+		copies++
+	}
+	sp.SetInt("replicas", int64(copies)).End()
+}
+
+// maxPlanBody and maxSnapshotBody bound the peer replication
+// payloads; snapshots of big sweeps run to a few MB.
+const (
+	maxPlanBody     = 4 << 20
+	maxSnapshotBody = 64 << 20
+)
+
+func errNotPeer() *api.Error {
+	return api.Errorf(http.StatusForbidden, api.CodeForbidden,
+		"cluster-internal endpoint (requests must carry %s naming a member)", api.ForwardHeader)
+}
+
+// handlePlanGet serves GET /v1/plans/{addr}: the cross-replica
+// single-flight lookup. The address is the content hash of the full
+// plan key (keys contain newlines and cannot travel in a path); the
+// response carries the full key so the caller can verify.
+func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
+	if !s.isPeerRequest(r) {
+		s.writeError(w, errNotPeer())
+		return
+	}
+	if s.store == nil {
+		s.writeError(w, errNoStore())
+		return
+	}
+	addr := r.PathValue("addr")
+	if !store.ValidPlanAddr(addr) {
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad plan address %q", addr))
+		return
+	}
+	key, recs, errMsg, ok := s.store.ExportPlan(addr)
+	if !ok {
+		s.writeError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no plan at %s", addr))
+		return
+	}
+	data, err := json.Marshal(recs)
+	if err != nil {
+		s.writeError(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "encoding plan: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.PlanExport{Key: key, Err: errMsg, Plans: data})
+}
+
+// handlePlanPut serves PUT /v1/plans/{addr}: a peer replicating a
+// finished plan into this node's store. The payload is re-validated —
+// address against key, records against the engine's schema — before
+// anything is persisted.
+func (s *Server) handlePlanPut(w http.ResponseWriter, r *http.Request) {
+	if !s.isPeerRequest(r) {
+		s.writeError(w, errNotPeer())
+		return
+	}
+	if s.store == nil {
+		s.writeError(w, errNoStore())
+		return
+	}
+	addr := r.PathValue("addr")
+	if !store.ValidPlanAddr(addr) {
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad plan address %q", addr))
+		return
+	}
+	var pe api.PlanExport
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPlanBody)).Decode(&pe); err != nil {
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
+		return
+	}
+	if store.PlanAddr(pe.Key) != addr {
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "plan key does not hash to %s", addr))
+		return
+	}
+	var recs []engine.PlanRecord
+	if len(pe.Plans) > 0 {
+		if err := json.Unmarshal(pe.Plans, &recs); err != nil {
+			s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad plan records: %v", err))
+			return
+		}
+	}
+	if err := s.store.ApplyPlan(pe.Key, recs, pe.Err); err != nil {
+		s.writeError(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeUnprocessable, "plan rejected: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleSnapshotPut serves PUT /v1/snapshots/{name}: a peer
+// replicating a recorded snapshot, raw bytes end to end.
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	if !s.isPeerRequest(r) {
+		s.writeError(w, errNotPeer())
+		return
+	}
+	if s.store == nil {
+		s.writeError(w, errNoStore())
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
+	if err != nil {
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "reading snapshot body: %v", err))
+		return
+	}
+	if err := s.store.PutSnapshotRaw(r.PathValue("name"), data); err != nil {
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "snapshot rejected: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// nodeStats assembles the "node" stats section (nil when not
+// clustered).
+func (s *Server) nodeStats() *api.NodeStats {
+	rt := s.clusterRt
+	if rt == nil {
+		return nil
+	}
+	ns := &api.NodeStats{
+		ID:               rt.cl.Self(),
+		RingSize:         rt.cl.Size(),
+		Replicas:         rt.cl.Replicas(),
+		Peers:            []api.PeerStatus{},
+		ForwardsOut:      rt.forwardsOut.Load(),
+		ForwardsIn:       rt.forwardsIn.Load(),
+		ForwardFallbacks: rt.forwardFallbacks.Load(),
+		PeerPlanHits:     rt.peerPlanHits.Load(),
+		PlansReplicated:  rt.plansReplicated.Load(),
+	}
+	for _, p := range rt.cl.Health().Status() {
+		ns.Peers = append(ns.Peers, api.PeerStatus{
+			Node: p.Node, URL: p.URL, Up: p.Up,
+			Failures: p.Failures, LastErr: p.LastErr, SinceMs: p.SinceMs,
+		})
+	}
+	return ns
+}
+
+// writeError writes a typed error stamped with this node's identity,
+// so a client talking to a cluster can tell which member answered
+// (forwarded errors keep the owner's stamp).
+func (s *Server) writeError(w http.ResponseWriter, e *api.Error) {
+	if e.Node == "" {
+		e.Node = s.nodeID()
+	}
+	writeError(w, e)
+}

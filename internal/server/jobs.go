@@ -279,12 +279,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobReqs.Add(1)
 	var spec api.BatchSpec
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&spec); err != nil {
-		writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
 	rb, aerr := s.resolveBatch(spec)
 	if aerr != nil {
-		writeError(w, aerr)
+		s.writeError(w, aerr)
 		return
 	}
 	js, ctx := s.jobs.create(spec, len(rb.suite))
@@ -357,7 +357,7 @@ func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*jobState,
 	id := r.PathValue("id")
 	js, ok := s.jobs.get(id)
 	if !ok {
-		writeError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no job %q", id))
+		s.writeError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no job %q", id))
 		return nil, false
 	}
 	return js, true
@@ -382,7 +382,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("ttl"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d < 0 {
-			writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad ttl %q (want a positive Go duration like 30m)", v))
+			s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad ttl %q (want a positive Go duration like 30m)", v))
 			return
 		}
 		ttl = d
@@ -390,7 +390,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("keep"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad keep %q (want a non-negative integer)", v))
+			s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad keep %q (want a non-negative integer)", v))
 			return
 		}
 		keep = n
@@ -422,7 +422,7 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 	summary := js.summary
 	js.mu.Unlock()
 	if !job.Status.Finished() {
-		writeError(w, api.Errorf(http.StatusConflict, api.CodeJobRunning,
+		s.writeError(w, api.Errorf(http.StatusConflict, api.CodeJobRunning,
 			"job %s is %s (%d/%d done); poll until it finishes", job.ID, job.Status, job.Progress.Done, job.Progress.Total))
 		return
 	}

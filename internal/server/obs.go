@@ -31,6 +31,10 @@ type observability struct {
 	bytesOut  metrics.CounterVec   // resoptd_http_response_bytes_total{endpoint}
 	sweepRuns metrics.Counter      // resoptd_sweeper_runs_total
 	sweepJobs metrics.Counter      // resoptd_sweeper_jobs_pruned_total
+
+	// Cluster families (registered only when the daemon is clustered).
+	forwards       metrics.CounterVec   // resopt_cluster_forwards_total{peer,direction}
+	forwardLatency metrics.HistogramVec // resopt_cluster_forward_seconds{peer}
 }
 
 // newObservability builds the registry for one server and registers
@@ -133,7 +137,59 @@ func newObservability(s *Server) *observability {
 	if s.store != nil {
 		o.registerStore(s.store)
 	}
+	if s.clusterRt != nil {
+		o.registerCluster(s.clusterRt)
+	}
 	return o
+}
+
+// registerCluster adds the clustered-serving families: forward
+// traffic by peer and direction, forward latency, peer liveness
+// refreshed per scrape, and the replication/single-flight counters.
+// Every per-peer child is pre-seeded so the exposition carries the
+// full fleet at 0 from the first scrape (the CI cluster smoke greps
+// resopt_cluster_forwards_total before and after traffic).
+func (o *observability) registerCluster(rt *clusterRuntime) {
+	reg := o.reg
+	o.forwards = reg.NewCounterVec("resopt_cluster_forwards_total",
+		"Optimize requests proxied between cluster nodes, by peer and direction (out = sent to the key's owner, in = answered for a peer).",
+		"peer", "direction")
+	o.forwardLatency = reg.NewHistogramVec("resopt_cluster_forward_seconds",
+		"Latency of forwarded optimize requests, by owning peer.", nil, "peer")
+	peerUp := reg.NewGaugeVec("resopt_cluster_peer_up",
+		"Peer liveness as tracked by this node (1 = believed up).", "peer")
+	upGauges := make(map[string]metrics.Gauge, len(rt.peers))
+	for _, id := range rt.cl.Peers() {
+		o.forwards.With(id, "out")
+		o.forwards.With(id, "in")
+		o.forwardLatency.With(id)
+		upGauges[id] = peerUp.With(id)
+	}
+	reg.OnCollect(func() {
+		for _, st := range rt.cl.Health().Status() {
+			if g, ok := upGauges[st.Node]; ok {
+				if st.Up {
+					g.Set(1)
+				} else {
+					g.Set(0)
+				}
+			}
+		}
+	})
+	reg.NewGaugeFunc("resopt_cluster_ring_size", "Cluster members (self included).",
+		func() float64 { return float64(rt.cl.Size()) })
+	reg.NewCounterFunc("resopt_cluster_forward_fallbacks_total",
+		"Forwards that fell back to local compute because the owner was down or unreachable.",
+		func() uint64 { return rt.forwardFallbacks.Load() })
+	reg.NewCounterFunc("resopt_cluster_peer_plan_hits_total",
+		"Cold plans served from a replica peer's store instead of recomputed.",
+		func() uint64 { return rt.peerPlanHits.Load() })
+	reg.NewCounterFunc("resopt_cluster_plans_replicated_total",
+		"Finished plans pushed to ring successors.",
+		func() uint64 { return rt.plansReplicated.Load() })
+	reg.NewCounterFunc("resopt_cluster_snapshots_replicated_total",
+		"Recorded snapshots pushed to replica peers.",
+		func() uint64 { return rt.snapshotsReplicated.Load() })
 }
 
 // registerStore adds the disk-tier families: traffic counters

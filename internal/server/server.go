@@ -43,6 +43,8 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/store"
@@ -80,6 +82,17 @@ type Options struct {
 	// TraceCap bounds the in-memory trace ring (0: the recorder
 	// default).
 	TraceCap int
+	// Cluster, when set, runs this daemon as one node of a static
+	// cluster: optimize requests are routed to key owners over the
+	// consistent ring, cold plans consult replica peers before
+	// computing, and finished plans/snapshots replicate to ring
+	// successors (see cluster.go).
+	Cluster *cluster.Cluster
+	// ClusterProbeInterval paces the background peer-health sweep
+	// (0: the cluster package default; < 0: no background prober —
+	// health then moves only on live traffic, which tests use for
+	// determinism).
+	ClusterProbeInterval time.Duration
 }
 
 // Server owns the shared session. Create with New, serve via
@@ -98,6 +111,9 @@ type Server struct {
 	tracer    *trace.Recorder
 	logger    *slog.Logger
 	traceSlow time.Duration
+
+	// clusterRt is the cluster routing state (nil when standalone).
+	clusterRt *clusterRuntime
 
 	// Background sweeper state (see StartSweeper).
 	sweepOpts atomic.Pointer[SweepOptions]
@@ -118,7 +134,6 @@ func New(opts Options) *Server {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
-		session:   engine.NewSession(eo),
 		store:     opts.Store,
 		mux:       http.NewServeMux(),
 		resolver:  newSuiteResolver(suiteCacheCap),
@@ -128,6 +143,14 @@ func New(opts Options) *Server {
 		logger:    logger,
 		traceSlow: opts.TraceSlow,
 	}
+	if opts.Cluster != nil {
+		s.clusterRt = newClusterRuntime(opts.Cluster)
+		// The engine consults replica peers between its disk tier and a
+		// cold computation, and announces finished plans for
+		// replication: cross-replica single-flight.
+		eo.Remote = remoteTier{s}
+	}
+	s.session = engine.NewSession(eo)
 	s.obs = newObservability(s)
 	if opts.RatePerSec > 0 {
 		keyFn, err := rateKeyFunc(opts.RateKey)
@@ -156,6 +179,25 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /batch", deprecated("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("GET /stats", deprecated("/v1/stats", s.handleLegacyStats))
 
+	// Liveness on the API listener too: peers probe each other's
+	// /healthz, and a load balancer in front of a cluster needs it on
+	// the public port (the ops listener keeps its own copy).
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]string{"status": "ok", "version": buildinfo.Version}
+		if id := s.nodeID(); id != "" {
+			body["node"] = id
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
+	if s.clusterRt != nil {
+		// Cluster-internal replication endpoints, only routed when
+		// clustered (standalone daemons 404 them).
+		s.mux.HandleFunc("GET /v1/plans/{addr}", s.handlePlanGet)
+		s.mux.HandleFunc("PUT /v1/plans/{addr}", s.handlePlanPut)
+		s.mux.HandleFunc("PUT /v1/snapshots/{name}", s.handleSnapshotPut)
+		s.startProber(opts.ClusterProbeInterval)
+	}
+
 	s.mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, "resoptd /v1: POST /v1/optimize, POST /v1/batch, POST|GET /v1/jobs, GET /v1/jobs/{id}[/results], GET /v1/snapshots, GET /v1/stats\n")
 	})
@@ -178,11 +220,15 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) Handler() http.Handler {
 	return s.traced(s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(api.VersionHeader, api.Version)
-		if s.limiter != nil {
+		// Intra-cluster traffic (authenticated by the forward header
+		// naming a known peer) and health probes bypass the public rate
+		// limit: throttling a peer's forward would double-charge the
+		// same client request, and throttled probes read as an outage.
+		if s.limiter != nil && r.URL.Path != "/healthz" && !s.isPeerRequest(r) {
 			if retry, ok := s.limiter.allow(s.rateKey(r), time.Now()); !ok {
 				s.rateLimited.Add(1)
 				w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())+1))
-				writeError(w, api.Errorf(http.StatusTooManyRequests, api.CodeRateLimited,
+				s.writeError(w, api.Errorf(http.StatusTooManyRequests, api.CodeRateLimited,
 					"rate limit exceeded; retry in %s", retry.Round(time.Millisecond)))
 				return
 			}
@@ -199,7 +245,15 @@ func (s *Server) Close() {
 	s.sweepWG.Wait()
 	s.jobs.shutdown()
 	s.jobWG.Wait()
+	if s.clusterRt != nil && s.clusterRt.probeCancel != nil {
+		s.clusterRt.probeCancel()
+	}
 	s.session.Close()
+	if s.clusterRt != nil {
+		// After the session drains no worker announces new plans; wait
+		// out the in-flight replication fan-outs and the prober.
+		s.clusterRt.wg.Wait()
+	}
 }
 
 // maxBody bounds request bodies; nest sources are tiny.
@@ -209,26 +263,36 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.optimizes.Add(1)
 	var req api.OptimizeRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-		writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
 	sc, aerr := scenarioFromRequest(&req)
 	if aerr != nil {
-		writeError(w, aerr)
+		s.writeError(w, aerr)
 		return
+	}
+	if s.clusterRt != nil {
+		if from := r.Header.Get(api.ForwardHeader); from != "" {
+			// Already forwarded once: answer locally no matter who owns
+			// the key (the loop guard).
+			s.noteForwardedIn(from)
+		} else if s.forwardOptimize(w, r, &req, sc) {
+			return
+		}
 	}
 	res, err := s.session.Optimize(r.Context(), sc)
 	if err != nil {
 		// The client is gone (or its deadline passed); status is moot
 		// but a typed body keeps proxies and logs coherent.
-		writeError(w, api.Errorf(http.StatusRequestTimeout, api.CodeCancelled, "request cancelled: %v", err))
+		s.writeError(w, api.Errorf(http.StatusRequestTimeout, api.CodeCancelled, "request cancelled: %v", err))
 		return
 	}
 	if res.Err != "" {
-		writeError(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeUnprocessable, "optimization failed: %s", res.Err))
+		s.writeError(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeUnprocessable, "optimization failed: %s", res.Err))
 		return
 	}
 	writeJSON(w, http.StatusOK, api.OptimizeResponse{
+		Node:         s.nodeID(),
 		Name:         res.Name,
 		Machine:      sc.Machine.String(),
 		Local:        res.Classes[core.Local],
@@ -246,12 +310,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batches.Add(1)
 	var spec api.BatchSpec
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&spec); err != nil {
-		writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
 	rb, aerr := s.resolveBatch(spec)
 	if aerr != nil {
-		writeError(w, aerr)
+		s.writeError(w, aerr)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -325,6 +389,7 @@ func (s *Server) runBatch(ctx context.Context, rb *resolvedBatch, emit func(api.
 		_, err := s.store.SaveSnapshot(rb.saveAs, snap)
 		if err == nil {
 			sum.Snapshot = rb.saveAs
+			s.replicateSnapshot(ctx, rb.saveAs)
 		} else {
 			ssp.Set("error", err.Error())
 		}
@@ -335,12 +400,12 @@ func (s *Server) runBatch(ctx context.Context, rb *resolvedBatch, emit func(api.
 
 func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		writeError(w, errNoStore())
+		s.writeError(w, errNoStore())
 		return
 	}
 	names, err := s.store.ListSnapshots()
 	if err != nil {
-		writeError(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "listing snapshots: %v", err))
+		s.writeError(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "listing snapshots: %v", err))
 		return
 	}
 	list := api.SnapshotList{Snapshots: []api.SnapshotInfo{}}
@@ -416,6 +481,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RateLimited: s.rateLimited.Load(),
 	}
 	resp.Sweeper = s.sweeperStats()
+	resp.Node = s.nodeStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -119,7 +119,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("min"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d < 0 {
-			writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad min %q (want a Go duration like 50ms)", v))
+			s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad min %q (want a Go duration like 50ms)", v))
 			return
 		}
 		min = d
@@ -128,7 +128,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad limit %q (want a non-negative integer)", v))
+			s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad limit %q (want a non-negative integer)", v))
 			return
 		}
 		limit = n
@@ -150,7 +150,7 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	td, ok := s.tracer.Get(id)
 	if !ok {
-		writeError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no recorded trace %q (the ring holds the most recent %d)", id, s.tracer.Len()))
+		s.writeError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no recorded trace %q (the ring holds the most recent %d)", id, s.tracer.Len()))
 		return
 	}
 	writeJSON(w, http.StatusOK, traceDetail{

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"repro/internal/engine"
+)
+
+// This file holds the replication surface the clustered serving tier
+// uses: plans are addressed between nodes by content address (the
+// canonical plan key contains raw program text, including newlines,
+// so it cannot travel in a URL path), exported verbatim from one
+// node's store, and applied into another's. Snapshots replicate as
+// raw bytes so a re-run from any replica stays byte-identical to the
+// original recording.
+
+// PlanAddr returns the content address of a canonical plan key — the
+// lowercase SHA-256 hex that names the key's plan file and its
+// /v1/plans/{addr} resource.
+func PlanAddr(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}
+
+// planAddrRE matches a full SHA-256 content address.
+var planAddrRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// ValidPlanAddr reports whether addr is a well-formed content
+// address, so HTTP handlers can reject junk before touching disk.
+func ValidPlanAddr(addr string) bool { return planAddrRE.MatchString(addr) }
+
+// ExportPlan loads the plan stored under a content address, returning
+// the full canonical key alongside the records so the receiving node
+// can verify addr == PlanAddr(key) before trusting it. ok is false
+// when the address is invalid, absent, or the file is unreadable.
+func (s *Store) ExportPlan(addr string) (key string, plans []engine.PlanRecord, errMsg string, ok bool) {
+	if !ValidPlanAddr(addr) {
+		return "", nil, "", false
+	}
+	path := filepath.Join(s.root, "plans", addr[:2], addr+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.warnf("skipping unreadable plan file %s: %v", path, err)
+		}
+		return "", nil, "", false
+	}
+	var f planFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		s.warnf("skipping corrupt plan file %s: %v", path, err)
+		return "", nil, "", false
+	}
+	if PlanAddr(f.Key) != addr {
+		s.warnf("skipping plan file %s: stored key does not match address", path)
+		return "", nil, "", false
+	}
+	return f.Key, f.Plans, f.Err, true
+}
+
+// ApplyPlan installs a plan replicated from a peer, verifying the
+// records decode before persisting so a bad peer cannot poison the
+// store with undecodable entries (a poisoned entry would only cost a
+// recompute, but rejecting it keeps replication observable: apply
+// either succeeds or errors).
+func (s *Store) ApplyPlan(key string, plans []engine.PlanRecord, errMsg string) error {
+	if key == "" {
+		return fmt.Errorf("store: apply plan: empty key")
+	}
+	if err := engine.ValidateRecords(plans, errMsg); err != nil {
+		return fmt.Errorf("store: apply plan %s: %w", PlanAddr(key)[:12], err)
+	}
+	s.PutPlan(key, plans, errMsg)
+	return nil
+}
+
+// PutSnapshotRaw persists already-serialized snapshot bytes under
+// name, verbatim. Replication uses this instead of decode + re-encode
+// so a snapshot recorded on the owner re-runs byte-identically from
+// any replica; the bytes are still required to parse as a snapshot
+// before they are accepted.
+func (s *Store) PutSnapshotRaw(name string, data []byte) error {
+	path, err := s.snapshotPath(name)
+	if err != nil {
+		return err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("store: snapshot %s: not a snapshot: %w", name, err)
+	}
+	if err := s.writeAtomic(path, data); err != nil {
+		s.warnf("writing snapshot %s: %v", path, err)
+		return err
+	}
+	return nil
+}
+
+// GetSnapshotRaw reads a named snapshot's exact on-disk bytes, for
+// replication to a peer.
+func (s *Store) GetSnapshotRaw(name string) ([]byte, error) {
+	path, err := s.snapshotPath(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
