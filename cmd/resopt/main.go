@@ -40,6 +40,7 @@
 //	resopt -remote http://localhost:8080 -batch -from-snapshot nightly
 //	resopt -remote http://localhost:8080 -snapshots
 //	resopt -remote http://localhost:8080 -stats
+//	resopt -remote http://localhost:8080 -stats -cluster
 //
 // -remote also takes a comma-separated endpoint list for a resoptd
 // cluster: requests are routed to a consistent endpoint per nest (the
@@ -95,6 +96,7 @@ func main() {
 	remote := flag.String("remote", "", "drive the resoptd daemon at this base URL over /v1 instead of optimizing locally; a comma-separated list shards and fails over across a cluster")
 	snapshots := flag.Bool("snapshots", false, "remote: list the daemon's stored snapshots")
 	stats := flag.Bool("stats", false, "remote: print the daemon's /v1/stats, including its cluster node view")
+	clusterStats := flag.Bool("cluster", false, "remote -stats: print the fleet-wide /v1/cluster/stats aggregation instead (per-member snapshots + rollup)")
 	retries := flag.Int("retries", 2, "remote: retry budget for transient failures (429, 502/503/504, connection errors; 0: no retries)")
 	gc := flag.Bool("gc", false, "store: sweep the plan tier (needs -store and -gc-age and/or -gc-keep)")
 	gcAge := flag.Duration("gc-age", 0, "gc: remove plans unused for longer than this (0: no age limit)")
@@ -130,6 +132,7 @@ func main() {
 			batch:        *batch,
 			snapshots:    *snapshots,
 			stats:        *stats,
+			clusterStats: *clusterStats,
 			retries:      *retries,
 			example:      *example,
 			nestFile:     *nestFile,

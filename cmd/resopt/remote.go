@@ -21,6 +21,7 @@ type remoteConfig struct {
 	base                 string
 	batch, snapshots     bool
 	stats                bool
+	clusterStats         bool
 	retries              int
 	example, nestFile    string
 	outFile              string
@@ -105,6 +106,8 @@ func runRemote(cfg remoteConfig) {
 	ctx := context.Background()
 
 	switch {
+	case cfg.stats && cfg.clusterStats:
+		remoteClusterStats(ctx, f)
 	case cfg.stats:
 		remoteStats(ctx, f)
 	case cfg.snapshots:
@@ -177,6 +180,42 @@ func remoteStats(ctx context.Context, f *remoteFleet) {
 		}
 		fmt.Printf("  peer %-12s %-28s %s\n", p.Node, p.URL, state)
 	}
+}
+
+// remoteClusterStats prints the fleet view from /v1/cluster/stats:
+// one line per member (unreachable ones flagged) and the aggregated
+// rollup. Any member can answer — the endpoint fans out server-side.
+func remoteClusterStats(ctx context.Context, f *remoteFleet) {
+	var cs *api.ClusterStatsResponse
+	var from string
+	err := f.try(f.order(""), func(c *client.Client) error {
+		var err error
+		cs, err = c.ClusterStats(ctx)
+		from = c.BaseURL()
+		return err
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fleet via %s (assembled by node %q): %d members, %d unreachable\n",
+		from, cs.Node, cs.Rollup.Nodes, cs.Rollup.Unreachable)
+	for _, m := range cs.Members {
+		if m.Stats == nil {
+			fmt.Printf("  %-12s %-28s UNREACHABLE (%s)\n", m.ID, m.URL, m.Error)
+			continue
+		}
+		st := m.Stats
+		fmt.Printf("  %-12s %-28s %d workers, %d optimize, %d batch, %d jobs; plan cache %d/%d\n",
+			m.ID, m.URL, st.Workers, st.Requests.Optimize, st.Requests.Batch, st.Requests.Jobs,
+			st.Cache.PlanHits, st.Cache.PlanMisses)
+	}
+	ru := cs.Rollup
+	fmt.Printf("rollup: %d workers, %d optimize, %d batch, %d jobs, %d rate-limited\n",
+		ru.Workers, ru.Requests.Optimize, ru.Requests.Batch, ru.Requests.Jobs, ru.Requests.RateLimited)
+	fmt.Printf("rollup: plan hit rate %.1f%%, kernel hit rate %.1f%%; %d scenarios, engine total %.0f µs\n",
+		100*ru.PlanHitRate, 100*ru.KernelHitRate, ru.Phases.Scenarios, ru.Phases.TotalUs)
+	fmt.Printf("rollup: forwards %d out / %d in (%d fallbacks), peer plan hits %d, plans replicated %d\n",
+		ru.ForwardsOut, ru.ForwardsIn, ru.ForwardFallbacks, ru.PeerPlanHits, ru.PlansReplicated)
 }
 
 func remoteOptimize(ctx context.Context, f *remoteFleet, cfg remoteConfig) {

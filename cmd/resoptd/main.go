@@ -24,8 +24,15 @@
 //
 // The ops listener (-ops-addr, default off) serves the operational
 // endpoints away from API clients: GET /metrics (Prometheus text
-// format; OpenMetrics with trace exemplars when negotiated),
-// GET /healthz, GET /debug/traces[/{id}], and GET /debug/pprof/*.
+// format with the resopt_go_* runtime families; OpenMetrics with
+// trace exemplars when negotiated), GET /metrics/cluster (the fleet's
+// scrapes federated under a node label), GET /healthz (clustered:
+// peers_up/peers_total, "degraded" when a peer is down),
+// GET /debug/traces[/{id}] (clustered: span trees stitched across
+// every node a forwarded request touched), and GET /debug/pprof/*.
+// The fleet's aggregated counters are one call away on the API
+// listener: GET /v1/cluster/stats (see docs/OPERATIONS.md,
+// "Observing a fleet").
 // Clustered serving shards the plan-key space across a static fleet
 // of daemons on a consistent-hash ring: requests for keys owned by a
 // peer are forwarded one hop, cold plans consult the replica peers

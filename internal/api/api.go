@@ -430,6 +430,70 @@ type PlanExport struct {
 	Plans json.RawMessage `json:"plans"`
 }
 
+// Cluster-member status strings used by ClusterMemberStats.Status.
+const (
+	MemberOK          = "ok"
+	MemberUnreachable = "unreachable"
+)
+
+// ClusterMemberStats is one fleet member's snapshot inside
+// GET /v1/cluster/stats. A member that could not be reached within the
+// per-peer timeout carries Status "unreachable" and a nil Stats — the
+// endpoint degrades per member instead of failing the call.
+type ClusterMemberStats struct {
+	ID     string `json:"id"`
+	URL    string `json:"url"`
+	Status string `json:"status"`
+	// Error is the fetch failure detail for unreachable members.
+	Error string `json:"error,omitempty"`
+	// Stats is the member's own GET /v1/stats body (nil when
+	// unreachable).
+	Stats *StatsResponse `json:"stats,omitempty"`
+}
+
+// ClusterRollup aggregates the reachable members' stats into one fleet
+// view: plain sums for counters, and hit rates recomputed from the
+// summed numerators/denominators (averaging per-node rates would
+// weight idle nodes equally with loaded ones).
+type ClusterRollup struct {
+	Nodes       int `json:"nodes"`
+	Unreachable int `json:"unreachable"`
+	Workers     int `json:"workers"`
+
+	Requests   RequestStats    `json:"requests"`
+	Cache      CacheStats      `json:"cache"`
+	SuiteCache SuiteCacheStats `json:"suite_cache"`
+	Jobs       JobStats        `json:"jobs"`
+	Phases     PhaseTotals     `json:"phases"`
+	Store      *StoreStats     `json:"store,omitempty"`
+	Sweeper    *SweeperStats   `json:"sweeper,omitempty"`
+
+	// PlanHitRate is (plan + disk hits) / plan lookups across the
+	// fleet; KernelHitRate the kernel-memo equivalent. Both are 0 when
+	// no lookups have happened.
+	PlanHitRate   float64 `json:"plan_hit_rate"`
+	KernelHitRate float64 `json:"kernel_hit_rate"`
+
+	// Forwarding totals across members (each forward is counted once as
+	// out on the origin and once as in on the owner).
+	ForwardsOut      uint64 `json:"forwards_out"`
+	ForwardsIn       uint64 `json:"forwards_in"`
+	ForwardFallbacks uint64 `json:"forward_fallbacks"`
+	PeerPlanHits     uint64 `json:"peer_plan_hits"`
+	PlansReplicated  uint64 `json:"plans_replicated"`
+}
+
+// ClusterStatsResponse is the GET /v1/cluster/stats body: per-member
+// snapshots (answering node included, sorted by member ID) plus the
+// fleet rollup. On an unclustered daemon the members list holds just
+// the daemon itself.
+type ClusterStatsResponse struct {
+	// Node is the member that assembled the response.
+	Node    string               `json:"node,omitempty"`
+	Members []ClusterMemberStats `json:"members"`
+	Rollup  ClusterRollup        `json:"rollup"`
+}
+
 // StatsResponse is the GET /v1/stats body.
 type StatsResponse struct {
 	Version    string          `json:"api_version"`

@@ -132,6 +132,12 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 // the computed backoff when longer.
 func (c *Client) sendRaw(ctx context.Context, method, path string, data []byte, contentType string) (*http.Response, error) {
 	u := *c.base
+	// A query string rides along after '?' (it must not be folded into
+	// u.Path, where the '?' would be percent-escaped).
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		u.RawQuery = path[i+1:]
+		path = path[:i]
+	}
 	u.Path = strings.TrimRight(u.Path, "/") + path
 	for attempt := 0; ; attempt++ {
 		var body io.Reader
@@ -398,10 +404,49 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 	return &out, nil
 }
 
+// ClusterStats fetches the fleet-wide stats aggregation: every
+// member's /v1/stats snapshot (down peers marked unreachable) plus the
+// rollup. On an unclustered daemon the members list holds just that
+// daemon.
+func (c *Client) ClusterStats(ctx context.Context) (*api.ClusterStatsResponse, error) {
+	var out api.ClusterStatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Healthz checks the daemon's liveness endpoint — the cluster health
 // prober's probe function.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// FetchTrace retrieves a peer's locally recorded span set for one
+// trace ID (the cluster-internal half of distributed trace assembly;
+// ?local=1 stops the peer from fanning out in turn). A peer whose ring
+// no longer holds the trace answers 404, surfaced as *api.Error with
+// CodeNotFound.
+func (c *Client) FetchTrace(ctx context.Context, id string) (*trace.TraceData, error) {
+	var out trace.TraceData
+	if err := c.do(ctx, http.MethodGet, "/debug/traces/"+url.PathEscape(id)+"?local=1", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FetchMetrics retrieves a peer's raw /metrics exposition — the
+// federation endpoint's per-node fetch.
+func (c *Client) FetchMetrics(ctx context.Context) ([]byte, error) {
+	resp, err := c.sendRaw(ctx, http.MethodGet, "/metrics/peer", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := responseError(resp); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 }
 
 // FetchPlan retrieves a peer's stored plan by content address

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// FederateSource is one node's scrape, as fetched from its /metrics
+// endpoint, tagged with the node ID to inject.
+type FederateSource struct {
+	Node string
+	Text string
+}
+
+// fedFamily accumulates one metric family across sources: metadata
+// from the first source that carries it, samples from every source in
+// the order given.
+type fedFamily struct {
+	help, typ string
+	samples   []string
+}
+
+// Federate merges several nodes' text expositions into one valid
+// 0.0.4 exposition: every sample gains a node="<id>" label, samples of
+// the same family are grouped under a single # HELP/# TYPE pair (the
+// format forbids repeating a family), and families are emitted sorted
+// by name. Input lines that are not comments or samples (blank, # EOF)
+// are dropped. Sources are assumed well-formed per node; a malformed
+// line is passed through labeled as best as possible rather than
+// failing the merge.
+func Federate(w io.Writer, sources []FederateSource) error {
+	fams := map[string]*fedFamily{}
+	var order []string
+	famFor := func(name string) *fedFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &fedFamily{}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, src := range sources {
+		cur := "" // family of the preceding # HELP/# TYPE block
+		for _, line := range strings.Split(src.Text, "\n") {
+			line = strings.TrimRight(line, "\r")
+			switch {
+			case line == "" || line == "# EOF":
+				continue
+			case strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE "):
+				rest := line[len("# HELP "):]
+				name, val, _ := strings.Cut(rest, " ")
+				if name == "" {
+					continue
+				}
+				cur = name
+				f := famFor(name)
+				if strings.HasPrefix(line, "# HELP ") {
+					if f.help == "" {
+						f.help = val
+					}
+				} else if f.typ == "" {
+					f.typ = val
+				}
+			case strings.HasPrefix(line, "#"):
+				continue
+			default:
+				name := line
+				if i := strings.IndexAny(line, "{ "); i >= 0 {
+					name = line[:i]
+				}
+				// Histogram/summary samples (_bucket/_sum/_count) and
+				// OpenMetrics-style suffixes group under the preceding
+				// metadata's family; anything else is its own family.
+				fam := name
+				if cur != "" && (name == cur || strings.HasPrefix(name, cur+"_")) {
+					fam = cur
+				}
+				famFor(fam).samples = append(famFor(fam).samples, injectLabel(line, "node", src.Node))
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := fams[name]
+		if len(f.samples) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, f.help); err != nil {
+				return err
+			}
+		}
+		if f.typ != "" {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+				return err
+			}
+		}
+		for _, s := range f.samples {
+			if _, err := io.WriteString(w, s+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// injectLabel adds key="value" as the first label of a sample line:
+// after the opening brace when the sample has labels (metric names
+// cannot contain '{', so the first brace starts the label block), or
+// as a fresh block before the value otherwise.
+func injectLabel(line, key, value string) string {
+	kv := key + `="` + escapeLabel(value) + `"`
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		sep := ","
+		if strings.HasPrefix(line[i+1:], "}") {
+			sep = ""
+		}
+		return line[:i+1] + kv + sep + line[i+1:]
+	}
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return line // malformed: no value; pass through untouched
+	}
+	return line[:i] + "{" + kv + "}" + line[i:]
+}

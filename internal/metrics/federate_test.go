@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFederate: two nodes' expositions merge into one valid 0.0.4
+// exposition — every sample gains the node label, each family's
+// HELP/TYPE appears exactly once, histogram suffix samples stay with
+// their family, and families come out sorted.
+func TestFederate(t *testing.T) {
+	a := `# HELP reqs_total Requests.
+# TYPE reqs_total counter
+reqs_total{code="200"} 5
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 1.5
+lat_seconds_count 3
+# TYPE up gauge
+up 1
+`
+	b := `# TYPE up gauge
+up 1
+# HELP reqs_total Requests.
+# TYPE reqs_total counter
+reqs_total{code="200"} 7
+`
+	var out strings.Builder
+	err := Federate(&out, []FederateSource{{Node: "nodeA", Text: a}, {Node: "nodeB", Text: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	for _, want := range []string{
+		`reqs_total{node="nodeA",code="200"} 5`,
+		`reqs_total{node="nodeB",code="200"} 7`,
+		`lat_seconds_bucket{node="nodeA",le="+Inf"} 3`,
+		`lat_seconds_sum{node="nodeA"} 1.5`,
+		`up{node="nodeA"} 1`,
+		`up{node="nodeB"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	for _, meta := range []string{"# HELP reqs_total", "# TYPE reqs_total", "# TYPE up", "# TYPE lat_seconds"} {
+		if n := strings.Count(got, meta); n != 1 {
+			t.Errorf("%q appears %d times, want once:\n%s", meta, n, got)
+		}
+	}
+	// Families sorted by name: lat_seconds, reqs_total, up.
+	il, ir, iu := strings.Index(got, "# TYPE lat_seconds"), strings.Index(got, "# TYPE reqs_total"), strings.Index(got, "# TYPE up")
+	if !(il < ir && ir < iu) {
+		t.Errorf("families not sorted (%d, %d, %d):\n%s", il, ir, iu, got)
+	}
+	// The histogram's suffix samples grouped under the family header,
+	// not as their own families.
+	if strings.Contains(got, "# TYPE lat_seconds_bucket") || strings.Contains(got, "# TYPE lat_seconds_sum") {
+		t.Errorf("histogram suffixes split into own families:\n%s", got)
+	}
+}
+
+// TestInjectLabel: the node label lands as the first label whatever
+// the sample's shape.
+func TestInjectLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`m{a="1"} 2`, `m{node="x",a="1"} 2`},
+		{`m 2`, `m{node="x"} 2`},
+		{`m{} 2`, `m{node="x"} 2`},
+		{`m{a="b{c"} 2`, `m{node="x",a="b{c"} 2`},
+		{`garbage-no-value`, `garbage-no-value`},
+	}
+	for _, c := range cases {
+		if got := injectLabel(c.in, "node", "x"); got != c.want {
+			t.Errorf("injectLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

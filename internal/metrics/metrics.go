@@ -71,7 +71,7 @@ type family struct {
 
 // child is one sample series. Exactly one of the value holders is
 // used, according to the family type: counters use num or fn, gauges
-// use bits or gfn, histograms use hist.
+// use bits or gfn, histograms use hist or hfn.
 type child struct {
 	labelValues []string
 
@@ -80,6 +80,7 @@ type child struct {
 	bits atomic.Uint64 // gauge value, as math.Float64bits
 	gfn  func() float64
 	hist *histData
+	hfn  func() HistogramSnapshot // histogram callback (nil: use hist)
 }
 
 type histData struct {
@@ -378,6 +379,27 @@ func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels 
 	return HistogramVec{r.register(name, help, "histogram", labels, checkBuckets(name, buckets))}
 }
 
+// HistogramSnapshot is one scrape-time view of a distribution whose
+// buckets live outside the registry — the return type of the callback
+// behind NewHistogramFunc. Counts are non-cumulative and one longer
+// than Bounds; the extra final slot counts observations above the last
+// bound (the +Inf bucket).
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+}
+
+// NewHistogramFunc registers a histogram whose buckets, counts and sum
+// are read from fn at every scrape — for distributions maintained
+// elsewhere (e.g. the Go runtime's GC pause histogram) that cannot be
+// fed through Observe. The snapshot's counts must be monotone across
+// scrapes for the exposition to be a valid histogram.
+func (r *Registry) NewHistogramFunc(name, help string, fn func() HistogramSnapshot) {
+	f := r.register(name, help, "histogram", nil, nil)
+	f.childFor(nil).hfn = fn
+}
+
 // --- Exposition ---
 
 // WriteText renders every family in the Prometheus text format,
@@ -472,6 +494,9 @@ func (f *family) writeChild(w io.Writer, c *child) error {
 		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labels, c.labelValues, "", 0), formatFloat(v))
 		return err
 	case "histogram":
+		if c.hfn != nil {
+			return f.writeHistSnapshot(w, c, c.hfn())
+		}
 		d := c.hist
 		var cum uint64
 		for i, bound := range f.buckets {
@@ -496,6 +521,36 @@ func (f *family) writeChild(w io.Writer, c *child) error {
 		return err
 	}
 	return nil
+}
+
+// writeHistSnapshot renders a func-backed histogram from one snapshot.
+// A short Counts slice is tolerated (missing buckets read as zero) so
+// a misbehaving callback degrades instead of panicking a scrape.
+func (f *family) writeHistSnapshot(w io.Writer, c *child, s HistogramSnapshot) error {
+	var cum uint64
+	for i, bound := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			renderLabels(f.labels, c.labelValues, "le", bound), cum); err != nil {
+			return err
+		}
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+		renderLabels(f.labels, c.labelValues, "le", math.Inf(+1)), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+		renderLabels(f.labels, c.labelValues, "", 0), formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+		renderLabels(f.labels, c.labelValues, "", 0), cum)
+	return err
 }
 
 // renderLabels renders a {k="v",...} block, appending an le label for

@@ -86,6 +86,11 @@ func (f *family) writeChildOpenMetrics(w io.Writer, c *child) error {
 		// counter sample keeps its _total name).
 		return f.writeChild(w, c)
 	}
+	if c.hfn != nil {
+		// Snapshot histograms carry no exemplars; the text rendering is
+		// already valid OpenMetrics.
+		return f.writeHistSnapshot(w, c, c.hfn())
+	}
 	d := c.hist
 	var cum uint64
 	for i := 0; i <= len(f.buckets); i++ {

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	rtmetrics "runtime/metrics"
+	"sort"
+	"sync"
+)
+
+// Runtime sample names read on every scrape. All of them exist under
+// the supported Go toolchain; samples the runtime does not recognize
+// come back as KindBad and render as zero rather than failing the
+// scrape.
+const (
+	rtGoroutines  = "/sched/goroutines:goroutines"
+	rtHeapObjects = "/memory/classes/heap/objects:bytes"
+	rtHeapLive    = "/gc/heap/live:bytes"
+	rtMemTotal    = "/memory/classes/total:bytes"
+	rtGCCycles    = "/gc/cycles/total:gc-cycles"
+	rtAllocBytes  = "/gc/heap/allocs:bytes"
+	rtGCPauses    = "/sched/pauses/total/gc:seconds"
+	rtSchedLat    = "/sched/latencies:seconds"
+)
+
+// goSecondsBuckets are the fixed upper bounds (seconds, log scale)
+// that the runtime's variable-width histograms are folded into for
+// exposition: 1µs up to 10s.
+var goSecondsBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+// goRuntime reads the runtime/metrics samples once per scrape (via an
+// OnCollect hook) and hands the latest values to func-backed series.
+type goRuntime struct {
+	mu      sync.Mutex
+	samples []rtmetrics.Sample
+	byName  map[string]int
+}
+
+func (g *goRuntime) read() {
+	g.mu.Lock()
+	rtmetrics.Read(g.samples)
+	g.mu.Unlock()
+}
+
+// uint64At returns the sample's value for Uint64-kind samples, 0
+// otherwise.
+func (g *goRuntime) uint64At(name string) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.samples[g.byName[name]]
+	if s.Value.Kind() != rtmetrics.KindUint64 {
+		return 0
+	}
+	return s.Value.Uint64()
+}
+
+// histAt folds a Float64Histogram-kind sample into the fixed seconds
+// buckets; other kinds yield an empty snapshot.
+func (g *goRuntime) histAt(name string) HistogramSnapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.samples[g.byName[name]]
+	if s.Value.Kind() != rtmetrics.KindFloat64Histogram {
+		return HistogramSnapshot{Bounds: goSecondsBuckets, Counts: make([]uint64, len(goSecondsBuckets)+1)}
+	}
+	return rebucket(s.Value.Float64Histogram(), goSecondsBuckets)
+}
+
+// rebucket folds a runtime histogram (variable bucket edges, possibly
+// infinite at either end) into fixed upper bounds: each source bucket
+// is assigned by its upper edge, and the sum — which the runtime does
+// not track — is approximated by bucket midpoints, clamped to the
+// finite edge for the open-ended buckets.
+func rebucket(h *rtmetrics.Float64Histogram, bounds []float64) HistogramSnapshot {
+	out := HistogramSnapshot{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+	if h == nil {
+		return out
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		idx := len(bounds)
+		if !math.IsInf(hi, +1) {
+			idx = sort.SearchFloat64s(bounds, hi)
+		}
+		out.Counts[idx] += c
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, +1):
+			mid = 0
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, +1):
+			mid = lo
+		}
+		out.Sum += mid * float64(c)
+	}
+	return out
+}
+
+// RegisterGoRuntime registers the resopt_go_* family set: Go runtime
+// telemetry (goroutines, heap and total memory, GC cycles and pause
+// distribution, scheduler latency) exported on every scrape from a
+// single runtime/metrics read. Call at most once per registry.
+func RegisterGoRuntime(r *Registry) {
+	names := []string{
+		rtGoroutines, rtHeapObjects, rtHeapLive, rtMemTotal,
+		rtGCCycles, rtAllocBytes, rtGCPauses, rtSchedLat,
+	}
+	g := &goRuntime{samples: make([]rtmetrics.Sample, len(names)), byName: make(map[string]int, len(names))}
+	for i, n := range names {
+		g.samples[i].Name = n
+		g.byName[n] = i
+	}
+	r.OnCollect(g.read)
+
+	r.NewGaugeFunc("resopt_go_goroutines",
+		"Current number of live goroutines.",
+		func() float64 { return float64(g.uint64At(rtGoroutines)) })
+	r.NewGaugeFunc("resopt_go_heap_objects_bytes",
+		"Bytes of memory occupied by live heap objects plus dead objects not yet swept.",
+		func() float64 { return float64(g.uint64At(rtHeapObjects)) })
+	r.NewGaugeFunc("resopt_go_heap_live_bytes",
+		"Heap bytes that were live at the end of the previous GC cycle.",
+		func() float64 { return float64(g.uint64At(rtHeapLive)) })
+	r.NewGaugeFunc("resopt_go_mem_total_bytes",
+		"Total memory mapped by the Go runtime, all classes.",
+		func() float64 { return float64(g.uint64At(rtMemTotal)) })
+	r.NewCounterFunc("resopt_go_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() uint64 { return g.uint64At(rtGCCycles) })
+	r.NewCounterFunc("resopt_go_alloc_bytes_total",
+		"Cumulative bytes allocated on the heap since process start.",
+		func() uint64 { return g.uint64At(rtAllocBytes) })
+	r.NewHistogramFunc("resopt_go_gc_pause_seconds",
+		"Distribution of individual GC-related stop-the-world pause latencies.",
+		func() HistogramSnapshot { return g.histAt(rtGCPauses) })
+	r.NewHistogramFunc("resopt_go_sched_latency_seconds",
+		"Distribution of goroutine scheduling latencies (time from runnable to running).",
+		func() HistogramSnapshot { return g.histAt(rtSchedLat) })
+}

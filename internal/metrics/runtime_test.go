@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	rtmetrics "runtime/metrics"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHistogramFunc: a func-backed histogram renders its snapshot with
+// cumulative buckets; a short Counts slice degrades to zeros instead
+// of panicking the scrape.
+func TestHistogramFunc(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogramFunc("hf_seconds", "Help.", func() HistogramSnapshot {
+		return HistogramSnapshot{Bounds: []float64{0.1, 1}, Counts: []uint64{1, 2, 3}, Sum: 4.5}
+	})
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# TYPE hf_seconds histogram\n",
+		`hf_seconds_bucket{le="0.1"} 1` + "\n",
+		`hf_seconds_bucket{le="1"} 3` + "\n",
+		`hf_seconds_bucket{le="+Inf"} 6` + "\n",
+		"hf_seconds_sum 4.5\n",
+		"hf_seconds_count 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	r2 := NewRegistry()
+	r2.NewHistogramFunc("short_seconds", "", func() HistogramSnapshot {
+		return HistogramSnapshot{Bounds: []float64{0.5, 5}, Counts: []uint64{2}}
+	})
+	out = scrape(t, r2)
+	for _, want := range []string{
+		`short_seconds_bucket{le="5"} 2`,
+		`short_seconds_bucket{le="+Inf"} 2`,
+		"short_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("short snapshot: missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRebucket: runtime histogram buckets fold into the fixed bounds
+// by upper edge, open-ended buckets land in the overflow slot, and the
+// approximated sum clamps the infinite edges.
+func TestRebucket(t *testing.T) {
+	h := &rtmetrics.Float64Histogram{
+		Counts:  []uint64{2, 3, 4},
+		Buckets: []float64{math.Inf(-1), 1e-7, 5e-6, math.Inf(+1)},
+	}
+	bounds := goSecondsBuckets
+	s := rebucket(h, bounds)
+	if len(s.Counts) != len(bounds)+1 {
+		t.Fatalf("counts len = %d, want %d", len(s.Counts), len(bounds)+1)
+	}
+	// (-Inf,1e-7] fits under the 1µs bound; (1e-7,5e-6] under 10µs;
+	// (5e-6,+Inf) overflows.
+	if s.Counts[0] != 2 || s.Counts[1] != 3 || s.Counts[len(bounds)] != 4 {
+		t.Errorf("counts = %v", s.Counts)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != 9 {
+		t.Errorf("total observations = %d, want 9", total)
+	}
+	// Sum ≈ 2·1e-7 (clamped to the finite edge) + 3·2.55e-6 + 4·5e-6.
+	want := 2*1e-7 + 3*(1e-7+5e-6)/2 + 4*5e-6
+	if diff := s.Sum - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("sum = %g, want %g", s.Sum, want)
+	}
+	if got := rebucket(nil, bounds); got.Sum != 0 || len(got.Counts) != len(bounds)+1 {
+		t.Errorf("nil histogram snapshot: %+v", got)
+	}
+}
+
+// TestRegisterGoRuntime: the resopt_go_* families expose live runtime
+// telemetry — a running process has goroutines and mapped memory, and
+// the histograms render as valid families.
+func TestRegisterGoRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoRuntime(r)
+	out := scrape(t, r)
+
+	value := func(name string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(out, "\n") {
+			if v, ok := strings.CutPrefix(line, name+" "); ok {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					t.Fatalf("%s value %q: %v", name, v, err)
+				}
+				return f
+			}
+		}
+		t.Fatalf("no %s sample in:\n%s", name, out)
+		return 0
+	}
+	if v := value("resopt_go_goroutines"); v < 1 {
+		t.Errorf("goroutines = %g, want >= 1", v)
+	}
+	if v := value("resopt_go_mem_total_bytes"); v <= 0 {
+		t.Errorf("mem_total_bytes = %g, want > 0", v)
+	}
+	if v := value("resopt_go_alloc_bytes_total"); v <= 0 {
+		t.Errorf("alloc_bytes_total = %g, want > 0", v)
+	}
+	for _, want := range []string{
+		"# TYPE resopt_go_goroutines gauge\n",
+		"# TYPE resopt_go_gc_cycles_total counter\n",
+		"# TYPE resopt_go_gc_pause_seconds histogram\n",
+		"# TYPE resopt_go_sched_latency_seconds histogram\n",
+		`resopt_go_gc_pause_seconds_bucket{le="+Inf"}`,
+		"resopt_go_sched_latency_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

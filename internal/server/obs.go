@@ -62,6 +62,10 @@ func newObservability(s *Server) *observability {
 		"Requests rejected by the per-client rate limiter.",
 		func() uint64 { return s.rateLimited.Load() })
 
+	// Go runtime telemetry (resopt_go_*): goroutines, heap, GC and
+	// scheduler latency, read from runtime/metrics once per scrape.
+	metrics.RegisterGoRuntime(reg)
+
 	// Build identity, the standard always-1 info gauge.
 	reg.NewGaugeVec("resoptd_build_info",
 		"Build metadata; always 1. Version is stamped via ldflags.",
@@ -240,10 +244,16 @@ func (o *observability) registerStore(st *store.Store) {
 //
 //	GET /metrics           Prometheus text exposition of every family
 //	                       (OpenMetrics with exemplars when negotiated)
+//	GET /metrics/cluster   the fleet's expositions federated into one,
+//	                       distinguished by an injected node label
 //	GET /healthz           liveness/readiness probe: {"status":"ok",...}
-//	                       with the stamped build version
+//	                       with the stamped build version; clustered, it
+//	                       reports peers_up/peers_total and degrades the
+//	                       status (still 200) when any peer is down
 //	GET /debug/traces      recent request traces (?min=50ms&limit=10)
-//	GET /debug/traces/{id} one trace as a JSON span tree
+//	GET /debug/traces/{id} one trace as a JSON span tree — clustered,
+//	                       stitched across every node the request
+//	                       touched (?local=1 for this node's spans only)
 //	GET /debug/pprof/*     the standard runtime profiles
 //
 // pprof is wired explicitly rather than through the side effect of
@@ -252,12 +262,11 @@ func (o *observability) registerStore(st *store.Store) {
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", s.obs.reg.Handler())
+	mux.HandleFunc("GET /metrics/cluster", s.handleMetricsCluster)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{
-			"status":  "ok",
-			"version": buildinfo.Version,
-			"go":      runtime.Version(),
-		})
+		body := s.healthzBody()
+		body["go"] = runtime.Version()
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)

@@ -20,6 +20,8 @@
 //	GET    /v1/snapshots         stored snapshots (re-runnable ones flagged)
 //	GET    /v1/stats             cache, store, suite-cache, request and job
 //	                             counters
+//	GET    /v1/cluster/stats     every fleet member's stats plus an
+//	                             aggregated rollup (standalone: just self)
 //
 // The pre-/v1 endpoints (POST /optimize, POST /batch, GET /stats)
 // remain as thin deprecated shims over the same handlers; they send
@@ -43,7 +45,6 @@ import (
 	"time"
 
 	"repro/internal/api"
-	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -149,6 +150,9 @@ func New(opts Options) *Server {
 		// cold computation, and announces finished plans for
 		// replication: cross-replica single-flight.
 		eo.Remote = remoteTier{s}
+		// Every recorded span carries this node's identity, so merged
+		// cross-node trees can attribute each span to its member.
+		s.tracer.SetNode(opts.Cluster.Self())
 	}
 	s.session = engine.NewSession(eo)
 	s.obs = newObservability(s)
@@ -170,6 +174,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	s.mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// The fleet aggregation is routed unconditionally: standalone
+	// daemons answer with themselves as the only member, so dashboards
+	// need not care whether a target is clustered.
+	s.mux.HandleFunc("GET /v1/cluster/stats", s.handleClusterStats)
 
 	// Deprecated unversioned shims. /stats keeps its pre-/v1 body
 	// shape (Go-default CamelCase cache keys): legacy monitoring
@@ -183,18 +191,18 @@ func New(opts Options) *Server {
 	// /healthz, and a load balancer in front of a cluster needs it on
 	// the public port (the ops listener keeps its own copy).
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		body := map[string]string{"status": "ok", "version": buildinfo.Version}
-		if id := s.nodeID(); id != "" {
-			body["node"] = id
-		}
-		writeJSON(w, http.StatusOK, body)
+		writeJSON(w, http.StatusOK, s.healthzBody())
 	})
 	if s.clusterRt != nil {
-		// Cluster-internal replication endpoints, only routed when
-		// clustered (standalone daemons 404 them).
+		// Cluster-internal endpoints, only routed when clustered
+		// (standalone daemons 404 them): plan/snapshot replication, plus
+		// the local-only trace and metrics reads behind distributed trace
+		// assembly and metrics federation.
 		s.mux.HandleFunc("GET /v1/plans/{addr}", s.handlePlanGet)
 		s.mux.HandleFunc("PUT /v1/plans/{addr}", s.handlePlanPut)
 		s.mux.HandleFunc("PUT /v1/snapshots/{name}", s.handleSnapshotPut)
+		s.mux.HandleFunc("GET /debug/traces/{id}", s.handlePeerTrace)
+		s.mux.HandleFunc("GET /metrics/peer", s.handlePeerMetrics)
 		s.startProber(opts.ClusterProbeInterval)
 	}
 
@@ -430,59 +438,7 @@ func errNoStore() *api.Error {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	c := s.session.CacheStats()
-	resp := api.StatsResponse{
-		Version: api.Version,
-		Workers: s.session.Workers(),
-		Cache: api.CacheStats{
-			KernelHits:       c.KernelHits,
-			KernelMisses:     c.KernelMisses,
-			KernelDiskHits:   c.KernelDiskHits,
-			KernelDiskMisses: c.KernelDiskMisses,
-			PlanHits:         c.PlanHits,
-			PlanMisses:       c.PlanMisses,
-			DiskHits:         c.DiskHits,
-			DiskMisses:       c.DiskMisses,
-			SelectHits:       c.SelectHits,
-			SelectMisses:     c.SelectMisses,
-			Evictions:        c.Evictions,
-			Entries:          c.Entries,
-		},
-		SuiteCache: s.resolver.stats(),
-		Jobs:       s.jobs.stats(),
-	}
-	pt := s.session.PhaseTotals()
-	resp.Phases = api.PhaseTotals{
-		Scenarios: pt.Scenarios,
-		ComputeUs: pt.ComputeUs,
-		AlignUs:   pt.AlignUs,
-		KernelUs:  pt.KernelUs,
-		SelectUs:  pt.SelectUs,
-		StoreUs:   pt.StoreUs,
-		CostUs:    pt.CostUs,
-		TotalUs:   pt.TotalUs,
-	}
-	if s.store != nil {
-		st := s.store.Stats()
-		resp.Store = &api.StoreStats{
-			PlanPuts:        st.PlanPuts,
-			PlanGetHits:     st.PlanGetHits,
-			PlanGetMisses:   st.PlanGetMisses,
-			KernelPuts:      st.KernelPuts,
-			KernelGetHits:   st.KernelGetHits,
-			KernelGetMisses: st.KernelGetMisses,
-			Warnings:        st.Warnings,
-		}
-	}
-	resp.Requests = api.RequestStats{
-		Optimize:    s.optimizes.Load(),
-		Batch:       s.batches.Load(),
-		Jobs:        s.jobReqs.Load(),
-		RateLimited: s.rateLimited.Load(),
-	}
-	resp.Sweeper = s.sweeperStats()
-	resp.Node = s.nodeStats()
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, s.statsResponse())
 }
 
 // legacyStatsResponse reproduces the pre-/v1 GET /stats body: the

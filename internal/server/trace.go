@@ -53,7 +53,15 @@ func (s *Server) traced(next http.Handler) http.Handler {
 		}
 		if s.traceSlow > 0 && dur >= s.traceSlow {
 			if td, ok := s.tracer.Get(traceID); ok {
-				attrs = append(attrs, slog.String("spans", "\n"+td.TreeString()))
+				// Clustered, a slow request may have spent its time on a
+				// peer: stitch the remote span sets in so the warning shows
+				// the whole tree (assembleTrace is a no-op standalone or
+				// when nothing was forwarded).
+				merged, missing := s.assembleTrace(r.Context(), td)
+				attrs = append(attrs, slog.String("spans", "\n"+merged.TreeString()))
+				if len(missing) > 0 {
+					attrs = append(attrs, slog.Any("missing_nodes", missing))
+				}
 			}
 			s.logger.Warn("slow request", attrs...)
 			return
@@ -89,6 +97,12 @@ type traceSummary struct {
 	Start      time.Time `json:"start"`
 	DurationUs float64   `json:"duration_us"`
 	Spans      int       `json:"spans"`
+	// NodeID is the recording cluster member ("" standalone); Status is
+	// the root span's HTTP status (0 for non-request traces such as
+	// async jobs) — enough to triage a listing without opening each
+	// trace.
+	NodeID string `json:"node_id,omitempty"`
+	Status int    `json:"status,omitempty"`
 }
 
 // traceListResponse is the GET /debug/traces body.
@@ -101,14 +115,20 @@ type traceListResponse struct {
 }
 
 // traceDetail is the GET /debug/traces/{id} body: the recorded trace
-// with its spans resolved into a tree.
+// with its spans resolved into a tree — clustered, the tree merged
+// from every node the request touched.
 type traceDetail struct {
-	TraceID    string            `json:"trace_id"`
-	Name       string            `json:"name"`
-	Start      time.Time         `json:"start"`
-	DurationUs float64           `json:"duration_us"`
-	Dropped    int               `json:"dropped_spans,omitempty"`
-	Spans      []*trace.SpanNode `json:"spans"`
+	TraceID    string    `json:"trace_id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationUs float64   `json:"duration_us"`
+	Dropped    int       `json:"dropped_spans,omitempty"`
+	// NodeID is the node that served this detail (the trace's local
+	// recorder); MissingNodes lists peers the request was forwarded to
+	// whose span sets could not be fetched (down, or trace evicted).
+	NodeID       string            `json:"node_id,omitempty"`
+	MissingNodes []string          `json:"missing_nodes,omitempty"`
+	Spans        []*trace.SpanNode `json:"spans"`
 }
 
 // handleTraces lists recently recorded traces, newest first. Query
@@ -135,13 +155,20 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := traceListResponse{Traces: []traceSummary{}, Held: s.tracer.Len(), Total: s.tracer.Total()}
 	for _, td := range s.tracer.List(min, limit) {
-		resp.Traces = append(resp.Traces, traceSummary{
+		sum := traceSummary{
 			TraceID:    td.TraceID,
 			Name:       td.Name,
 			Start:      td.Start,
 			DurationUs: td.DurationUs,
 			Spans:      len(td.Spans),
-		})
+			NodeID:     td.NodeID,
+		}
+		if root := td.Root(); root != nil {
+			if st, err := strconv.Atoi(root.Attrs["status"]); err == nil {
+				sum.Status = st
+			}
+		}
+		resp.Traces = append(resp.Traces, sum)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -153,12 +180,21 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no recorded trace %q (the ring holds the most recent %d)", id, s.tracer.Len()))
 		return
 	}
+	// Clustered, assemble the full cross-node tree unless the caller
+	// asked for the local span set only (?local=1 — the loop guard the
+	// assembly fan-out itself uses).
+	var missing []string
+	if r.URL.Query().Get("local") == "" {
+		td, missing = s.assembleTrace(r.Context(), td)
+	}
 	writeJSON(w, http.StatusOK, traceDetail{
-		TraceID:    td.TraceID,
-		Name:       td.Name,
-		Start:      td.Start,
-		DurationUs: td.DurationUs,
-		Dropped:    td.Dropped,
-		Spans:      td.Tree(),
+		TraceID:      td.TraceID,
+		Name:         td.Name,
+		Start:        td.Start,
+		DurationUs:   td.DurationUs,
+		Dropped:      td.Dropped,
+		NodeID:       td.NodeID,
+		MissingNodes: missing,
+		Spans:        td.Tree(),
 	})
 }

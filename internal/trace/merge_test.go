@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRecorderNodeStamping: SetNode stamps the trace and every span
+// recorded afterwards, and Root() returns the root (published last).
+func TestRecorderNodeStamping(t *testing.T) {
+	rec := NewRecorder(2)
+	rec.SetNode("nodeX")
+	ctx, root := StartRoot(context.Background(), rec, "http", "")
+	_, child := StartSpan(ctx, "scenario")
+	child.End()
+	root.End()
+
+	td, ok := rec.Get(root.TraceID().String())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	if td.NodeID != "nodeX" {
+		t.Errorf("trace node_id %q, want nodeX", td.NodeID)
+	}
+	for _, sd := range td.Spans {
+		if sd.NodeID != "nodeX" {
+			t.Errorf("span %s node_id %q, want nodeX", sd.Name, sd.NodeID)
+		}
+	}
+	r := td.Root()
+	if r == nil || r.Name != "http" {
+		t.Fatalf("Root() = %+v, want the root span", r)
+	}
+	if (&TraceData{}).Root() != nil {
+		t.Error("Root() of an empty trace is not nil")
+	}
+}
+
+// TestMerge: remote span sets dedupe against the local trace (local
+// wins), unstamped remote spans inherit the remote's node ID, the
+// local root stays last so Root() holds, dropped counts sum, and the
+// inputs are left untouched. The merged tree nests the remote root
+// under the forward span, and is byte-deterministic.
+func TestMerge(t *testing.T) {
+	local := &TraceData{
+		TraceID: "t1", Name: "http", NodeID: "n1", Dropped: 1,
+		Spans: []SpanData{
+			{ID: "f1", Parent: "r1", Name: "cluster.forward", NodeID: "n1", Attrs: map[string]string{"peer": "n2"}},
+			{ID: "r1", Name: "http", NodeID: "n1"},
+		},
+	}
+	remote := &TraceData{
+		TraceID: "t1", Name: "http", NodeID: "n2", Dropped: 2,
+		Spans: []SpanData{
+			{ID: "s2", Parent: "rb", Name: "scenario"},
+			{ID: "f1", Parent: "zz", Name: "dup-should-lose"},
+			{ID: "rb", Parent: "f1", Name: "http"},
+		},
+	}
+
+	merged := Merge(local, remote, nil)
+	if len(merged.Spans) != 4 {
+		t.Fatalf("merged spans = %d, want 4 (dedup by span ID)", len(merged.Spans))
+	}
+	if r := merged.Root(); r == nil || r.ID != "r1" {
+		t.Fatalf("merged Root() = %+v, want local root r1 last", r)
+	}
+	if merged.Dropped != 3 {
+		t.Errorf("merged dropped = %d, want 3", merged.Dropped)
+	}
+	byID := map[string]SpanData{}
+	for _, sd := range merged.Spans {
+		byID[sd.ID] = sd
+	}
+	if byID["f1"].Name != "cluster.forward" {
+		t.Errorf("duplicate span ID: remote copy won (%q)", byID["f1"].Name)
+	}
+	if byID["s2"].NodeID != "n2" || byID["rb"].NodeID != "n2" {
+		t.Errorf("remote spans not stamped: s2=%q rb=%q", byID["s2"].NodeID, byID["rb"].NodeID)
+	}
+	if remote.Spans[0].NodeID != "" {
+		t.Error("Merge mutated the remote input")
+	}
+	if len(local.Spans) != 2 {
+		t.Error("Merge mutated the local input")
+	}
+
+	// The remote root resolves as a child of the forward span.
+	tree := merged.Tree()
+	if len(tree) != 1 || tree[0].ID != "r1" {
+		t.Fatalf("merged tree roots: %+v", tree)
+	}
+	fwd := tree[0].Children[0]
+	if fwd.ID != "f1" || len(fwd.Children) != 1 || fwd.Children[0].ID != "rb" {
+		t.Fatalf("forward span does not adopt the remote root:\n%s", merged.TreeString())
+	}
+	for _, want := range []string{"[n1] http", "[n1] cluster.forward", "[n2] http", "[n2] scenario"} {
+		if !strings.Contains(merged.TreeString(), want) {
+			t.Errorf("TreeString missing %q:\n%s", want, merged.TreeString())
+		}
+	}
+
+	// Same inputs, same bytes.
+	j1, _ := json.Marshal(merged)
+	j2, _ := json.Marshal(Merge(local, remote, nil))
+	if !bytes.Equal(j1, j2) {
+		t.Error("Merge is not deterministic")
+	}
+}

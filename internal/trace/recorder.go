@@ -16,6 +16,10 @@ type SpanData struct {
 	Start      time.Time         `json:"start"`
 	DurationUs float64           `json:"duration_us"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
+	// NodeID is the cluster member that recorded the span ("" when
+	// standalone). Stamped by the recorder, so merged cross-node trees
+	// keep each span's origin.
+	NodeID string `json:"node_id,omitempty"`
 }
 
 // TraceData is one completed trace: the root span's identity plus
@@ -28,6 +32,18 @@ type TraceData struct {
 	Spans      []SpanData `json:"spans,omitempty"`
 	// Dropped counts spans discarded past the per-trace cap.
 	Dropped int `json:"dropped_spans,omitempty"`
+	// NodeID is the recording cluster member ("" when standalone).
+	NodeID string `json:"node_id,omitempty"`
+}
+
+// Root returns the trace's root span. The recording order guarantees
+// the root is published last (ending it is what publishes the trace),
+// so this is the final element of Spans; nil for an empty trace.
+func (td *TraceData) Root() *SpanData {
+	if len(td.Spans) == 0 {
+		return nil
+	}
+	return &td.Spans[len(td.Spans)-1]
 }
 
 // SpanNode is SpanData with resolved children — the JSON span tree
@@ -65,7 +81,11 @@ func (td *TraceData) TreeString() string {
 	var b strings.Builder
 	var walk func(n *SpanNode, depth int)
 	walk = func(n *SpanNode, depth int) {
-		fmt.Fprintf(&b, "%*s%s %.0fµs", depth*2, "", n.Name, n.DurationUs)
+		fmt.Fprintf(&b, "%*s", depth*2, "")
+		if n.NodeID != "" {
+			fmt.Fprintf(&b, "[%s] ", n.NodeID)
+		}
+		fmt.Fprintf(&b, "%s %.0fµs", n.Name, n.DurationUs)
 		if len(n.Attrs) > 0 {
 			keys := make([]string, 0, len(n.Attrs))
 			for k := range n.Attrs {
@@ -90,12 +110,60 @@ func (td *TraceData) TreeString() string {
 	return b.String()
 }
 
+// Merge stitches a locally recorded trace with the same trace's span
+// sets fetched from other cluster members. Spans are deduplicated by
+// span ID with the local copy winning; remote spans are appended in
+// the order the remotes are given (callers sort by node ID for
+// determinism), and the local root stays the final span so Root()
+// holds on the merged trace. Dropped counts are summed. Nil remotes
+// are skipped; the inputs are not mutated.
+func Merge(local *TraceData, remotes ...*TraceData) *TraceData {
+	merged := &TraceData{
+		TraceID:    local.TraceID,
+		Name:       local.Name,
+		Start:      local.Start,
+		DurationUs: local.DurationUs,
+		NodeID:     local.NodeID,
+		Dropped:    local.Dropped,
+	}
+	seen := make(map[string]bool, len(local.Spans))
+	for _, sd := range local.Spans {
+		seen[sd.ID] = true
+	}
+	// Local spans first (root held back for the end), then each
+	// remote's unseen spans in its own recording order.
+	if n := len(local.Spans); n > 0 {
+		merged.Spans = append(merged.Spans, local.Spans[:n-1]...)
+	}
+	for _, r := range remotes {
+		if r == nil {
+			continue
+		}
+		merged.Dropped += r.Dropped
+		for _, sd := range r.Spans {
+			if seen[sd.ID] {
+				continue
+			}
+			seen[sd.ID] = true
+			if sd.NodeID == "" {
+				sd.NodeID = r.NodeID
+			}
+			merged.Spans = append(merged.Spans, sd)
+		}
+	}
+	if n := len(local.Spans); n > 0 {
+		merged.Spans = append(merged.Spans, local.Spans[n-1])
+	}
+	return merged
+}
+
 // Recorder is a bounded in-memory ring of completed traces, newest
 // evicting oldest. It is safe for concurrent use; the zero value is
 // not usable — construct with NewRecorder.
 type Recorder struct {
 	mu    sync.Mutex
 	cap   int
+	node  string
 	byID  map[string]*TraceData
 	order []string // oldest first
 	total uint64
@@ -115,9 +183,25 @@ func NewRecorder(capTraces int) *Recorder {
 	return &Recorder{cap: capTraces, byID: make(map[string]*TraceData, capTraces)}
 }
 
+// SetNode sets the cluster node ID stamped onto every subsequently
+// recorded trace and span. Call once at startup, before traffic.
+func (r *Recorder) SetNode(id string) {
+	r.mu.Lock()
+	r.node = id
+	r.mu.Unlock()
+}
+
 func (r *Recorder) add(td *TraceData) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.node != "" {
+		td.NodeID = r.node
+		for i := range td.Spans {
+			if td.Spans[i].NodeID == "" {
+				td.Spans[i].NodeID = r.node
+			}
+		}
+	}
 	r.total++
 	if _, ok := r.byID[td.TraceID]; ok {
 		// Two roots published under one trace ID (a caller reusing a

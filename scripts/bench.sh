@@ -1,0 +1,58 @@
+#!/bin/sh
+# scripts/bench.sh — record one point of the perf trajectory.
+#
+# Runs the collective-selection and engine benchmarks with -benchmem
+# and writes BENCH_<n>.json (n = the next free index) in the repo
+# root: per-benchmark ns/op, B/op and allocs/op plus run metadata.
+# CI runs this from the bench smoke so the trajectory accumulates;
+# locally, run it before and after a perf-sensitive change and diff
+# the two files.
+#
+# Usage: scripts/bench.sh [output-dir]
+#   BENCHTIME=100x scripts/bench.sh   # more iterations per benchmark
+
+set -eu
+
+cd "$(dirname "$0")/.."
+out_dir="${1:-.}"
+benchtime="${BENCHTIME:-1x}"
+pkgs="./internal/collective ./internal/engine"
+
+n=1
+while [ -e "$out_dir/BENCH_$n.json" ]; do
+  n=$((n + 1))
+done
+out="$out_dir/BENCH_$n.json"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+# shellcheck disable=SC2086
+go test -run='^$' -bench=. -benchtime="$benchtime" -benchmem $pkgs | tee "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" \
+    -v benchtime="$benchtime" '
+  /^pkg:/ { pkg = $2 }
+  /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+  /^Benchmark/ {
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 3; i < NF; i++) {
+      if ($(i + 1) == "ns/op") ns = $i
+      if ($(i + 1) == "B/op") bytes = $i
+      if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    line = sprintf("    {\"name\": \"%s\", \"package\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                   $1, pkg, $2, ns, bytes, allocs)
+    lines = lines (lines == "" ? "" : ",\n") line
+    count++
+  }
+  END {
+    if (count == 0) {
+      print "bench.sh: no benchmark lines parsed" > "/dev/stderr"
+      exit 1
+    }
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n",
+           date, gover, cpu, benchtime, lines
+  }
+' "$raw" > "$out"
+
+echo "bench.sh: wrote $out" >&2
