@@ -19,6 +19,21 @@
 //	resopt -batch -workers 1          # sequential baseline
 //	resopt -batch -no-cache           # memo-cache ablation
 //
+// Lattice mode answers the capacity-planning question — how does the
+// optimized nest price across machine sizes and payload scales, and
+// where does the best collective schedule switch? The nest is
+// compiled once (the structural phase); every grid point is then
+// priced by cheap template evaluation, so wide sweeps cost
+// milliseconds instead of one full optimization per point:
+//
+//	resopt -lattice "mesh{4..64}x{2..64}:bytes=1k..16M" -example matmul
+//	resopt -lattice "fattree{32..256}" -nest mynest.txt
+//	resopt -remote http://localhost:8080 -lattice "mesh{4..32}x8:bytes=1k..32M"
+//
+// Rows stream as NDJSON to stdout (machines in declaration order,
+// payloads ascending), switch points flagged in place; the summary
+// goes to stderr.
+//
 // The persistent plan store makes repeated sweeps
 // compile-once/reuse-many across processes, and snapshots make them
 // diffable across commits and re-runnable by name:
@@ -79,6 +94,7 @@ func main() {
 	noMacro := flag.Bool("no-macro", false, "disable macro-communication detection")
 	noDecomp := flag.Bool("no-decomp", false, "disable communication decomposition")
 	batch := flag.Bool("batch", false, "run the batch engine over a generated scenario suite")
+	lattice := flag.String("lattice", "", `sweep the nest over a capacity-planning grid (e.g. "mesh{4..64}x{2..64}:bytes=1k..16M"): compiled once, every point priced by template evaluation; NDJSON rows to stdout, summary to stderr`)
 	random := flag.Int("random", 0, "batch: number of random nests (0: default)")
 	deep := flag.Int("deep", 0, "batch: number of deep (depth 4-5) random nests")
 	skew := flag.Bool("skew", false, "batch: add skewed machine grids to the suite")
@@ -130,6 +146,7 @@ func main() {
 		runRemote(remoteConfig{
 			base:         *remote,
 			batch:        *batch,
+			lattice:      *lattice,
 			snapshots:    *snapshots,
 			stats:        *stats,
 			clusterStats: *clusterStats,
@@ -150,6 +167,19 @@ func main() {
 				NoDecomposition: *noDecomp,
 			},
 			m: *m,
+		})
+		return
+	}
+
+	if *lattice != "" {
+		runLattice(latticeConfig{
+			grid:     *lattice,
+			example:  *example,
+			nestFile: *nestFile,
+			m:        *m,
+			noMacro:  *noMacro,
+			noDecomp: *noDecomp,
+			storeDir: *storeDir,
 		})
 		return
 	}

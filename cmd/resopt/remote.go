@@ -22,6 +22,7 @@ type remoteConfig struct {
 	batch, snapshots     bool
 	stats                bool
 	clusterStats         bool
+	lattice              string
 	retries              int
 	example, nestFile    string
 	outFile              string
@@ -112,6 +113,8 @@ func runRemote(cfg remoteConfig) {
 		remoteStats(ctx, f)
 	case cfg.snapshots:
 		remoteSnapshots(ctx, f)
+	case cfg.lattice != "":
+		remoteLattice(ctx, f, cfg)
 	case cfg.batch:
 		remoteBatch(ctx, f, cfg)
 	default:
@@ -163,8 +166,8 @@ func remoteStats(ctx context.Context, f *remoteFleet) {
 		st.Cache.PlanHits, st.Cache.PlanMisses, st.Cache.KernelHits, st.Cache.KernelMisses,
 		st.Cache.SelectHits, st.Cache.SelectMisses,
 		st.Cache.DiskHits, st.Cache.DiskMisses, st.Cache.KernelDiskHits, st.Cache.KernelDiskMisses)
-	fmt.Printf("requests: %d optimize, %d batch, %d jobs, %d rate-limited\n",
-		st.Requests.Optimize, st.Requests.Batch, st.Requests.Jobs, st.Requests.RateLimited)
+	fmt.Printf("requests: %d optimize, %d batch, %d lattice, %d jobs, %d rate-limited\n",
+		st.Requests.Optimize, st.Requests.Batch, st.Requests.Lattice, st.Requests.Jobs, st.Requests.RateLimited)
 	n := st.Node
 	if n == nil {
 		fmt.Println("cluster: standalone (no -cluster)")

@@ -224,6 +224,65 @@ type DiffSummary struct {
 	Removed     int    `json:"removed"`
 }
 
+// LatticeRequest is the POST /v1/lattice body: one nest (by example
+// name or nestlang source, exactly one of the two) swept over a
+// capacity-planning grid of machine configurations × payload sizes.
+// The nest's optimization is structurally compiled once; every lattice
+// point is then priced by cheap template evaluation, so wide sweeps
+// cost milliseconds instead of one full optimization per point.
+type LatticeRequest struct {
+	Example string `json:"example,omitempty"`
+	Nest    string `json:"nest,omitempty"`
+	// M is the target virtual grid dimension (default 2).
+	M int `json:"m,omitempty"`
+	// N sizes the payload in elements per message (default 16).
+	N int `json:"n,omitempty"`
+	// Grid is the lattice grammar, e.g.
+	// "mesh{4..64}x{2..64}:bytes=1k..16M" (machine extents as values,
+	// {a,b,c} lists or {a..b} doubling ranges; the :bytes= suffix sizes
+	// the per-element payload, defaulting to 64).
+	Grid string `json:"grid"`
+	// NoMacro / NoDecomposition are the heuristic ablations.
+	NoMacro         bool `json:"no_macro,omitempty"`
+	NoDecomposition bool `json:"no_decomposition,omitempty"`
+}
+
+// LatticeRow is one NDJSON line of the /v1/lattice stream: the nest
+// priced at one (machine, elem_bytes) lattice point. Rows stream
+// machines in grid declaration order with payloads ascending within
+// each machine, so switch points along the payload axis are adjacent
+// rows.
+type LatticeRow struct {
+	Machine      string  `json:"machine"`
+	ElemBytes    int64   `json:"elem_bytes"`
+	Classes      [4]int  `json:"classes"`
+	Vectorizable int     `json:"vectorizable"`
+	ModelTimeUs  float64 `json:"model_time_us"`
+	// Collectives is the selected-collective summary at this point (see
+	// OptimizeResponse.Collectives).
+	Collectives string `json:"collectives,omitempty"`
+	// Switched marks a switch point: the collective selection differs
+	// from the previous (smaller) payload on the same machine.
+	// SwitchedFrom records the selection it displaced.
+	Switched     bool   `json:"switched,omitempty"`
+	SwitchedFrom string `json:"switched_from,omitempty"`
+}
+
+// LatticeSummary is the final NDJSON line of the /v1/lattice stream.
+type LatticeSummary struct {
+	Summary LatticeSummaryBody `json:"summary"`
+}
+
+// LatticeSummaryBody aggregates a lattice sweep.
+type LatticeSummaryBody struct {
+	Name     string `json:"name"`
+	Grid     string `json:"grid"`
+	Points   int    `json:"points"`
+	Machines int    `json:"machines"`
+	// Switches counts the rows flagged as switch points.
+	Switches int `json:"switches"`
+}
+
 // JobStatus is the lifecycle state of an async batch job.
 type JobStatus string
 
@@ -306,19 +365,33 @@ type CacheStats struct {
 	DiskMisses       uint64 `json:"disk_misses"`
 	SelectHits       uint64 `json:"select_hits"`
 	SelectMisses     uint64 `json:"select_misses"`
-	Evictions        uint64 `json:"evictions"`
-	Entries          int    `json:"entries"`
+	// Compiled* mirror the compiled-plan tier: artifact lookups in the
+	// memory cache and the disk tier behind it, plus the pricer's
+	// selection-template cache and evaluation counter.
+	CompiledHits           uint64 `json:"compiled_hits"`
+	CompiledMisses         uint64 `json:"compiled_misses"`
+	CompiledDiskHits       uint64 `json:"compiled_disk_hits"`
+	CompiledDiskMisses     uint64 `json:"compiled_disk_misses"`
+	CompiledTemplates      int    `json:"compiled_templates"`
+	CompiledTemplateHits   uint64 `json:"compiled_template_hits"`
+	CompiledTemplateMisses uint64 `json:"compiled_template_misses"`
+	CompiledEvals          uint64 `json:"compiled_evals"`
+	Evictions              uint64 `json:"evictions"`
+	Entries                int    `json:"entries"`
 }
 
 // StoreStats mirrors the plan/kernel store's traffic counters.
 type StoreStats struct {
-	PlanPuts        uint64 `json:"plan_puts"`
-	PlanGetHits     uint64 `json:"plan_get_hits"`
-	PlanGetMisses   uint64 `json:"plan_get_misses"`
-	KernelPuts      uint64 `json:"kernel_puts"`
-	KernelGetHits   uint64 `json:"kernel_get_hits"`
-	KernelGetMisses uint64 `json:"kernel_get_misses"`
-	Warnings        uint64 `json:"warnings"`
+	PlanPuts          uint64 `json:"plan_puts"`
+	PlanGetHits       uint64 `json:"plan_get_hits"`
+	PlanGetMisses     uint64 `json:"plan_get_misses"`
+	KernelPuts        uint64 `json:"kernel_puts"`
+	KernelGetHits     uint64 `json:"kernel_get_hits"`
+	KernelGetMisses   uint64 `json:"kernel_get_misses"`
+	CompiledPuts      uint64 `json:"compiled_puts"`
+	CompiledGetHits   uint64 `json:"compiled_get_hits"`
+	CompiledGetMisses uint64 `json:"compiled_get_misses"`
+	Warnings          uint64 `json:"warnings"`
 }
 
 // SuiteCacheStats counts batch-spec resolutions served from the
@@ -333,6 +406,7 @@ type SuiteCacheStats struct {
 type RequestStats struct {
 	Optimize    uint64 `json:"optimize"`
 	Batch       uint64 `json:"batch"`
+	Lattice     uint64 `json:"lattice"`
 	Jobs        uint64 `json:"jobs"`
 	RateLimited uint64 `json:"rate_limited"`
 }

@@ -311,6 +311,51 @@ func (c *Client) Batch(ctx context.Context, spec api.BatchSpec, emit func(api.Ba
 	return sum, nil
 }
 
+// Lattice streams a capacity-planning sweep: emit (when non-nil) is
+// called once per NDJSON row, in grid order (machines as declared,
+// payloads ascending), as the server produces them; the trailing
+// summary is returned. A non-nil error from emit aborts the stream.
+func (c *Client) Lattice(ctx context.Context, req api.LatticeRequest, emit func(api.LatticeRow) error) (*api.LatticeSummary, error) {
+	resp, err := c.send(ctx, http.MethodPost, "/v1/lattice", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := responseError(resp); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var sum *api.LatticeSummary
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"summary"`)) {
+			var s api.LatticeSummary
+			if err := json.Unmarshal(line, &s); err != nil {
+				return nil, fmt.Errorf("client: decoding lattice summary: %w", err)
+			}
+			sum = &s
+			continue
+		}
+		var row api.LatticeRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			return nil, fmt.Errorf("client: decoding lattice row: %w", err)
+		}
+		if emit != nil {
+			if err := emit(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: reading lattice stream: %w", err)
+	}
+	if sum == nil {
+		return nil, fmt.Errorf("client: lattice stream ended without a summary line")
+	}
+	return sum, nil
+}
+
 // SubmitJob submits a batch spec as an async job.
 func (c *Client) SubmitJob(ctx context.Context, spec api.BatchSpec) (*api.Job, error) {
 	var out api.Job

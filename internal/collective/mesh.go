@@ -18,26 +18,37 @@ import (
 // its 2×64 transpose.
 
 // meshAlgo is one software broadcast/reduction algorithm over the
-// mesh. build returns the broadcast schedule for a line set;
-// reductions reuse it mirrored (reversed rounds, swapped endpoints).
-// totalOnly marks algorithms whose structure needs the full 2-D rank
-// space and cannot run per line.
+// mesh. shape emits its byte-symbolic candidate schedules for a line
+// set (broadcast orientation; reductions run them mirrored — reversed
+// rounds, swapped endpoints). totalOnly marks algorithms whose
+// structure needs the full 2-D rank space and cannot run per line.
 type meshAlgo struct {
 	name      string
 	totalOnly bool
-	build     func(m *machine.Mesh2D, ls [][]int, bytes int64) []Round
+	shape     func(m *machine.Mesh2D, ls [][]int) []shapeVariant
 }
 
 // meshAlgos is the registry, in tie-breaking order: on equal cost the
 // earlier algorithm wins, so trees are preferred over the flat
 // baseline when they cost the same.
 var meshAlgos = []meshAlgo{
-	{"bisection", false, buildBisection},
-	{"binomial", false, buildBinomial},
-	{"dim-tree", true, buildDimTree},
-	{"chain", false, buildChain},
-	{"scatter-allgather", false, buildScatterAllgather},
-	{"flat", false, buildFlat},
+	{"bisection", false, shapeBisection},
+	{"binomial", false, shapeBinomial},
+	{"dim-tree", true, shapeDimTree},
+	{"chain", false, shapeChain},
+	{"scatter-allgather", false, shapeScatterAllgather},
+	{"flat", false, shapeFlat},
+}
+
+// build materializes the algorithm's cheapest applicable schedule
+// variant at the payload (broadcast orientation).
+func (a meshAlgo) build(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
+	e := newEvaluator(m)
+	v := e.pickVariant(a.shape(m, ls), bytes)
+	if v == nil {
+		return nil
+	}
+	return instantiate(v.rounds, bytes)
 }
 
 // MeshAlgorithms lists the mesh broadcast/reduction algorithm names
@@ -152,7 +163,18 @@ func SelectMeshDim(m *machine.Mesh2D, p Pattern, dim int, bytes int64, force str
 // line set and returns the cheapest as a Choice; scope "" admits the
 // total-only algorithms.
 func selectLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, force, scope string) Choice {
+	ch, _ := newEvaluator(m).selectShapes(m, p, ls, bytes, force, scope)
+	return ch
+}
+
+// selectShapes is selectLines over a shared evaluator: every
+// candidate prices through the same contention scratch and message
+// buffer, and the winner's symbolic rounds come back alongside the
+// Choice so compositions (SelectMeshPlanes) can re-price them without
+// rebuilding. scope "" admits the total-only algorithms.
+func (e *evaluator) selectShapes(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, force, scope string) (Choice, []shapeRound) {
 	best := Choice{Pattern: p, Cost: -1}
+	var bestShapes []shapeRound
 	for _, a := range meshAlgos {
 		if force != "" && a.name != force {
 			continue
@@ -160,21 +182,23 @@ func selectLines(m *machine.Mesh2D, p Pattern, ls [][]int, bytes int64, force, s
 		if a.totalOnly && scope != "" {
 			continue
 		}
-		sched, err := scheduleLines(m, p, ls, bytes, a.name, scope)
-		if err != nil {
+		v := e.pickVariant(a.shape(m, ls), bytes)
+		if v == nil {
 			continue
 		}
-		if ch := sched.Choice(); best.Cost < 0 || ch.Cost < best.Cost {
-			best = ch
+		cost := e.price(v.rounds, p, bytes)
+		if best.Cost < 0 || cost < best.Cost {
+			best = Choice{Pattern: p, Algorithm: a.name, Scope: scope, Cost: cost, Rounds: len(v.rounds)}
+			bestShapes = v.rounds
 		}
 	}
 	if best.Cost < 0 {
 		// force named an algorithm that cannot run here (a permute or
 		// fat-tree name, or a total-only tree on a partial collective):
 		// fall back to free selection.
-		return selectLines(m, p, ls, bytes, "", scope)
+		return e.selectShapes(m, p, ls, bytes, "", scope)
 	}
-	return best
+	return best, bestShapes
 }
 
 // reverseRounds mirrors a broadcast schedule into a reduction: rounds
@@ -203,216 +227,8 @@ func maxLineLen(ls [][]int) int {
 	return n
 }
 
-// buildFlat is the degenerate root-to-all baseline: every non-root
-// processor of each line is served by one message from the line root,
-// all posted in a single round (the mesh contention model then
-// serializes them on the root's few outgoing links — exactly the old
-// naive cost for a total collective).
-func buildFlat(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
-	var r Round
-	for _, line := range ls {
-		for _, dst := range line[1:] {
-			r = append(r, machine.Message{Src: line[0], Dst: dst, Bytes: bytes})
-		}
-	}
-	if len(r) == 0 {
-		return nil
-	}
-	return []Round{r}
-}
-
-// buildBisection is the recursive-halving (midpoint) tree: each
-// holder sends to the midpoint of its line segment, splitting the
-// problem in two every round. The segments of one round map to
-// disjoint physical intervals, so — unlike binomial doubling, whose
-// same-round paths overlap and serialize — bisection rounds are
-// conflict-free wherever the grid extents are powers of two, which
-// makes it the cheapest tree on every default mesh.
-func buildBisection(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
-	n := maxLineLen(ls)
-	top := 1
-	for top < n {
-		top *= 2
-	}
-	var rounds []Round
-	for d := top / 2; d >= 1; d /= 2 {
-		var r Round
-		for _, line := range ls {
-			for rel := 0; rel+d < len(line); rel += 2 * d {
-				r = append(r, machine.Message{Src: line[rel], Dst: line[rel+d], Bytes: bytes})
-			}
-		}
-		if len(r) > 0 {
-			rounds = append(rounds, r)
-		}
-	}
-	return rounds
-}
-
-// buildBinomial is the binomial (recursive doubling) tree: in round
-// k every processor that already holds the payload forwards it to
-// the partner 2^k line positions away, so n processors are covered
-// in ⌈log₂ n⌉ rounds. How well the doubling maps onto the physical
-// grid — and how much the round's messages conflict — depends on the
-// mesh shape and the line orientation.
-func buildBinomial(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
-	n := maxLineLen(ls)
-	var rounds []Round
-	for dist := 1; dist < n; dist *= 2 {
-		var r Round
-		for _, line := range ls {
-			for rel := 0; rel < dist && rel+dist < len(line); rel++ {
-				r = append(r, machine.Message{Src: line[rel], Dst: line[rel+dist], Bytes: bytes})
-			}
-		}
-		if len(r) > 0 {
-			rounds = append(rounds, r)
-		}
-	}
-	return rounds
-}
-
-// buildDimTree is the dimension-ordered tree for total collectives: a
-// binomial tree down the root's column first (phase 1, all traffic in
-// the x dimension), then concurrent binomial trees along every row
-// (phase 2, all traffic in the y dimension). Each phase's messages
-// are axis-parallel, so cross-dimension link conflicts never arise.
-func buildDimTree(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
-	root := 0
-	if len(ls) > 0 && len(ls[0]) > 0 {
-		root = ls[0][0]
-	}
-	rx, ry := m.Coords(root)
-	var rounds []Round
-	for dist := 1; dist < m.P; dist *= 2 {
-		var r Round
-		for rel := 0; rel < dist && rel+dist < m.P; rel++ {
-			r = append(r, machine.Message{
-				Src:   m.Rank((rx+rel)%m.P, ry),
-				Dst:   m.Rank((rx+rel+dist)%m.P, ry),
-				Bytes: bytes,
-			})
-		}
-		rounds = append(rounds, r)
-	}
-	for dist := 1; dist < m.Q; dist *= 2 {
-		var r Round
-		for x := 0; x < m.P; x++ {
-			for rel := 0; rel < dist && rel+dist < m.Q; rel++ {
-				r = append(r, machine.Message{
-					Src:   m.Rank(x, (ry+rel)%m.Q),
-					Dst:   m.Rank(x, (ry+rel+dist)%m.Q),
-					Bytes: bytes,
-				})
-			}
-		}
-		rounds = append(rounds, r)
-	}
-	return rounds
-}
-
 // chainSegments are the pipeline depths the chain algorithm
 // considers; the cheapest segmentation for the concrete machine and
 // payload wins. More segments cut the per-hop serialization of large
 // payloads but pay more startups.
 var chainSegments = []int{1, 2, 4, 8, 16}
-
-// buildChain is the pipelined chain: the payload is cut into s
-// segments that stream down each line, so the last processor
-// finishes after n−2+s rounds of neighbor messages instead of
-// waiting for the whole payload to traverse every hop. The segment
-// count is chosen by cost over chainSegments.
-func buildChain(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
-	if maxLineLen(ls) < 2 {
-		return nil
-	}
-	var best []Round
-	bestCost := -1.0
-	for _, s := range chainSegments {
-		if int64(s) > bytes && s > 1 {
-			break // segments below one byte: stop splitting
-		}
-		rounds := buildChainSeg(ls, bytes, s)
-		cost := MeshCost(m, rounds)
-		if bestCost < 0 || cost < bestCost {
-			best, bestCost = rounds, cost
-		}
-	}
-	return best
-}
-
-// buildChainSeg builds the chain schedule with exactly s segments:
-// segment j reaches line position i (1-based) in round i−1+j.
-func buildChainSeg(ls [][]int, bytes int64, s int) []Round {
-	n := maxLineLen(ls)
-	segBytes := (bytes + int64(s) - 1) / int64(s)
-	var rounds []Round
-	for t := 0; t < n-1+s-1; t++ {
-		var r Round
-		for _, line := range ls {
-			for i := 1; i < len(line); i++ {
-				j := t - (i - 1)
-				if j < 0 || j >= s {
-					continue
-				}
-				r = append(r, machine.Message{Src: line[i-1], Dst: line[i], Bytes: segBytes})
-			}
-		}
-		if len(r) > 0 {
-			rounds = append(rounds, r)
-		}
-	}
-	return rounds
-}
-
-// buildScatterAllgather is the large-payload broadcast: a binomial
-// scatter distributes 1/n of the payload across each line in
-// ⌈log₂ n⌉ rounds of halving sizes, then a ring allgather circulates
-// the chunks in n−1 rounds of concurrent neighbor messages. Total
-// traffic is ≈2·bytes per link instead of bytes·n, which wins once
-// payloads dwarf startups.
-func buildScatterAllgather(m *machine.Mesh2D, ls [][]int, bytes int64) []Round {
-	n := maxLineLen(ls)
-	if n < 2 {
-		return nil
-	}
-	chunk := (bytes + int64(n) - 1) / int64(n)
-	top := 1
-	for top < n {
-		top *= 2
-	}
-	var rounds []Round
-	// Binomial scatter: the sender at line position rel hands the
-	// chunks owned by the positions [rel+dist, rel+2·dist) to its
-	// partner, largest distances first.
-	for dist := top / 2; dist >= 1; dist /= 2 {
-		var r Round
-		for _, line := range ls {
-			for rel := 0; rel < len(line); rel += 2 * dist {
-				if rel+dist >= len(line) {
-					continue
-				}
-				sub := dist
-				if len(line)-(rel+dist) < sub {
-					sub = len(line) - (rel + dist)
-				}
-				r = append(r, machine.Message{Src: line[rel], Dst: line[rel+dist], Bytes: chunk * int64(sub)})
-			}
-		}
-		if len(r) > 0 {
-			rounds = append(rounds, r)
-		}
-	}
-	// Ring allgather: every processor forwards one chunk to its line
-	// successor each round; after n−1 rounds everyone holds all n.
-	for t := 0; t < n-1; t++ {
-		var r Round
-		for _, line := range ls {
-			for i := range line {
-				r = append(r, machine.Message{Src: line[i], Dst: line[(i+1)%len(line)], Bytes: chunk})
-			}
-		}
-		rounds = append(rounds, r)
-	}
-	return rounds
-}

@@ -163,23 +163,37 @@ func buildLineRounds(m *machine.Mesh2D, ls [][]int, bytes int64, algo string) ([
 // force pins both phases to one named line algorithm (non-applicable
 // names select freely, as in SelectMesh).
 func SelectMeshPlanes(m *machine.Mesh2D, p Pattern, planes []Plane, bytes int64, force string) Choice {
+	return selectPlanes(newEvaluator(m), m, p, planes, bytes, force)
+}
+
+// selectPlanes is SelectMeshPlanes over a shared evaluator: the phase
+// selections and the composed pricing all reuse one contention
+// scratch. The composed schedule is priced as one round sequence over
+// the winners' symbolic rounds, so the reported cost is bit-exact
+// what MacroSchedule reprices.
+func selectPlanes(e *evaluator, m *machine.Mesh2D, p Pattern, planes []Plane, bytes int64, force string) Choice {
 	best := Choice{Pattern: p, Cost: -1}
+	if len(planes) == 0 {
+		return best
+	}
+	for _, pl := range planes {
+		if !pl.valid(m) {
+			return best
+		}
+	}
 	for _, dimFirst := range []int{0, 1} {
 		scope := planeScope(dimFirst)
 		ls1, ls2 := planePhaseLines(m, planes, dimFirst)
-		// selectLines prices each candidate under the requested pattern
+		// selectShapes prices each candidate under the requested pattern
 		// (reductions are priced on their mirrored rounds), and phase
 		// costs add, so the per-phase winners compose the cheapest plane
-		// schedule for this dimension order. The composed schedule is
-		// then rebuilt and priced as one round sequence, so the reported
-		// cost is bit-exact what MacroSchedule reprices.
-		ch1 := selectLines(m, p, ls1, bytes, force, scope)
-		ch2 := selectLines(m, p, ls2, bytes, force, scope)
-		sched, err := SchedulePlanes(m, p, planes, dimFirst, bytes, ch1.Algorithm, ch2.Algorithm)
-		if err != nil {
-			continue // unreachable: per-phase winners are line algorithms
-		}
-		if cand := sched.Choice(); best.Cost < 0 || cand.Cost < best.Cost {
+		// schedule for this dimension order.
+		ch1, s1 := e.selectShapes(m, p, ls1, bytes, force, scope)
+		ch2, s2 := e.selectShapes(m, p, ls2, bytes, force, scope)
+		cost := e.priceSeq([][]shapeRound{s1, s2}, p, bytes)
+		cand := Choice{Pattern: p, Algorithm: planeAlgoName(ch1.Algorithm, ch2.Algorithm),
+			Scope: scope, Cost: cost, Rounds: ch1.Rounds + ch2.Rounds}
+		if best.Cost < 0 || cand.Cost < best.Cost {
 			best = cand
 		}
 	}
@@ -200,15 +214,19 @@ func SelectMeshPlanes(m *machine.Mesh2D, p Pattern, planes []Plane, bytes int64,
 // never prices above its old total-collective cost; ties prefer the
 // per-line/per-plane schedule. Selection is deterministic.
 func SelectMeshMacro(m *machine.Mesh2D, p Pattern, dims []int, bytes int64, force string) Choice {
-	total := SelectMesh(m, p, 0, bytes, force)
+	e := newEvaluator(m)
+	total, _ := e.selectShapes(m, p, totalLine(m, 0), bytes, force, "")
 	var part Choice
 	switch len(dims) {
 	case 0:
 		return total
 	case 1:
-		part = SelectMeshDim(m, p, dims[0], bytes, force)
+		if dims[0] != 0 && dims[0] != 1 {
+			return total
+		}
+		part, _ = e.selectShapes(m, p, dimLines(m, dims[0]), bytes, force, axisScope(dims[0]))
 	default:
-		part = SelectMeshPlanes(m, p, []Plane{FullPlane(m)}, bytes, force)
+		part = selectPlanes(e, m, p, []Plane{FullPlane(m)}, bytes, force)
 	}
 	if part.Cost <= total.Cost {
 		return part

@@ -1,0 +1,168 @@
+package compiled
+
+import (
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/intmat"
+	"repro/internal/machine"
+	"repro/internal/scenarios"
+)
+
+// Point is the evaluation of one artifact at one machine point: the
+// same aggregate the engine reports per scenario (class counts, model
+// time, vectorizable count, collective summary), minus the run-side
+// bookkeeping.
+type Point struct {
+	// Classes counts the nest's communications per core.Class.
+	Classes [4]int
+	// ModelTime is the modeled execution time (µs) of one sweep of all
+	// residual communications.
+	ModelTime float64
+	// Vectorizable counts plans satisfying the Section 4.5 condition.
+	Vectorizable int
+	// Collectives is the deterministic collective summary, rendered
+	// exactly as engine results render it.
+	Collectives string
+}
+
+// standInGeneral is the deterministic pattern used when a general
+// plan has no usable 2×2 data-flow matrix (mirrors the engine).
+var standInGeneral = intmat.New(2, 2, 0, 1, 1, 0)
+
+// Eval prices the artifact's plans at one machine point. It replays
+// the engine's cost dispatch exactly — mesh macro-communications
+// through the pricer's compiled templates (or cold selection for a
+// nil pricer), decomposed and general plans through the same
+// simulation and permute selection the engine calls — so the Point is
+// bit-identical to optimizing the corresponding scenario uncompiled.
+// An errored artifact returns the zero Point.
+func (a *Artifact) Eval(pr *Pricer, spec scenarios.MachineSpec, dist distrib.Dist2D, n int, elemBytes int64) Point {
+	var pt Point
+	if a.Err != "" {
+		return pt
+	}
+	counts := map[string]int{}
+	for _, pl := range a.Plans {
+		pt.Classes[pl.Class]++
+		if pl.Vectorizable {
+			pt.Vectorizable++
+		}
+		var t float64
+		var choices []collective.Choice
+		if pl.Class == core.Local {
+			continue
+		}
+		if spec.Kind == scenarios.Mesh {
+			t, choices = meshShapeTime(pr, spec, dist, n, elemBytes, pl)
+		} else {
+			t, choices = fatTreeShapeTime(spec, n, elemBytes, pl)
+		}
+		pt.ModelTime += t
+		for _, ch := range choices {
+			counts[ch.String()]++
+		}
+	}
+	pt.Collectives = formatCollectives(counts)
+	return pt
+}
+
+// physMacroDims projects a macro's virtual grid axes onto the 2-D
+// mesh, exactly as the engine does: axes ≥ 2 have no physical extent
+// and are dropped.
+func physMacroDims(vdims []int) []int {
+	var dims []int
+	for _, d := range vdims {
+		if d == 0 || d == 1 {
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}
+
+func meshShapeTime(pr *Pricer, spec scenarios.MachineSpec, dist distrib.Dist2D, n int, eb int64, pl PlanShape) (float64, []collective.Choice) {
+	m := machine.DefaultMesh(spec.P, spec.Q)
+	force := spec.Algo
+	switch pl.Class {
+	case core.MacroComm:
+		pattern := collective.Broadcast
+		if pl.MacroReduction {
+			pattern = collective.Reduction
+		}
+		bytes := eb * int64(n)
+		dims := physMacroDims(pl.MacroDims)
+		var ch collective.Choice
+		switch {
+		case len(pl.MacroDims) == 1 && len(dims) == 1:
+			ch = pr.SelectMeshDim(m, pattern, dims[0], bytes, force)
+		case len(pl.MacroDims) >= 2 && len(dims) >= 1:
+			ch = pr.SelectMeshMacro(m, pattern, dims, bytes, force)
+		default:
+			ch = pr.SelectMesh(m, pattern, bytes, force)
+		}
+		return ch.Cost, []collective.Choice{ch}
+	case core.Decomposed:
+		if len(pl.Factors) > 0 && is2x2(pl.Factors[0]) {
+			total := 0.0
+			var choices []collective.Choice
+			for idx := len(pl.Factors) - 1; idx >= 0; idx-- {
+				msgs := machine.AffineComm2D(m, dist, pl.Factors[idx], nil, n, n, eb)
+				ch := collective.SelectPermute(m, msgs, force)
+				total += ch.Cost
+				choices = append(choices, ch)
+			}
+			return total, choices
+		}
+		k := len(pl.Factors)
+		if k == 0 {
+			k = 1
+		}
+		shift := machine.AffineComm2D(m, dist, intmat.Identity(2), []int64{1, 1}, n, n, eb)
+		ch := collective.SelectPermute(m, shift, force)
+		choices := make([]collective.Choice, k)
+		for i := range choices {
+			choices[i] = ch
+		}
+		return float64(k) * ch.Cost, choices
+	default: // General
+		t := pl.Dataflow
+		if t == nil || !is2x2(t) {
+			t = standInGeneral
+		}
+		return m.Time(machine.GeneralComm2D(m, dist, t, nil, n, n, eb)), nil
+	}
+}
+
+func fatTreeShapeTime(spec scenarios.MachineSpec, n int, eb int64, pl PlanShape) (float64, []collective.Choice) {
+	ft := machine.DefaultFatTree(spec.P)
+	switch pl.Class {
+	case core.MacroComm:
+		pattern := collective.Broadcast
+		if pl.MacroReduction {
+			pattern = collective.Reduction
+		}
+		if pl.Vectorizable {
+			ch := collective.SelectFatTree(ft, pattern, eb*int64(n), spec.Algo)
+			return ch.Cost, []collective.Choice{ch}
+		}
+		ch := collective.SelectFatTree(ft, pattern, eb, spec.Algo)
+		return float64(n) * ch.Cost, []collective.Choice{ch}
+	case core.Decomposed:
+		k := len(pl.Factors)
+		if k == 0 {
+			k = 1
+		}
+		one := func(bytes int64) float64 { return float64(k) * ft.Translation(bytes) }
+		if pl.Vectorizable {
+			return one(eb * int64(n)), nil
+		}
+		return float64(n) * one(eb), nil
+	default:
+		if pl.Vectorizable {
+			return ft.General(1, eb*int64(n)), nil
+		}
+		return float64(n) * ft.General(1, eb), nil
+	}
+}
+
+func is2x2(m *intmat.Mat) bool { return m != nil && m.Rows() == 2 && m.Cols() == 2 }

@@ -1,0 +1,86 @@
+package compiled
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/intmat"
+)
+
+// PlanShapeRec is the serializable form of one PlanShape, using the
+// same field layout and tags as the engine's plan records so stored
+// artifacts stay human-diffable next to the plan tier.
+type PlanShapeRec struct {
+	Class          int          `json:"class"`
+	Vectorizable   bool         `json:"vec,omitempty"`
+	MacroReduction bool         `json:"red,omitempty"`
+	MacroDims      []int        `json:"mdims,omitempty"`
+	Factors        []intmat.Rec `json:"factors,omitempty"`
+	Dataflow       *intmat.Rec  `json:"dataflow,omitempty"`
+}
+
+// ArtifactRec is the serializable form of an Artifact — the unit the
+// disk store's compiled tier persists.
+type ArtifactRec struct {
+	Key   string         `json:"key"`
+	Err   string         `json:"err,omitempty"`
+	Plans []PlanShapeRec `json:"plans,omitempty"`
+}
+
+// Rec serializes the artifact.
+func (a *Artifact) Rec() ArtifactRec {
+	rec := ArtifactRec{Key: a.Key, Err: a.Err}
+	for _, p := range a.Plans {
+		pr := PlanShapeRec{
+			Class:          int(p.Class),
+			Vectorizable:   p.Vectorizable,
+			MacroReduction: p.MacroReduction,
+			MacroDims:      p.MacroDims,
+		}
+		for _, f := range p.Factors {
+			pr.Factors = append(pr.Factors, f.Rec())
+		}
+		if p.Dataflow != nil {
+			dr := p.Dataflow.Rec()
+			pr.Dataflow = &dr
+		}
+		rec.Plans = append(rec.Plans, pr)
+	}
+	return rec
+}
+
+var errBadShape = errors.New("compiled: artifact record has an invalid class")
+
+// FromRec rebuilds an artifact from its stored form, rejecting
+// records that do not decode to valid matrices or classes (callers
+// treat an error as a store miss and recompile).
+func FromRec(rec ArtifactRec) (*Artifact, error) {
+	a := &Artifact{Key: rec.Key, Err: rec.Err, Plans: make([]PlanShape, 0, len(rec.Plans))}
+	for _, pr := range rec.Plans {
+		if pr.Class < int(core.Local) || pr.Class > int(core.General) {
+			return nil, errBadShape
+		}
+		p := PlanShape{
+			Class:          core.Class(pr.Class),
+			Vectorizable:   pr.Vectorizable,
+			MacroReduction: pr.MacroReduction,
+			MacroDims:      pr.MacroDims,
+		}
+		for _, fr := range pr.Factors {
+			f, err := intmat.FromRec(fr)
+			if err != nil {
+				return nil, err
+			}
+			p.Factors = append(p.Factors, f)
+		}
+		if pr.Dataflow != nil {
+			t, err := intmat.FromRec(*pr.Dataflow)
+			if err != nil {
+				return nil, err
+			}
+			p.Dataflow = t
+		}
+		a.Plans = append(a.Plans, p)
+	}
+	return a, nil
+}

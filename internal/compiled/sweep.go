@@ -1,0 +1,49 @@
+package compiled
+
+import (
+	"sort"
+
+	"repro/internal/distrib"
+	"repro/internal/scenarios"
+)
+
+// SweepRow is one lattice point of a grid sweep: the artifact priced
+// at (Machine, ElemBytes), with switch-point detection along the
+// payload axis.
+type SweepRow struct {
+	Machine   scenarios.MachineSpec
+	ElemBytes int64
+	Point     Point
+	// Switched marks that the collective selection differs from the
+	// previous (smaller) payload on the same machine; SwitchedFrom is
+	// the selection it displaced.
+	Switched     bool
+	SwitchedFrom string
+}
+
+// Sweep prices the artifact at every lattice point of the grid:
+// machines in declaration order (outer), payloads ascending (inner),
+// so switch points along the payload axis land on adjacent rows. The
+// same sweep backs POST /v1/lattice and resopt -lattice. Returns nil
+// for an errored artifact.
+func (g *Grid) Sweep(a *Artifact, pr *Pricer, dist distrib.Dist2D, n int) []SweepRow {
+	if a.Err != "" {
+		return nil
+	}
+	bytes := append([]int64(nil), g.Bytes...)
+	sort.Slice(bytes, func(i, j int) bool { return bytes[i] < bytes[j] })
+	rows := make([]SweepRow, 0, g.Points())
+	for _, ms := range g.Machines {
+		prev, first := "", true
+		for _, eb := range bytes {
+			pt := a.Eval(pr, ms, dist, n, eb)
+			row := SweepRow{Machine: ms, ElemBytes: eb, Point: pt}
+			if !first && pt.Collectives != prev {
+				row.Switched, row.SwitchedFrom = true, prev
+			}
+			prev, first = pt.Collectives, false
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,56 @@
+package compiled
+
+import (
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+// TestGridSweep checks the sweep contract: one row per lattice point,
+// machines in declaration order with payloads ascending (even when the
+// grid lists them out of order), every row identical to a direct Eval
+// at its point, and switch flags exactly where the selection changes.
+func TestGridSweep(t *testing.T) {
+	g, err := ParseGrid("mesh{4..16}x8:bytes=32k,1k,4M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := scenarios.Generate(scenarios.Config{Random: 1})
+	sc := &suite[0]
+	art := Compile(sc)
+	if art.Err != "" {
+		t.Fatal(art.Err)
+	}
+	pr := NewPricer()
+	rows := g.Sweep(art, pr, sc.Dist, sc.N)
+	if len(rows) != g.Points() {
+		t.Fatalf("%d rows for %d points", len(rows), g.Points())
+	}
+	i := 0
+	for _, ms := range g.Machines {
+		prev := ""
+		for _, eb := range []int64{1024, 32 << 10, 4 << 20} {
+			row := rows[i]
+			if row.Machine != ms || row.ElemBytes != eb {
+				t.Fatalf("row %d is (%v, %d), want (%v, %d)", i, row.Machine, row.ElemBytes, ms, eb)
+			}
+			if pt := art.Eval(pr, ms, sc.Dist, sc.N, eb); pt != row.Point {
+				t.Fatalf("row %d diverges from direct Eval: %+v vs %+v", i, row.Point, pt)
+			}
+			wantSwitch := prev != "" && row.Point.Collectives != prev
+			if row.Switched != wantSwitch {
+				t.Fatalf("row %d: switched=%v, want %v (prev %q, now %q)", i, row.Switched, wantSwitch, prev, row.Point.Collectives)
+			}
+			if row.Switched && row.SwitchedFrom != prev {
+				t.Fatalf("row %d: switched_from %q, want %q", i, row.SwitchedFrom, prev)
+			}
+			prev = row.Point.Collectives
+			i++
+		}
+	}
+
+	// An errored artifact sweeps to nothing.
+	if rows := g.Sweep(&Artifact{Err: "boom"}, pr, sc.Dist, sc.N); rows != nil {
+		t.Fatalf("errored artifact swept %d rows", len(rows))
+	}
+}

@@ -41,12 +41,14 @@ type Cache struct {
 	// the cache is shared.
 	kstore KernelStore
 
-	kernelHits, kernelMisses         atomic.Uint64
-	kernelDiskHits, kernelDiskMisses atomic.Uint64
-	planHits, planMisses             atomic.Uint64
-	diskHits, diskMisses             atomic.Uint64
-	selectHits, selectMisses         atomic.Uint64
-	evictions                        atomic.Uint64
+	kernelHits, kernelMisses             atomic.Uint64
+	kernelDiskHits, kernelDiskMisses     atomic.Uint64
+	planHits, planMisses                 atomic.Uint64
+	diskHits, diskMisses                 atomic.Uint64
+	selectHits, selectMisses             atomic.Uint64
+	compiledHits, compiledMisses         atomic.Uint64
+	compiledDiskHits, compiledDiskMisses atomic.Uint64
+	evictions                            atomic.Uint64
 }
 
 const cacheShards = 16
@@ -239,6 +241,19 @@ type CacheStats struct {
 	// a hit returns a previously selected (machine, pattern, dims,
 	// bytes) choice without rebuilding any schedule.
 	SelectHits, SelectMisses uint64
+	// CompiledHits/CompiledMisses count compiled-artifact memory-tier
+	// lookups (see Session.CompiledArtifact); CompiledDiskHits and
+	// CompiledDiskMisses count the memory misses served from / not
+	// found in the store's compiled tier.
+	CompiledHits, CompiledMisses         uint64
+	CompiledDiskHits, CompiledDiskMisses uint64
+	// CompiledTemplates is the number of compiled selection templates
+	// the session's pricer holds; CompiledTemplateHits/Misses count its
+	// cache lookups and CompiledEvals the template evaluations (each
+	// one a collective selection priced without schedule construction).
+	CompiledTemplates                            int
+	CompiledTemplateHits, CompiledTemplateMisses uint64
+	CompiledEvals                                uint64
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions uint64
 	Entries   int
@@ -250,17 +265,21 @@ func (c *Cache) Stats() CacheStats {
 		return CacheStats{}
 	}
 	return CacheStats{
-		KernelHits:       c.kernelHits.Load(),
-		KernelMisses:     c.kernelMisses.Load(),
-		KernelDiskHits:   c.kernelDiskHits.Load(),
-		KernelDiskMisses: c.kernelDiskMisses.Load(),
-		PlanHits:         c.planHits.Load(),
-		PlanMisses:       c.planMisses.Load(),
-		DiskHits:         c.diskHits.Load(),
-		DiskMisses:       c.diskMisses.Load(),
-		SelectHits:       c.selectHits.Load(),
-		SelectMisses:     c.selectMisses.Load(),
-		Evictions:        c.evictions.Load(),
-		Entries:          c.Len(),
+		KernelHits:         c.kernelHits.Load(),
+		KernelMisses:       c.kernelMisses.Load(),
+		KernelDiskHits:     c.kernelDiskHits.Load(),
+		KernelDiskMisses:   c.kernelDiskMisses.Load(),
+		PlanHits:           c.planHits.Load(),
+		PlanMisses:         c.planMisses.Load(),
+		DiskHits:           c.diskHits.Load(),
+		DiskMisses:         c.diskMisses.Load(),
+		SelectHits:         c.selectHits.Load(),
+		SelectMisses:       c.selectMisses.Load(),
+		CompiledHits:       c.compiledHits.Load(),
+		CompiledMisses:     c.compiledMisses.Load(),
+		CompiledDiskHits:   c.compiledDiskHits.Load(),
+		CompiledDiskMisses: c.compiledDiskMisses.Load(),
+		Evictions:          c.evictions.Load(),
+		Entries:            c.Len(),
 	}
 }

@@ -56,7 +56,7 @@ func TestMeshMacroNeverWorseThanLegacy(t *testing.T) {
 				sc := macroScenario(pq[0], pq[1], "")
 				cost, choices := meshPlanTime(context.Background(), sc, planInfo{
 					class: core.MacroComm, macroReduction: reduction, macroDims: dims,
-				}, nil, nil)
+				}, nil, nil, nil)
 				if cost > legacy {
 					t.Errorf("mesh%dx%d dims=%v red=%v: collective cost %.0f > legacy flat %.0f",
 						pq[0], pq[1], dims, reduction, cost, legacy)
@@ -78,7 +78,7 @@ func TestMeshMacroForcedFlatMatchesLegacy(t *testing.T) {
 			sc := macroScenario(pq[0], pq[1], "flat")
 			cost, choices := meshPlanTime(context.Background(), sc, planInfo{
 				class: core.MacroComm, macroReduction: reduction, macroDims: nil,
-			}, nil, nil)
+			}, nil, nil, nil)
 			if want := legacyMeshCollectiveTime(m, 16*64, reduction); cost != want {
 				t.Errorf("mesh%dx%d red=%v: forced flat %.2f ≠ legacy %.2f", pq[0], pq[1], reduction, cost, want)
 			}
@@ -97,8 +97,8 @@ func TestMeshMacroForcedFlatMatchesLegacy(t *testing.T) {
 // the opposite.
 func TestMeshMacroTopologyAware(t *testing.T) {
 	for _, dims := range [][]int{{0}, {1}, {0, 2}, {1, 2}} {
-		tall, _ := meshPlanTime(context.Background(), macroScenario(64, 2, ""), planInfo{class: core.MacroComm, macroDims: dims}, nil, nil)
-		flat, _ := meshPlanTime(context.Background(), macroScenario(2, 64, ""), planInfo{class: core.MacroComm, macroDims: dims}, nil, nil)
+		tall, _ := meshPlanTime(context.Background(), macroScenario(64, 2, ""), planInfo{class: core.MacroComm, macroDims: dims}, nil, nil, nil)
+		flat, _ := meshPlanTime(context.Background(), macroScenario(2, 64, ""), planInfo{class: core.MacroComm, macroDims: dims}, nil, nil, nil)
 		if tall == flat {
 			t.Errorf("dims %v: mesh64x2 and mesh2x64 macro broadcasts cost identically (%.1f µs)", dims, tall)
 		}
@@ -108,8 +108,8 @@ func TestMeshMacroTopologyAware(t *testing.T) {
 	// winning schedule and the costs coincide exactly. That symmetry is
 	// the correct physics (the machines are transposes); pin it so a
 	// regression in either phase order shows up.
-	tall, _ := meshPlanTime(context.Background(), macroScenario(64, 2, ""), planInfo{class: core.MacroComm, macroDims: []int{0, 1}}, nil, nil)
-	flat, _ := meshPlanTime(context.Background(), macroScenario(2, 64, ""), planInfo{class: core.MacroComm, macroDims: []int{0, 1}}, nil, nil)
+	tall, _ := meshPlanTime(context.Background(), macroScenario(64, 2, ""), planInfo{class: core.MacroComm, macroDims: []int{0, 1}}, nil, nil, nil)
+	flat, _ := meshPlanTime(context.Background(), macroScenario(2, 64, ""), planInfo{class: core.MacroComm, macroDims: []int{0, 1}}, nil, nil, nil)
 	if tall != flat {
 		t.Errorf("dims [0 1]: transposed meshes with both phase orders should price identically (%.1f vs %.1f µs)", tall, flat)
 	}
@@ -129,9 +129,9 @@ func TestMeshMacroPerPlaneBound(t *testing.T) {
 					sc.N = n
 					pi := planInfo{class: core.MacroComm, macroReduction: reduction}
 					pi.macroDims = dims
-					plane, _ := meshPlanTime(context.Background(), sc, pi, nil, nil)
+					plane, _ := meshPlanTime(context.Background(), sc, pi, nil, nil, nil)
 					pi.macroDims = nil
-					total, _ := meshPlanTime(context.Background(), sc, pi, nil, nil)
+					total, _ := meshPlanTime(context.Background(), sc, pi, nil, nil, nil)
 					if plane > total {
 						t.Errorf("mesh%dx%d dims=%v red=%v n=%d: per-plane %.2f > total %.2f",
 							pq[0], pq[1], dims, reduction, n, plane, total)
@@ -151,9 +151,9 @@ func TestMacroChoiceMemoDeterminism(t *testing.T) {
 		for _, dims := range macroDimCases {
 			sc := macroScenario(pq[0], pq[1], "")
 			pi := planInfo{class: core.MacroComm, macroDims: dims}
-			coldCost, coldCh := meshPlanTime(context.Background(), sc, pi, nil, nil)
+			coldCost, coldCh := meshPlanTime(context.Background(), sc, pi, nil, nil, nil)
 			for i := 0; i < 3; i++ {
-				warmCost, warmCh := meshPlanTime(context.Background(), sc, pi, cache, nil)
+				warmCost, warmCh := meshPlanTime(context.Background(), sc, pi, cache, nil, nil)
 				if warmCost != coldCost || len(warmCh) != 1 || warmCh[0] != coldCh[0] {
 					t.Fatalf("mesh%dx%d dims=%v: memoized selection %v (%.2f) ≠ cold %v (%.2f)",
 						pq[0], pq[1], dims, warmCh, warmCost, coldCh, coldCost)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/collective"
+	"repro/internal/compiled"
 	"repro/internal/core"
 	"repro/internal/intmat"
 	"repro/internal/machine"
@@ -54,12 +55,12 @@ import (
 //
 // The scenario's MachineSpec may pin the selection to one named
 // algorithm (the "mesh8x8:flat" spec grammar) for ablations.
-func planTime(ctx context.Context, sc *scenarios.Scenario, pl planInfo, cache *Cache, acc *selAcc) (float64, []collective.Choice) {
+func planTime(ctx context.Context, sc *scenarios.Scenario, pl planInfo, cache *Cache, pricer *compiled.Pricer, acc *selAcc) (float64, []collective.Choice) {
 	if pl.class == core.Local {
 		return 0, nil
 	}
 	if sc.Machine.Kind == scenarios.Mesh {
-		return meshPlanTime(ctx, sc, pl, cache, acc)
+		return meshPlanTime(ctx, sc, pl, cache, pricer, acc)
 	}
 	return fatTreePlanTime(ctx, sc, pl, cache, acc)
 }
@@ -172,7 +173,7 @@ func physMacroDims(vdims []int) []int {
 	return dims
 }
 
-func meshPlanTime(ctx context.Context, sc *scenarios.Scenario, pl planInfo, cache *Cache, acc *selAcc) (float64, []collective.Choice) {
+func meshPlanTime(ctx context.Context, sc *scenarios.Scenario, pl planInfo, cache *Cache, pricer *compiled.Pricer, acc *selAcc) (float64, []collective.Choice) {
 	m := machine.DefaultMesh(sc.Machine.P, sc.Machine.Q)
 	n, eb := sc.N, sc.ElemBytes
 	force := sc.Machine.Algo
@@ -192,18 +193,18 @@ func meshPlanTime(ctx context.Context, sc *scenarios.Scenario, pl planInfo, cach
 			// scheduling mode (a p=1 axis-0 macro and a p≥2 {0,2} macro
 			// both project to physical axis 0 but select differently).
 			ch = macroChoice(ctx, cache, acc, sc.Machine, pattern, pl.macroDims, bytes, func() collective.Choice {
-				return collective.SelectMeshDim(m, pattern, dims[0], bytes, force)
+				return pricer.SelectMeshDim(m, pattern, dims[0], bytes, force)
 			})
 		case len(pl.macroDims) >= 2 && len(dims) >= 1:
 			// p≥2 macro: per-plane (or per-line, if only one axis is
 			// physical) scheduling competing with the machine-spanning
 			// execution.
 			ch = macroChoice(ctx, cache, acc, sc.Machine, pattern, pl.macroDims, bytes, func() collective.Choice {
-				return collective.SelectMeshMacro(m, pattern, dims, bytes, force)
+				return pricer.SelectMeshMacro(m, pattern, dims, bytes, force)
 			})
 		default:
 			ch = macroChoice(ctx, cache, acc, sc.Machine, pattern, nil, bytes, func() collective.Choice {
-				return collective.SelectMesh(m, pattern, 0, bytes, force)
+				return pricer.SelectMesh(m, pattern, bytes, force)
 			})
 		}
 		return ch.Cost, []collective.Choice{ch}

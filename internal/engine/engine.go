@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compiled"
 	"repro/internal/core"
 	"repro/internal/scenarios"
 	"repro/internal/trace"
@@ -138,6 +139,13 @@ type Session struct {
 	tasks   chan task
 	wg      sync.WaitGroup
 
+	// pricer serves mesh collective selections from compiled templates
+	// (the compiled tier between the selection memo and cold schedule
+	// construction); cstore is the optional disk tier behind the
+	// compiled-artifact cache. Both are nil when the cache is disabled.
+	pricer *compiled.Pricer
+	cstore CompiledStore
+
 	// Pool instrumentation (see PoolStats). busy and queued are
 	// instantaneous; the totals are cumulative over the session.
 	busy, queued                atomic.Int64
@@ -173,10 +181,16 @@ func NewSession(opts Options) *Session {
 	if !opts.DisableCache {
 		s.cache = NewCache(opts.CacheCap)
 		s.store = opts.Store
+		s.pricer = compiled.NewPricer()
 		if ks, ok := opts.Store.(KernelStore); ok {
 			// The plan store also persists kernels: wire it behind the
 			// kernel memo tier so cold starts skip the linear algebra.
 			s.cache.kstore = ks
+		}
+		if cs, ok := opts.Store.(CompiledStore); ok {
+			// The plan store also persists compiled artifacts: wire it
+			// behind the artifact cache so lattice sweeps start warm.
+			s.cstore = cs
 		}
 	}
 	for w := 0; w < workers; w++ {
@@ -223,8 +237,23 @@ func (s *Session) Close() {
 func (s *Session) Workers() int { return s.workers }
 
 // CacheStats snapshots the session's cache counters (zero when the
-// cache is disabled).
-func (s *Session) CacheStats() CacheStats { return s.cache.Stats() }
+// cache is disabled), including the compiled tier's template-cache
+// and evaluation counters.
+func (s *Session) CacheStats() CacheStats {
+	st := s.cache.Stats()
+	ps := s.pricer.Stats()
+	st.CompiledTemplates = ps.Templates
+	st.CompiledTemplateHits = ps.TemplateHits
+	st.CompiledTemplateMisses = ps.TemplateMisses
+	st.CompiledEvals = ps.Evals
+	return st
+}
+
+// Pricer exposes the session's compiled-selection template cache for
+// callers evaluating compiled artifacts directly (the lattice
+// surfaces); it is nil — still valid, falling back to cold selection
+// — when the cache is disabled.
+func (s *Session) Pricer() *compiled.Pricer { return s.pricer }
 
 // PoolStats is an observability snapshot of the worker pool: the
 // instantaneous load (busy workers, tasks queued waiting for one) and
@@ -353,7 +382,7 @@ func (s *Session) RunStream(ctx context.Context, batch []scenarios.Scenario, emi
 		}
 		b.TotalModelTime += r.ModelTime
 	}
-	b.Cache = s.cache.Stats()
+	b.Cache = s.CacheStats()
 	return b, ctx.Err()
 }
 
@@ -409,7 +438,7 @@ func (s *Session) runOne(ctx context.Context, sc *scenarios.Scenario) Result {
 		if pl.vectorizable {
 			out.Vectorizable++
 		}
-		t, choices := planTime(ctx, sc, pl, s.cache, acc)
+		t, choices := planTime(ctx, sc, pl, s.cache, s.pricer, acc)
 		out.ModelTime += t
 		for _, ch := range choices {
 			counts[ch.String()]++

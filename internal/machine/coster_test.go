@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPattern builds a random message set over the mesh, including
+// occasional local (Src == Dst) messages and duplicate endpoints.
+func randPattern(rng *rand.Rand, m *Mesh2D, n int) []Message {
+	msgs := make([]Message, n)
+	for i := range msgs {
+		src := rng.Intn(m.Procs())
+		dst := rng.Intn(m.Procs())
+		if rng.Intn(8) == 0 {
+			dst = src
+		}
+		msgs[i] = Message{Src: src, Dst: dst, Bytes: int64(rng.Intn(1 << 14))}
+	}
+	return msgs
+}
+
+// TestCostEvalMatchesTime checks bit-identity of CostEval.Time against
+// Mesh2D.Time over random patterns on assorted mesh shapes, reusing
+// one evaluator per mesh across all patterns (the production usage).
+func TestCostEvalMatchesTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][2]int{{1, 1}, {1, 8}, {8, 1}, {2, 2}, {4, 4}, {8, 8}, {3, 5}, {16, 2}, {2, 16}, {16, 16}, {64, 2}}
+	for _, sh := range shapes {
+		m := DefaultMesh(sh[0], sh[1])
+		ev := NewCostEval(m)
+		for trial := 0; trial < 50; trial++ {
+			msgs := randPattern(rng, m, rng.Intn(60))
+			want := m.Time(msgs)
+			got := ev.Time(msgs)
+			if got != want {
+				t.Fatalf("mesh %dx%d trial %d: CostEval.Time = %v, Mesh2D.Time = %v", sh[0], sh[1], trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCostEvalAssign checks the exposed packing: round indices are
+// dense and in first-use order, locals get -1, the per-round hop
+// maxima match a recomputation, and the partition ignores byte sizes.
+func TestCostEvalAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := DefaultMesh(4, 4)
+	ev := NewCostEval(m)
+	for trial := 0; trial < 30; trial++ {
+		msgs := randPattern(rng, m, 40)
+		assign := make([]int, len(msgs))
+		nr := ev.Assign(msgs, assign)
+
+		// Recompute per-round aggregates from the reported partition.
+		hops := make([]int, nr)
+		var maxRound int = -1
+		for i, msg := range msgs {
+			if msg.Src == msg.Dst {
+				if assign[i] != -1 {
+					t.Fatalf("local message %d assigned round %d", i, assign[i])
+				}
+				continue
+			}
+			if assign[i] < 0 || assign[i] >= nr {
+				t.Fatalf("message %d assigned out-of-range round %d of %d", i, assign[i], nr)
+			}
+			if assign[i] > maxRound+1 {
+				t.Fatalf("round indices not dense: message %d opens round %d after %d", i, assign[i], maxRound)
+			}
+			if assign[i] > maxRound {
+				maxRound = assign[i]
+			}
+			h := 0
+			m.walkXY(msg.Src, msg.Dst, func(linkID) { h++ })
+			if h > hops[assign[i]] {
+				hops[assign[i]] = h
+			}
+		}
+		if maxRound+1 != nr {
+			t.Fatalf("Assign reported %d rounds, partition uses %d", nr, maxRound+1)
+		}
+		for i := 0; i < nr; i++ {
+			if ev.RoundHops(i) != hops[i] {
+				t.Fatalf("round %d: RoundHops = %d, recomputed %d", i, ev.RoundHops(i), hops[i])
+			}
+		}
+
+		// Bytes must not influence placement: zero them and repack.
+		zeroed := make([]Message, len(msgs))
+		for i, msg := range msgs {
+			zeroed[i] = Message{Src: msg.Src, Dst: msg.Dst}
+		}
+		assign2 := make([]int, len(zeroed))
+		if nr2 := ev.Assign(zeroed, assign2); nr2 != nr {
+			t.Fatalf("byte-zeroed pattern packs into %d rounds, original %d", nr2, nr)
+		}
+		for i := range assign {
+			if assign[i] != assign2[i] {
+				t.Fatalf("message %d: round %d with bytes, %d without", i, assign[i], assign2[i])
+			}
+		}
+	}
+}

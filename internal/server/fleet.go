@@ -50,8 +50,18 @@ func (s *Server) statsResponse() api.StatsResponse {
 			DiskMisses:       c.DiskMisses,
 			SelectHits:       c.SelectHits,
 			SelectMisses:     c.SelectMisses,
-			Evictions:        c.Evictions,
-			Entries:          c.Entries,
+
+			CompiledHits:           c.CompiledHits,
+			CompiledMisses:         c.CompiledMisses,
+			CompiledDiskHits:       c.CompiledDiskHits,
+			CompiledDiskMisses:     c.CompiledDiskMisses,
+			CompiledTemplates:      c.CompiledTemplates,
+			CompiledTemplateHits:   c.CompiledTemplateHits,
+			CompiledTemplateMisses: c.CompiledTemplateMisses,
+			CompiledEvals:          c.CompiledEvals,
+
+			Evictions: c.Evictions,
+			Entries:   c.Entries,
 		},
 		SuiteCache: s.resolver.stats(),
 		Jobs:       s.jobs.stats(),
@@ -70,18 +80,22 @@ func (s *Server) statsResponse() api.StatsResponse {
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &api.StoreStats{
-			PlanPuts:        st.PlanPuts,
-			PlanGetHits:     st.PlanGetHits,
-			PlanGetMisses:   st.PlanGetMisses,
-			KernelPuts:      st.KernelPuts,
-			KernelGetHits:   st.KernelGetHits,
-			KernelGetMisses: st.KernelGetMisses,
-			Warnings:        st.Warnings,
+			PlanPuts:          st.PlanPuts,
+			PlanGetHits:       st.PlanGetHits,
+			PlanGetMisses:     st.PlanGetMisses,
+			KernelPuts:        st.KernelPuts,
+			KernelGetHits:     st.KernelGetHits,
+			KernelGetMisses:   st.KernelGetMisses,
+			CompiledPuts:      st.CompiledPuts,
+			CompiledGetHits:   st.CompiledGetHits,
+			CompiledGetMisses: st.CompiledGetMisses,
+			Warnings:          st.Warnings,
 		}
 	}
 	resp.Requests = api.RequestStats{
 		Optimize:    s.optimizes.Load(),
 		Batch:       s.batches.Load(),
+		Lattice:     s.lattices.Load(),
 		Jobs:        s.jobReqs.Load(),
 		RateLimited: s.rateLimited.Load(),
 	}
@@ -169,6 +183,7 @@ func rollupStats(members []api.ClusterMemberStats) api.ClusterRollup {
 
 		ru.Requests.Optimize += st.Requests.Optimize
 		ru.Requests.Batch += st.Requests.Batch
+		ru.Requests.Lattice += st.Requests.Lattice
 		ru.Requests.Jobs += st.Requests.Jobs
 		ru.Requests.RateLimited += st.Requests.RateLimited
 
@@ -182,6 +197,14 @@ func rollupStats(members []api.ClusterMemberStats) api.ClusterRollup {
 		ru.Cache.DiskMisses += st.Cache.DiskMisses
 		ru.Cache.SelectHits += st.Cache.SelectHits
 		ru.Cache.SelectMisses += st.Cache.SelectMisses
+		ru.Cache.CompiledHits += st.Cache.CompiledHits
+		ru.Cache.CompiledMisses += st.Cache.CompiledMisses
+		ru.Cache.CompiledDiskHits += st.Cache.CompiledDiskHits
+		ru.Cache.CompiledDiskMisses += st.Cache.CompiledDiskMisses
+		ru.Cache.CompiledTemplates += st.Cache.CompiledTemplates
+		ru.Cache.CompiledTemplateHits += st.Cache.CompiledTemplateHits
+		ru.Cache.CompiledTemplateMisses += st.Cache.CompiledTemplateMisses
+		ru.Cache.CompiledEvals += st.Cache.CompiledEvals
 		ru.Cache.Evictions += st.Cache.Evictions
 		ru.Cache.Entries += st.Cache.Entries
 
@@ -212,6 +235,9 @@ func rollupStats(members []api.ClusterMemberStats) api.ClusterRollup {
 			ru.Store.KernelPuts += st.Store.KernelPuts
 			ru.Store.KernelGetHits += st.Store.KernelGetHits
 			ru.Store.KernelGetMisses += st.Store.KernelGetMisses
+			ru.Store.CompiledPuts += st.Store.CompiledPuts
+			ru.Store.CompiledGetHits += st.Store.CompiledGetHits
+			ru.Store.CompiledGetMisses += st.Store.CompiledGetMisses
 			ru.Store.Warnings += st.Store.Warnings
 		}
 		if st.Sweeper != nil {

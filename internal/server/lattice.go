@@ -1,0 +1,85 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/compiled"
+)
+
+// handleLattice serves POST /v1/lattice: one nest swept over a
+// capacity-planning grid. The nest's optimization is resolved through
+// the compiled-plan tier (memory → compiled store tier → one
+// structural compile), then every grid point is priced by template
+// evaluation against the shared session pricer — the sweep never
+// re-optimizes per point. Rows stream as NDJSON in grid order
+// (machines as declared, payloads ascending), with switch points —
+// payload thresholds where the selected collective schedule changes —
+// flagged in place, and a summary line terminates the stream.
+func (s *Server) handleLattice(w http.ResponseWriter, r *http.Request) {
+	s.lattices.Add(1)
+	var req api.LatticeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err))
+		return
+	}
+	if req.Grid == "" {
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, `"grid" is required`))
+		return
+	}
+	grid, err := compiled.ParseGrid(req.Grid)
+	if err != nil {
+		s.writeError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "%v", err))
+		return
+	}
+	sc, aerr := scenarioFromRequest(&api.OptimizeRequest{
+		Example:         req.Example,
+		Nest:            req.Nest,
+		M:               req.M,
+		N:               req.N,
+		NoMacro:         req.NoMacro,
+		NoDecomposition: req.NoDecomposition,
+	})
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	art := s.session.CompiledArtifact(r.Context(), sc)
+	if art.Err != "" {
+		s.writeError(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeUnprocessable, "optimization failed: %s", art.Err))
+		return
+	}
+	rows := grid.Sweep(art, s.session.Pricer(), sc.Dist, sc.N)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	switches := 0
+	for _, row := range rows {
+		if row.Switched {
+			switches++
+		}
+		enc.Encode(api.LatticeRow{
+			Machine:      row.Machine.String(),
+			ElemBytes:    row.ElemBytes,
+			Classes:      row.Point.Classes,
+			Vectorizable: row.Point.Vectorizable,
+			ModelTimeUs:  row.Point.ModelTime,
+			Collectives:  row.Point.Collectives,
+			Switched:     row.Switched,
+			SwitchedFrom: row.SwitchedFrom,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(api.LatticeSummary{Summary: api.LatticeSummaryBody{
+		Name:     sc.Name,
+		Grid:     req.Grid,
+		Points:   len(rows),
+		Machines: len(grid.Machines),
+		Switches: switches,
+	}})
+}

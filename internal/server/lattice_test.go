@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/store"
+)
+
+// TestLatticeStream drives POST /v1/lattice end to end: the NDJSON
+// row stream (ordering, switch-point flags), the summary line,
+// per-point agreement with /v1/optimize, the compiled-tier counters
+// in /v1/stats, and the Go client's streaming decode of the same
+// endpoint.
+func TestLatticeStream(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Store: st})
+
+	const gridSpec = "mesh{4..32}x8:bytes=1k..32M"
+	req := api.LatticeRequest{Example: "matmul", Grid: gridSpec}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/lattice", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lattice status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var rows []api.LatticeRow
+	var sum api.LatticeSummary
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if strings.Contains(line, `"summary"`) {
+			if err := json.Unmarshal([]byte(line), &sum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var row api.LatticeRow
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 64 {
+		t.Fatalf("got %d rows, want 64", len(rows))
+	}
+	s := sum.Summary
+	if s.Name != "matmul" || s.Grid != gridSpec || s.Points != 64 || s.Machines != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Switches == 0 {
+		t.Fatal("no switch points found; the sweep should cross algorithm thresholds")
+	}
+
+	// Ordering and switch-flag consistency: payloads strictly ascend
+	// within each machine block, the first row of a block never
+	// switches, and a switched row names the selection it displaced.
+	switches := 0
+	for i, row := range rows {
+		newMachine := i == 0 || rows[i-1].Machine != row.Machine
+		if !newMachine && rows[i-1].ElemBytes >= row.ElemBytes {
+			t.Fatalf("row %d: payloads not ascending (%d after %d)", i, row.ElemBytes, rows[i-1].ElemBytes)
+		}
+		if newMachine && row.Switched {
+			t.Fatalf("row %d: first payload of %s flagged as switch", i, row.Machine)
+		}
+		if row.Switched {
+			switches++
+			if row.SwitchedFrom != rows[i-1].Collectives {
+				t.Fatalf("row %d: switched_from %q != previous collectives %q", i, row.SwitchedFrom, rows[i-1].Collectives)
+			}
+			if row.Collectives == rows[i-1].Collectives {
+				t.Fatalf("row %d: flagged as switch but selection unchanged", i)
+			}
+		} else if !newMachine && row.Collectives != rows[i-1].Collectives {
+			t.Fatalf("row %d: selection changed without a switch flag", i)
+		}
+	}
+	if switches != s.Switches {
+		t.Fatalf("summary counts %d switches, rows carry %d", s.Switches, switches)
+	}
+
+	// Spot-check compiled pricing against the uncompiled optimize
+	// endpoint at a few lattice points, including a switch point.
+	checked := 0
+	for i, row := range rows {
+		if i%23 != 0 && !row.Switched {
+			continue
+		}
+		oresp, obody := postJSON(t, ts.Client(), ts.URL+"/v1/optimize", api.OptimizeRequest{
+			Example: "matmul", Machine: row.Machine, ElemBytes: row.ElemBytes,
+		})
+		if oresp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize status %d: %s", oresp.StatusCode, obody)
+		}
+		var ores api.OptimizeResponse
+		if err := json.Unmarshal(obody, &ores); err != nil {
+			t.Fatal(err)
+		}
+		if ores.ModelTimeUs != row.ModelTimeUs || ores.Collectives != row.Collectives ||
+			ores.Vectorizable != row.Vectorizable {
+			t.Fatalf("lattice row diverges from optimize at %s/%d bytes:\n  row: %+v\n  opt: %+v",
+				row.Machine, row.ElemBytes, row, ores)
+		}
+		checked++
+	}
+	if checked < 3 {
+		t.Fatalf("only %d equivalence spot-checks ran", checked)
+	}
+
+	// The same sweep through the Go client: identical rows, summary,
+	// and a compiled-tier memory hit this time.
+	c, err := client.New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []api.LatticeRow
+	csum, err := c.Lattice(context.Background(), req, func(row api.LatticeRow) error {
+		got = append(got, row)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) || *csum != sum {
+		t.Fatalf("client stream diverges: %d rows, summary %+v", len(got), csum.Summary)
+	}
+	for i := range got {
+		if got[i] != rows[i] {
+			t.Fatalf("client row %d diverges: %+v vs %+v", i, got[i], rows[i])
+		}
+	}
+
+	// Stats surface the new tier: request counter, artifact lookups
+	// (one miss then one memory hit), template/eval traffic, and the
+	// store's compiled-tier puts.
+	stresp, stbody := get(t, ts, "/v1/stats")
+	if stresp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", stresp.StatusCode)
+	}
+	var stats api.StatsResponse
+	if err := json.Unmarshal(stbody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests.Lattice != 2 {
+		t.Fatalf("lattice request count %d, want 2", stats.Requests.Lattice)
+	}
+	cs := stats.Cache
+	if cs.CompiledMisses == 0 || cs.CompiledHits == 0 {
+		t.Fatalf("compiled artifact counters did not move: %+v", cs)
+	}
+	if cs.CompiledEvals == 0 || cs.CompiledTemplates == 0 || cs.CompiledTemplateMisses == 0 {
+		t.Fatalf("pricer counters did not move: %+v", cs)
+	}
+	if stats.Store == nil || stats.Store.CompiledPuts == 0 {
+		t.Fatalf("store compiled tier saw no puts: %+v", stats.Store)
+	}
+}
+
+// TestLatticeErrors: malformed lattice requests answer typed 4xx.
+func TestLatticeErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for name, tc := range map[string]struct {
+		req  api.LatticeRequest
+		code string
+	}{
+		"missing grid":    {api.LatticeRequest{Example: "matmul"}, api.CodeBadRequest},
+		"bad grid":        {api.LatticeRequest{Example: "matmul", Grid: "torus4x4"}, api.CodeBadRequest},
+		"missing nest":    {api.LatticeRequest{Grid: "mesh4x4"}, api.CodeBadRequest},
+		"unknown example": {api.LatticeRequest{Example: "nope", Grid: "mesh4x4"}, api.CodeBadRequest},
+		"both sources":    {api.LatticeRequest{Example: "matmul", Nest: "x", Grid: "mesh4x4"}, api.CodeBadRequest},
+	} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/lattice", tc.req)
+		var env api.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+			t.Fatalf("%s: not an error envelope: %s", name, body)
+		}
+		if resp.StatusCode != env.Error.Status || env.Error.Code != tc.code {
+			t.Fatalf("%s: got %d/%s, want code %s", name, resp.StatusCode, env.Error.Code, tc.code)
+		}
+	}
+	// A giant grid is rejected before any work happens.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/lattice",
+		api.LatticeRequest{Example: "matmul", Grid: fmt.Sprintf("mesh{2..%d}x{2..%d}:bytes=1..1M", 1<<20, 1<<20)})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized grid answered %d: %s", resp.StatusCode, body)
+	}
+}

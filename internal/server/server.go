@@ -12,6 +12,9 @@
 //	POST   /v1/batch             suite spec → NDJSON stream of per-scenario
 //	                             results ending in a summary line; specs may
 //	                             name a stored snapshot to re-run and diff it
+//	POST   /v1/lattice           nest × capacity-planning grid → NDJSON rows
+//	                             of per-point model costs and switch points,
+//	                             priced through the compiled-plan tier
 //	POST   /v1/jobs              submit a batch spec as an async job
 //	GET    /v1/jobs              list jobs, most recent first
 //	GET    /v1/jobs/{id}         poll one job
@@ -121,7 +124,7 @@ type Server struct {
 	sweepStop chan struct{}
 	sweepWG   sync.WaitGroup
 
-	optimizes, batches, jobReqs, rateLimited atomic.Uint64
+	optimizes, batches, lattices, jobReqs, rateLimited atomic.Uint64
 }
 
 // New starts the shared engine session and builds the route table.
@@ -167,6 +170,7 @@ func New(opts Options) *Server {
 
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/lattice", s.handleLattice)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -207,7 +211,7 @@ func New(opts Options) *Server {
 	}
 
 	s.mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprint(w, "resoptd /v1: POST /v1/optimize, POST /v1/batch, POST|GET /v1/jobs, GET /v1/jobs/{id}[/results], GET /v1/snapshots, GET /v1/stats\n")
+		fmt.Fprint(w, "resoptd /v1: POST /v1/optimize, POST /v1/batch, POST /v1/lattice, POST|GET /v1/jobs, GET /v1/jobs/{id}[/results], GET /v1/snapshots, GET /v1/stats\n")
 	})
 	return s
 }

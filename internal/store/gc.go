@@ -49,7 +49,7 @@ func (r GCResult) Removed() int { return r.RemovedAge + r.RemovedLRU + r.Removed
 // mid-write in another process.
 const staleTempAge = time.Hour
 
-// GC sweeps the plan and kernel tiers: age-expired files first, then
+// GC sweeps the plan, kernel and compiled tiers: age-expired files first, then
 // the least recently used files beyond MaxPlans (mtime is the
 // recency signal — GetPlan and GetKernel touch files they serve; the
 // cap applies to each tier independently). Snapshots are never
@@ -61,7 +61,7 @@ const staleTempAge = time.Hour
 func (s *Store) GC(opts GCOptions) (GCResult, error) {
 	var res GCResult
 	now := time.Now()
-	for _, tier := range []string{"plans", "kernels"} {
+	for _, tier := range []string{"plans", "kernels", "compiled"} {
 		if err := s.gcTier(filepath.Join(s.root, tier), now, opts, &res); err != nil {
 			return res, err
 		}
